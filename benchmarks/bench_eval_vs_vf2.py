@@ -1,0 +1,87 @@
+"""In-text statistic of Exp-1: the guided check (EvalMR) vs VF2 enumeration.
+
+The paper reports that EMMR is 1.4–1.9× faster than EMVF2MR thanks to guided
+expansion and early termination.  This benchmark compares the two both in
+simulated cluster seconds and in charged work units, and uses pytest-benchmark
+to time the raw per-pair checkers on real wall-clock time.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.benchlib import format_table, paper_expectation
+from repro.core.equivalence import EquivalenceRelation
+from repro.matching import em_mr, em_vf2_mr
+from repro.matching.checkers import EnumerationChecker, GuidedChecker
+
+from conftest import FACTORIES, synthetic_factory
+
+
+def _comparison_rows():
+    rows = []
+    for name, factory in FACTORIES.items():
+        graph, keys = factory(chain_length=2, radius=2)
+        guided = em_mr(graph, keys, processors=4)
+        baseline = em_vf2_mr(graph, keys, processors=4)
+        assert guided.pairs() == baseline.pairs()
+        rows.append(
+            [
+                name,
+                f"{guided.simulated_seconds:.2f}",
+                f"{baseline.simulated_seconds:.2f}",
+                f"{baseline.simulated_seconds / max(1e-9, guided.simulated_seconds):.2f}x",
+                guided.stats.work_units,
+                baseline.stats.work_units,
+            ]
+        )
+    return rows
+
+
+def test_guided_eval_beats_vf2_enumeration(benchmark):
+    rows = benchmark.pedantic(_comparison_rows, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "EMMR (sim s)", "EMVF2MR (sim s)", "EMMR speedup", "EMMR work", "EMVF2MR work"],
+            rows,
+            title="Guided early-terminating check vs full VF2 enumeration",
+        )
+    )
+    print(paper_expectation("EMMR is 1.4x / 1.9x / 1.4x faster than EMVF2MR on the three datasets"))
+    for row in rows:
+        assert float(row[3].rstrip("x")) >= 1.0, "the guided check must not lose to enumeration"
+
+
+def _checker_workload():
+    graph, keys = synthetic_factory(chain_length=2, radius=2)
+    eq = EquivalenceRelation()
+    pairs = []
+    for etype in sorted(keys.target_types()):
+        entities = graph.entities_of_type(etype)
+        pairs.extend(itertools.combinations(entities, 2))
+    return graph, keys, eq, pairs[:200]
+
+
+def test_wallclock_guided_checker(benchmark):
+    graph, keys, eq, pairs = _checker_workload()
+    checker = GuidedChecker(graph)
+
+    def run():
+        for e1, e2 in pairs:
+            checker.check(keys.keys_for_type(graph.entity_type(e1)), e1, e2, eq, None, None)
+
+    benchmark(run)
+
+
+def test_wallclock_vf2_checker(benchmark):
+    graph, keys, eq, pairs = _checker_workload()
+    checker = EnumerationChecker(graph)
+
+    def run():
+        for e1, e2 in pairs:
+            checker.check(keys.keys_for_type(graph.entity_type(e1)), e1, e2, eq, None, None)
+
+    benchmark(run)

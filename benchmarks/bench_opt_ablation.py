@@ -1,0 +1,76 @@
+"""In-text statistics of Exp-1: effectiveness of the optimizations.
+
+The paper reports that, compared with EMMR, the optimizations of EMOptMR
+(a) reduce the candidate set L by 38–52%, (b) make the d-neighbourhoods
+1.7–2.5× smaller and (c) remove 15–23% of the redundant isomorphism checks;
+and that EMOptVC is ≈ 1.5× faster than EMVC thanks to bounded messages and
+prioritized propagation.  This ablation measures the same quantities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchlib import format_table, paper_expectation
+from repro.matching import em_mr, em_mr_opt, em_vc, em_vc_opt
+from repro.matching.candidates import build_candidates, build_filtered_candidates
+
+from conftest import FACTORIES
+
+
+def _ablation_rows():
+    rows = []
+    for name, factory in FACTORIES.items():
+        graph, keys = factory(chain_length=2, radius=2)
+        unfiltered = build_candidates(graph, keys)
+        filtered = build_filtered_candidates(graph, keys, reduce_neighborhoods=True)
+        base = em_mr(graph, keys, processors=4)
+        optimized = em_mr_opt(graph, keys, processors=4)
+        vc = em_vc(graph, keys, processors=4)
+        vc_opt = em_vc_opt(graph, keys, processors=4)
+        assert base.pairs() == optimized.pairs() == vc.pairs() == vc_opt.pairs()
+        l_reduction = 100.0 * filtered.reduction_ratio()
+        nbhd_factor = filtered.neighborhood_reduction_factor()
+        check_reduction = 100.0 * (1 - optimized.stats.checks / max(1, base.stats.checks))
+        rows.append(
+            [
+                name,
+                f"{l_reduction:.0f}%",
+                f"{nbhd_factor:.2f}x",
+                f"{check_reduction:.0f}%",
+                f"{base.simulated_seconds / max(1e-9, optimized.simulated_seconds):.2f}x",
+                f"{vc.stats.messages_processed}",
+                f"{vc_opt.stats.messages_processed}",
+            ]
+        )
+    return rows
+
+
+def test_optimization_effectiveness(benchmark):
+    rows = benchmark.pedantic(_ablation_rows, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "dataset",
+                "L reduced",
+                "Gd smaller",
+                "checks removed",
+                "EMOptMR speedup",
+                "EMVC msgs",
+                "EMOptVC msgs",
+            ],
+            rows,
+            title="Optimization effectiveness (EMOptMR vs EMMR, EMOptVC vs EMVC)",
+        )
+    )
+    print(
+        paper_expectation(
+            "L reduced 38-52%, Gd 1.7-2.5x smaller, 15-23% fewer redundant checks, "
+            "EMOptMR ≈ 3x faster than EMMR, EMOptVC ≈ 1.5x faster than EMVC"
+        )
+    )
+    for row in rows:
+        # the optimizations must never hurt: checks removed ≥ 0, speedup ≥ ~1
+        assert float(row[3].rstrip("%")) >= 0.0
+        assert float(row[4].rstrip("x")) >= 0.95

@@ -1,0 +1,45 @@
+"""In-text statistic of Exp-2: the product graph is small, |Gp| ≈ 2.7·|G|.
+
+The paper stresses that the product graph used by the vertex-centric
+algorithms stays linear in |G| in practice (2.7× on average), far from the
+worst-case |G|².  This benchmark measures the ratio on all three workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchlib import format_table, paper_expectation
+from repro.matching.candidates import build_filtered_candidates
+from repro.matching.product_graph import ProductGraph
+
+from conftest import FACTORIES
+
+
+def _measure():
+    rows = []
+    for name, factory in FACTORIES.items():
+        graph, keys = factory(chain_length=2, radius=2)
+        candidates = build_filtered_candidates(graph, keys, reduce_neighborhoods=False)
+        product = ProductGraph(graph, keys, candidates)
+        ratio = product.size() / max(1, graph.num_triples)
+        rows.append(
+            [name, graph.num_triples, product.num_nodes, product.size(), f"{ratio:.2f}"]
+        )
+    return rows
+
+
+def test_product_graph_is_linear_in_graph_size(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "|G| (triples)", "Gp nodes", "|Gp| (edges)", "|Gp| / |G|"],
+            rows,
+            title="Product graph size vs graph size",
+        )
+    )
+    print(paper_expectation("|Gp| = 2.7 * |G| on average, much smaller than |G|^2"))
+    for _, triples, _, size, ratio in rows:
+        assert float(ratio) < 10.0, "the product graph must stay linear in |G|"
+        assert size < triples * triples, "|Gp| must be far below |G|^2"

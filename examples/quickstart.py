@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's music example end to end.
+
+Builds the knowledge-graph fragment G1 of Fig. 2 (albums and artists with a
+duplicate album and a duplicate artist), defines the keys Q1–Q3 of Fig. 1
+both programmatically and through the textual DSL, runs entity matching with
+every algorithm, and explains *why* each pair was identified using the proof
+graph (provenance) API.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    chase,
+    explain,
+    match_entities,
+    parse_keys,
+    proof_from_chase,
+    verify_proof,
+)
+from repro.datasets.music import music_graph, music_keys
+from repro.matching import ALGORITHMS
+
+
+def main() -> None:
+    graph = music_graph()
+    keys = music_keys()
+    print("Graph G1:", graph.stats())
+    print("Keys   Σ1:", keys.stats())
+    print()
+
+    # The same keys can be written in the textual DSL — handy for config files.
+    dsl_keys = parse_keys(
+        """
+        key Q1 for album:            # an album is identified by name + artist
+          x -[name_of]-> name*
+          x -[recorded_by]-> artist1:artist
+
+        key Q2 for album:            # ... or by name + release year
+          x -[name_of]-> name*
+          x -[release_year]-> year*
+
+        key Q3 for artist:           # an artist is identified by name + an album
+          x -[name_of]-> name*
+          album1:album -[recorded_by]-> x
+        """
+    )
+    assert dsl_keys.cardinality == keys.cardinality
+
+    print("Entity matching with every algorithm:")
+    for algorithm in ALGORITHMS:
+        result = match_entities(graph, keys, algorithm=algorithm, processors=4)
+        pairs = ", ".join(f"{a}≡{b}" for a, b in sorted(result.pairs()))
+        print(
+            f"  {algorithm:9s} identified [{pairs}] "
+            f"(simulated {result.simulated_seconds:.2f}s on 4 workers)"
+        )
+    print()
+
+    # Provenance: why were these entities identified?
+    outcome = chase(graph, keys)
+    proof = proof_from_chase(outcome)
+    assert verify_proof(graph, keys, proof)
+    print("Why is art1 the same artist as art2?")
+    for step in explain(graph, keys, outcome, "art1", "art2"):
+        needs = f" (needs {', '.join(map(str, step.prerequisites))})" if step.prerequisites else ""
+        print(f"  {step.pair} identified by key {step.key_name}{needs}")
+
+
+if __name__ == "__main__":
+    main()

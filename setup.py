@@ -1,0 +1,8 @@
+"""Setup shim for environments where PEP 660 editable installs are unavailable
+(offline machines without the ``wheel`` package).  All project metadata lives
+in ``pyproject.toml``; this file only enables legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

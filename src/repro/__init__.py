@@ -1,0 +1,155 @@
+"""repro — Keys for Graphs.
+
+A from-scratch Python reproduction of *Keys for Graphs* (Fan, Fan, Tian &
+Dong, PVLDB 8(12), 2015): recursive graph-pattern keys, the entity-matching
+chase, and the paper's two families of parallel-scalable algorithms (a
+MapReduce family and a vertex-centric asynchronous family), both running on
+simulated execution substrates with deterministic cost models.
+
+Quickstart::
+
+    from repro import Graph, parse_keys, match_entities
+
+    graph = Graph()
+    graph.add_entity("alb1", "album")
+    graph.add_entity("alb2", "album")
+    graph.add_value("alb1", "name_of", "Anthology 2")
+    graph.add_value("alb2", "name_of", "Anthology 2")
+    graph.add_value("alb1", "release_year", "1996")
+    graph.add_value("alb2", "release_year", "1996")
+
+    keys = parse_keys('''
+    key album_by_name_and_year for album:
+      x -[name_of]-> name*
+      x -[release_year]-> year*
+    ''')
+
+    result = match_entities(graph, keys, algorithm="EMOptVC")
+    assert result.identified("alb1", "alb2")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of the paper's evaluation.
+"""
+
+from .core import (
+    ChaseResult,
+    ChaseStep,
+    Entity,
+    EquivalenceRelation,
+    Graph,
+    GraphPattern,
+    GuidedPairEvaluator,
+    Key,
+    KeySet,
+    Literal,
+    NeighborhoodIndex,
+    NodeKind,
+    PatternNode,
+    PatternTriple,
+    ProofGraph,
+    Triple,
+    chase,
+    constant,
+    designated,
+    entities_identified,
+    entity_var,
+    explain,
+    find_matches,
+    has_match,
+    load_graph,
+    load_keys,
+    parse_graph,
+    parse_keys,
+    proof_from_chase,
+    satisfies,
+    save_graph,
+    save_keys,
+    serialize_graph,
+    serialize_keys,
+    value_var,
+    verify_proof,
+    violations,
+    wildcard,
+)
+from .exceptions import (
+    DatasetError,
+    GraphError,
+    InvalidKeyError,
+    MatchingError,
+    ParseError,
+    ProofError,
+    ReproError,
+    UnknownEntityError,
+)
+from .matching import (
+    ALGORITHMS,
+    EMResult,
+    EMStatistics,
+    em_mr,
+    em_mr_opt,
+    em_vc,
+    em_vc_opt,
+    em_vf2_mr,
+    match_entities,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ChaseResult",
+    "ChaseStep",
+    "DatasetError",
+    "EMResult",
+    "EMStatistics",
+    "Entity",
+    "EquivalenceRelation",
+    "Graph",
+    "GraphError",
+    "GraphPattern",
+    "GuidedPairEvaluator",
+    "InvalidKeyError",
+    "Key",
+    "KeySet",
+    "Literal",
+    "MatchingError",
+    "NeighborhoodIndex",
+    "NodeKind",
+    "ParseError",
+    "PatternNode",
+    "PatternTriple",
+    "ProofError",
+    "ProofGraph",
+    "ReproError",
+    "Triple",
+    "UnknownEntityError",
+    "__version__",
+    "chase",
+    "constant",
+    "designated",
+    "em_mr",
+    "em_mr_opt",
+    "em_vc",
+    "em_vc_opt",
+    "em_vf2_mr",
+    "entities_identified",
+    "entity_var",
+    "explain",
+    "find_matches",
+    "has_match",
+    "load_graph",
+    "load_keys",
+    "match_entities",
+    "parse_graph",
+    "parse_keys",
+    "proof_from_chase",
+    "satisfies",
+    "save_graph",
+    "save_keys",
+    "serialize_graph",
+    "serialize_keys",
+    "value_var",
+    "verify_proof",
+    "violations",
+    "wildcard",
+]

@@ -1,0 +1,39 @@
+"""Experiment harness and reporting used by the ``benchmarks/`` suite."""
+
+from .harness import (
+    FIGURE8_ALGORITHMS,
+    ExperimentResult,
+    ExperimentSpec,
+    SweepPoint,
+    chain_sweep,
+    processors_sweep,
+    radius_sweep,
+    run_experiment,
+    scale_sweep,
+)
+from .reporting import (
+    candidate_table,
+    figure_table,
+    format_table,
+    paper_expectation,
+    result_summary_table,
+    speedup_summary,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FIGURE8_ALGORITHMS",
+    "SweepPoint",
+    "candidate_table",
+    "chain_sweep",
+    "figure_table",
+    "format_table",
+    "paper_expectation",
+    "processors_sweep",
+    "radius_sweep",
+    "result_summary_table",
+    "run_experiment",
+    "scale_sweep",
+    "speedup_summary",
+]

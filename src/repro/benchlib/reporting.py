@@ -1,0 +1,98 @@
+"""Formatting of experiment results into paper-style tables.
+
+The benchmarks print these tables (one per figure / table of the paper) so
+``pytest benchmarks/ --benchmark-only`` output can be compared side by side
+with Figure 8 and Table 2, and EXPERIMENTS.md records the same numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..matching.result import EMResult
+from .harness import ExperimentResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render a plain-text table with aligned columns."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def figure_table(result: ExperimentResult, unit: str = "sim s") -> str:
+    """A Fig. 8-style table: one row per sweep value, one column per algorithm."""
+    spec = result.spec
+    headers = [spec.parameter] + [f"{algo} ({unit})" for algo in spec.algorithms]
+    rows: List[List[object]] = []
+    for point in result.points:
+        row: List[object] = [point.value]
+        for algorithm in spec.algorithms:
+            row.append(f"{point.seconds(algorithm):.2f}")
+        rows.append(row)
+    return format_table(headers, rows, title=spec.describe())
+
+
+def speedup_summary(result: ExperimentResult) -> str:
+    """Speedups over the sweep (e.g. "4.8x faster from p=4 to p=20")."""
+    spec = result.spec
+    parts = [
+        f"{algorithm}: {result.speedup(algorithm):.1f}x"
+        for algorithm in spec.algorithms
+    ]
+    return (
+        f"{spec.experiment_id} speedup from {spec.parameter}={result.points[0].value} "
+        f"to {spec.parameter}={result.points[-1].value}: " + ", ".join(parts)
+    )
+
+
+def candidate_table(
+    rows: Mapping[str, Mapping[str, int]],
+    title: str = "Table 2: candidate matches vs confirmed matches",
+) -> str:
+    """Table-2-style summary: candidates considered by EMOptVC / EMOptMR vs confirmed."""
+    headers = ["Dataset", "Candidates (EMOptVC)", "Candidates (EMOptMR)", "Confirmed"]
+    body = [
+        [
+            dataset,
+            counts.get("candidates_vc", 0),
+            counts.get("candidates_mr", 0),
+            counts.get("confirmed", 0),
+        ]
+        for dataset, counts in rows.items()
+    ]
+    return format_table(headers, body, title=title)
+
+
+def result_summary_table(results: Mapping[str, EMResult], title: str) -> str:
+    """A per-algorithm summary (identified pairs, rounds, messages, seconds)."""
+    headers = ["Algorithm", "Identified", "Rounds", "Messages", "Checks", "Sim seconds"]
+    rows = [
+        [
+            name,
+            result.num_identified,
+            result.stats.rounds,
+            result.stats.messages_sent,
+            result.stats.checks,
+            f"{result.simulated_seconds:.2f}",
+        ]
+        for name, result in results.items()
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def paper_expectation(note: str) -> str:
+    """A one-line reminder of what the paper reports for the same experiment."""
+    return f"paper reports: {note}"

@@ -1,0 +1,179 @@
+"""Command-line interface: ``repro-keys`` / ``python -m repro.cli``.
+
+Sub-commands:
+
+* ``match``    — load a graph and a key set (DSL files) and run entity matching;
+* ``check``    — check ``G |= Q(x)`` for every key and report violations;
+* ``generate`` — write a synthetic dataset (graph + keys) to DSL files;
+* ``bench``    — run one of the paper's sweeps and print the series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .benchlib import figure_table, processors_sweep, run_experiment, speedup_summary
+from .core.matching import violations
+from .core.parser import load_graph, load_keys, save_graph, save_keys
+from .datasets.knowledge import knowledge_dataset
+from .datasets.social import social_dataset
+from .datasets.synthetic import synthetic_dataset
+from .exceptions import ReproError
+from .matching import ALGORITHMS, match_entities
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-keys",
+        description="Keys for graphs: entity matching with recursive graph-pattern keys",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    match_parser = subparsers.add_parser("match", help="run entity matching on DSL files")
+    match_parser.add_argument("--graph", required=True, help="graph DSL file")
+    match_parser.add_argument("--keys", required=True, help="key DSL file")
+    match_parser.add_argument(
+        "--algorithm", default="EMOptVC", choices=list(ALGORITHMS), help="algorithm to use"
+    )
+    match_parser.add_argument("--processors", type=int, default=4, help="simulated workers")
+
+    check_parser = subparsers.add_parser("check", help="check key satisfaction (G |= Q(x))")
+    check_parser.add_argument("--graph", required=True, help="graph DSL file")
+    check_parser.add_argument("--keys", required=True, help="key DSL file")
+
+    generate_parser = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate_parser.add_argument(
+        "--dataset",
+        default="synthetic",
+        choices=["synthetic", "social", "knowledge"],
+        help="which generator to use",
+    )
+    generate_parser.add_argument("--keys-count", type=int, default=20, dest="num_keys")
+    generate_parser.add_argument("--chain-length", type=int, default=2)
+    generate_parser.add_argument("--radius", type=int, default=2)
+    generate_parser.add_argument("--scale", type=float, default=1.0)
+    generate_parser.add_argument("--seed", type=int, default=7)
+    generate_parser.add_argument("--out-graph", required=True, help="output graph DSL file")
+    generate_parser.add_argument("--out-keys", required=True, help="output key DSL file")
+
+    bench_parser = subparsers.add_parser("bench", help="run a processors sweep and print it")
+    bench_parser.add_argument(
+        "--dataset",
+        default="synthetic",
+        choices=["synthetic", "social", "knowledge"],
+    )
+    bench_parser.add_argument("--processors", type=int, nargs="+", default=[4, 8, 12, 16, 20])
+    bench_parser.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def _dataset_factory(name: str):
+    if name == "social":
+        return lambda **kw: _unpack(social_dataset(**kw))
+    if name == "knowledge":
+        return lambda **kw: _unpack(knowledge_dataset(**kw))
+    return lambda **kw: _unpack_synthetic(synthetic_dataset(**kw))
+
+
+def _unpack(dataset):
+    return dataset.graph, dataset.keys
+
+
+def _unpack_synthetic(dataset):
+    return dataset.graph, dataset.keys
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    keys = load_keys(args.keys)
+    result = match_entities(graph, keys, algorithm=args.algorithm, processors=args.processors)
+    print(f"algorithm      : {result.algorithm}")
+    print(f"processors     : {result.processors}")
+    print(f"identified     : {result.num_identified} pairs")
+    print(f"simulated time : {result.simulated_seconds:.2f} s")
+    for e1, e2 in sorted(result.pairs()):
+        print(f"  {e1} == {e2}")
+    return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    keys = load_keys(args.keys)
+    any_violation = False
+    for key in keys:
+        found = violations(graph, key)
+        status = "satisfied" if not found else f"{len(found)} violating pair(s)"
+        print(f"{key.name:30s} {status}")
+        for e1, e2 in found:
+            any_violation = True
+            print(f"  duplicate candidates: {e1} / {e2}")
+    return 1 if any_violation else 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "social":
+        dataset = social_dataset(
+            scale=args.scale, chain_length=args.chain_length, radius=args.radius, seed=args.seed
+        )
+        graph, keys = dataset.graph, dataset.keys
+    elif args.dataset == "knowledge":
+        dataset = knowledge_dataset(
+            scale=args.scale, chain_length=args.chain_length, radius=args.radius, seed=args.seed
+        )
+        graph, keys = dataset.graph, dataset.keys
+    else:
+        dataset = synthetic_dataset(
+            num_keys=args.num_keys,
+            chain_length=args.chain_length,
+            radius=args.radius,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        graph, keys = dataset.graph, dataset.keys
+    save_graph(graph, args.out_graph)
+    save_keys(keys, args.out_keys)
+    print(f"wrote {graph.num_triples} triples to {args.out_graph}")
+    print(f"wrote {keys.cardinality} keys to {args.out_keys}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    factory = _dataset_factory(args.dataset)
+    spec = processors_sweep(
+        experiment_id=f"cli-{args.dataset}",
+        dataset_name=args.dataset,
+        dataset_factory=factory,
+        processors=args.processors,
+        scale=args.scale,
+    )
+    result = run_experiment(spec)
+    print(figure_table(result))
+    print(speedup_summary(result))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the CLI; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "match": _command_match,
+        "check": _command_check,
+        "generate": _command_generate,
+        "bench": _command_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

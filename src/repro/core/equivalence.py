@@ -1,0 +1,153 @@
+"""The equivalence relation ``Eq`` over entities, backed by union–find.
+
+The chase of Section 3 maintains an equivalence relation ``Eq`` over entity
+pairs of the same type: reflexive, symmetric and transitive, seeded with the
+node-identity relation ``Eq0 = {(e, e)}``.  Union–find maintains exactly this
+closure; merging two classes implements a chase step, and transitivity comes
+for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+
+Pair = Tuple[str, str]
+
+
+def canonical_pair(e1: str, e2: str) -> Pair:
+    """Return the pair ``(e1, e2)`` in canonical (sorted) order."""
+    return (e1, e2) if e1 <= e2 else (e2, e1)
+
+
+class EquivalenceRelation:
+    """A union–find structure over entity ids.
+
+    The relation starts as the identity relation over the ids it has seen;
+    unseen ids are implicitly singleton classes (they are added lazily), so an
+    ``EquivalenceRelation()`` with no arguments behaves like ``Eq0`` over the
+    whole graph.
+    """
+
+    __slots__ = ("_parent", "_rank", "_merges")
+
+    def __init__(self, members: Iterable[str] = ()) -> None:
+        self._parent: Dict[str, str] = {}
+        self._rank: Dict[str, int] = {}
+        self._merges = 0
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------ #
+    # union–find internals
+    # ------------------------------------------------------------------ #
+
+    def add(self, member: str) -> None:
+        """Register *member* as a singleton class (no-op when present)."""
+        if member not in self._parent:
+            self._parent[member] = member
+            self._rank[member] = 0
+
+    def find(self, member: str) -> str:
+        """Return the canonical representative of *member*'s class."""
+        self.add(member)
+        root = member
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[member] != root:
+            self._parent[member], member = root, self._parent[member]
+        return root
+
+    def merge(self, e1: str, e2: str) -> bool:
+        """Identify *e1* and *e2* (a chase step).  Return True when new."""
+        r1, r2 = self.find(e1), self.find(e2)
+        if r1 == r2:
+            return False
+        if self._rank[r1] < self._rank[r2]:
+            r1, r2 = r2, r1
+        self._parent[r2] = r1
+        if self._rank[r1] == self._rank[r2]:
+            self._rank[r1] += 1
+        self._merges += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # relation queries
+    # ------------------------------------------------------------------ #
+
+    def identified(self, e1: str, e2: str) -> bool:
+        """True when ``(e1, e2) ∈ Eq`` (including the trivial ``e1 == e2``)."""
+        if e1 == e2:
+            return True
+        if e1 not in self._parent or e2 not in self._parent:
+            return False
+        return self.find(e1) == self.find(e2)
+
+    def __contains__(self, pair: object) -> bool:
+        if isinstance(pair, tuple) and len(pair) == 2:
+            return self.identified(pair[0], pair[1])
+        return False
+
+    @property
+    def merge_count(self) -> int:
+        """The number of successful (novel) merges performed so far."""
+        return self._merges
+
+    def members(self) -> Iterator[str]:
+        """Iterate over the ids this relation has seen."""
+        return iter(self._parent.keys())
+
+    def classes(self) -> List[Set[str]]:
+        """Return all equivalence classes (including singletons)."""
+        groups: Dict[str, Set[str]] = defaultdict(set)
+        for member in self._parent:
+            groups[self.find(member)].add(member)
+        return list(groups.values())
+
+    def nontrivial_classes(self) -> List[Set[str]]:
+        """Return the classes of size ≥ 2 (i.e. classes with identified pairs)."""
+        return [cls for cls in self.classes() if len(cls) > 1]
+
+    def class_of(self, member: str) -> Set[str]:
+        """Return the class containing *member*."""
+        root = self.find(member)
+        return {m for m in self._parent if self.find(m) == root}
+
+    def pairs(self) -> Set[Pair]:
+        """All nontrivial identified pairs, canonically ordered.
+
+        This is the result ``chase(G, Σ)`` minus the trivial identity pairs:
+        for every class ``{a, b, c}`` the pairs ``(a,b), (a,c), (b,c)`` are
+        reported.
+        """
+        result: Set[Pair] = set()
+        for cls in self.nontrivial_classes():
+            ordered = sorted(cls)
+            for e1, e2 in itertools.combinations(ordered, 2):
+                result.add((e1, e2))
+        return result
+
+    def copy(self) -> "EquivalenceRelation":
+        """Return an independent copy of this relation."""
+        clone = EquivalenceRelation()
+        clone._parent = dict(self._parent)
+        clone._rank = dict(self._rank)
+        clone._merges = self._merges
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EquivalenceRelation):
+            return NotImplemented
+        return self.pairs() == other.pairs()
+
+    def __hash__(self) -> int:  # mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EquivalenceRelation(members={len(self._parent)}, "
+            f"identified_pairs={len(self.pairs())})"
+        )

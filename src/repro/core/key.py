@@ -1,0 +1,258 @@
+"""Keys for graphs and key sets ``Σ`` (Section 2.2).
+
+A key for entities of type ``τ`` is a graph pattern ``Q(x)`` whose designated
+variable ``x`` has type ``τ``.  A :class:`KeySet` groups keys, indexes them by
+target type, and exposes the structural quantities the algorithms and the
+experiments need: ``|Σ|``, ``||Σ||``, per-type maximum radius ``d`` and the
+length ``c`` of the longest dependency chain induced by recursively defined
+keys (the two knobs varied in Exp-3 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InvalidKeyError
+from .pattern import GraphPattern, PatternTriple
+
+
+class Key:
+    """A key: a graph pattern used as a uniqueness constraint.
+
+    The key identifies entities of :attr:`target_type`; it is *recursively
+    defined* when its pattern contains entity variables other than ``x``.
+    """
+
+    __slots__ = ("_pattern", "_name")
+
+    def __init__(self, pattern: GraphPattern, name: Optional[str] = None) -> None:
+        self._pattern = pattern
+        self._name = name if name is not None else pattern.name
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[PatternTriple], name: str = "Q"
+    ) -> "Key":
+        """Build a key directly from pattern triples."""
+        return cls(GraphPattern(triples, name=name), name=name)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def pattern(self) -> GraphPattern:
+        return self._pattern
+
+    @property
+    def target_type(self) -> str:
+        """The entity type this key identifies (type of ``x``)."""
+        return self._pattern.target_type
+
+    @property
+    def size(self) -> int:
+        """``|Q|``: the number of triples of the key's pattern."""
+        return self._pattern.size
+
+    @property
+    def radius(self) -> int:
+        """``d(Q, x)``: the radius of the key's pattern."""
+        return self._pattern.radius
+
+    @property
+    def is_recursive(self) -> bool:
+        """True when the key is recursively defined."""
+        return self._pattern.is_recursive
+
+    @property
+    def is_value_based(self) -> bool:
+        """True when the key is value-based (no entity variables besides ``x``)."""
+        return self._pattern.is_value_based
+
+    def depends_on_types(self) -> Set[str]:
+        """Types of the entity variables of this key.
+
+        Identifying a pair with this key requires pairs of these types to be
+        identified first (the dependency of Section 4.2).
+        """
+        return self._pattern.entity_variable_types()
+
+    def is_defined_on(self, etype: str) -> bool:
+        """True when this key is defined on entities of type *etype*."""
+        return self.target_type == etype
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Key):
+            return NotImplemented
+        return self._pattern == other._pattern
+
+    def __hash__(self) -> int:
+        return hash(self._pattern)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flavour = "recursive" if self.is_recursive else "value-based"
+        return f"Key({self._name!r}, for={self.target_type!r}, {flavour}, |Q|={self.size})"
+
+    def describe(self) -> str:
+        """A human-readable multi-line description of this key."""
+        return self._pattern.describe()
+
+
+class KeySet:
+    """A set ``Σ`` of keys with the indexes the matching algorithms need."""
+
+    __slots__ = ("_keys", "_by_type")
+
+    def __init__(self, keys: Iterable[Key] = ()) -> None:
+        self._keys: List[Key] = []
+        self._by_type: Dict[str, List[Key]] = defaultdict(list)
+        for key in keys:
+            self.add(key)
+
+    def add(self, key: Key) -> None:
+        """Add a key to the set (duplicate keys are ignored)."""
+        if not isinstance(key, Key):
+            raise InvalidKeyError(f"expected a Key, got {type(key).__name__}")
+        if key in self._keys:
+            return
+        self._keys.append(key)
+        self._by_type[key.target_type].append(key)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._keys
+
+    def __getitem__(self, index: int) -> Key:
+        return self._keys[index]
+
+    @property
+    def cardinality(self) -> int:
+        """``||Σ||``: the number of keys."""
+        return len(self._keys)
+
+    @property
+    def size(self) -> int:
+        """``|Σ|``: the total number of pattern triples over all keys."""
+        return sum(key.size for key in self._keys)
+
+    def keys_for_type(self, etype: str) -> List[Key]:
+        """All keys defined on entities of type *etype*."""
+        return list(self._by_type.get(etype, ()))
+
+    def target_types(self) -> Set[str]:
+        """All entity types on which at least one key is defined."""
+        return {t for t, keys in self._by_type.items() if keys}
+
+    def value_based_keys(self) -> List[Key]:
+        return [k for k in self._keys if k.is_value_based]
+
+    def recursive_keys(self) -> List[Key]:
+        return [k for k in self._keys if k.is_recursive]
+
+    def by_name(self, name: str) -> Key:
+        """Look a key up by its name."""
+        for key in self._keys:
+            if key.name == name:
+                return key
+        raise InvalidKeyError(f"no key named {name!r} in this key set")
+
+    # ------------------------------------------------------------------ #
+    # structural quantities used by the algorithms / experiments
+    # ------------------------------------------------------------------ #
+
+    def max_radius(self) -> int:
+        """The maximum radius ``d`` over all keys (0 for an empty set)."""
+        return max((k.radius for k in self._keys), default=0)
+
+    def max_radius_for_type(self, etype: str) -> int:
+        """The maximum radius of keys defined on *etype* (0 when none)."""
+        return max((k.radius for k in self._by_type.get(etype, ())), default=0)
+
+    def type_dependency_graph(self) -> Dict[str, Set[str]]:
+        """Edges ``τ → τ'`` when a key for τ has an entity variable of type τ'.
+
+        Only dependencies on types that themselves have keys are reported;
+        identifying a pair of a type without keys is impossible, so such
+        dependencies can never be discharged.
+        """
+        keyed = self.target_types()
+        graph: Dict[str, Set[str]] = {t: set() for t in keyed}
+        for key in self._keys:
+            for dep in key.depends_on_types():
+                if dep in keyed:
+                    graph[key.target_type].add(dep)
+        return graph
+
+    def dependency_chain_length(self) -> int:
+        """The length ``c`` of the longest dependency chain between keyed types.
+
+        A value-based-only key set has chain length 1 (the paper's generator
+        parameter ``c`` counts the number of keyed types along the longest
+        chain; cycles — mutually recursive keys — contribute the cycle length).
+        """
+        graph = self.type_dependency_graph()
+        if not graph:
+            return 0
+
+        longest = 1
+        for start in graph:
+            longest = max(longest, self._longest_path_from(start, graph))
+        return longest
+
+    def _longest_path_from(self, start: str, graph: Dict[str, Set[str]]) -> int:
+        """Longest simple path (in nodes) starting at *start* in the type graph."""
+        best = 1
+        stack: List[Tuple[str, frozenset]] = [(start, frozenset({start}))]
+        while stack:
+            node, visited = stack.pop()
+            best = max(best, len(visited))
+            for nxt in graph.get(node, ()):
+                if nxt not in visited:
+                    stack.append((nxt, visited | {nxt}))
+        return best
+
+    def has_recursive_cycle(self) -> bool:
+        """True when the type dependency graph has a cycle (mutual recursion)."""
+        graph = self.type_dependency_graph()
+        colors: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            colors[node] = 1
+            for nxt in graph.get(node, ()):
+                state = colors.get(nxt, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(nxt):
+                    return True
+            colors[node] = 2
+            return False
+
+        return any(visit(node) for node in graph if colors.get(node, 0) == 0)
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics of this key set."""
+        return {
+            "keys": self.cardinality,
+            "size": self.size,
+            "recursive": len(self.recursive_keys()),
+            "value_based": len(self.value_based_keys()),
+            "target_types": len(self.target_types()),
+            "max_radius": self.max_radius(),
+            "chain_length": self.dependency_chain_length(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KeySet(keys={self.cardinality}, size={self.size}, "
+            f"recursive={len(self.recursive_keys())})"
+        )

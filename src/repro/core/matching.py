@@ -1,0 +1,288 @@
+"""Declarative semantics of keys: valuations, matches, coincidence and
+satisfaction (Section 2).
+
+This module is the *reference* semantics; it enumerates matches explicitly
+(subgraph isomorphism from the pattern into the graph), checks whether two
+matches coincide (``S1(e1) ≅Q S2(e2)``) and decides key satisfaction
+``G |= Q(x)``.  It deliberately favours clarity over speed; the matching
+algorithms of :mod:`repro.matching` use the guided, early-terminating check of
+:mod:`repro.core.eval_guided` instead, and the cross-checks in the test suite
+assert that the two agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import UnknownEntityError
+from .equivalence import EquivalenceRelation
+from .graph import Graph
+from .key import Key
+from .pattern import GraphPattern, NodeKind, PatternNode, PatternTriple
+from .triples import GraphNode, Literal, Triple, is_entity_ref
+
+#: A valuation maps pattern-node names to graph nodes.
+Valuation = Dict[str, GraphNode]
+
+
+def _node_admissible(
+    graph: Graph,
+    node: PatternNode,
+    candidate: GraphNode,
+) -> bool:
+    """Can *candidate* be the image of pattern node *node* (ignoring identity)?
+
+    This checks the typing discipline of valuations (Section 2.1): entity-kind
+    nodes map to entities of the node's type, value variables map to values,
+    constants map to the exact value.
+    """
+    if node.kind is NodeKind.CONSTANT:
+        return isinstance(candidate, Literal) and candidate.value == node.value
+    if node.kind is NodeKind.VALUE_VAR:
+        return isinstance(candidate, Literal)
+    # entity kinds
+    if not is_entity_ref(candidate) or not graph.has_entity(candidate):
+        return False
+    return graph.entity_type(candidate) == node.etype
+
+
+def _candidate_images(
+    graph: Graph,
+    pattern: GraphPattern,
+    node: PatternNode,
+    valuation: Valuation,
+    restrict: Optional[Set[GraphNode]],
+) -> Set[GraphNode]:
+    """Graph nodes that could extend *valuation* at *node*.
+
+    Candidates are generated from the pattern triples connecting *node* to
+    already-instantiated nodes (guided expansion); when no such triple exists
+    the node is unconstrained so far and all admissible graph nodes are
+    candidates (this only happens transiently because patterns are connected
+    and the search instantiates nodes in a connected order).
+    """
+    candidates: Optional[Set[GraphNode]] = None
+    for triple in pattern.adjacent_triples(node.name):
+        if triple.subject.name == node.name and triple.obj.name in valuation:
+            other = valuation[triple.obj.name]
+            found: Set[GraphNode] = set(graph.subjects(triple.predicate, other))
+        elif triple.obj.name == node.name and triple.subject.name in valuation:
+            other = valuation[triple.subject.name]
+            if not is_entity_ref(other):
+                return set()
+            found = set(graph.objects(other, triple.predicate))
+        else:
+            continue
+        candidates = found if candidates is None else (candidates & found)
+        if not candidates:
+            return set()
+    if candidates is None:
+        # unconstrained: fall back to all nodes of the right kind
+        if node.kind in (NodeKind.VALUE_VAR, NodeKind.CONSTANT):
+            candidates = set(graph.value_nodes())
+        else:
+            candidates = set(graph.entities_of_type(node.etype or ""))
+    if restrict is not None:
+        candidates = candidates & restrict
+    return {c for c in candidates if _node_admissible(graph, node, c)}
+
+
+def _search_order(pattern: GraphPattern) -> List[PatternNode]:
+    """A connected instantiation order starting from the designated variable."""
+    order = [pattern.designated]
+    placed = {pattern.designated.name}
+    remaining = {n.name: n for n in pattern.nodes() if n.name not in placed}
+    while remaining:
+        progressed = False
+        for name, node in sorted(remaining.items()):
+            for triple in pattern.adjacent_triples(name):
+                other = (
+                    triple.obj.name if triple.subject.name == name else triple.subject.name
+                )
+                if other in placed:
+                    order.append(node)
+                    placed.add(name)
+                    del remaining[name]
+                    progressed = True
+                    break
+            if progressed:
+                break
+        if not progressed:  # pragma: no cover - patterns are validated connected
+            order.extend(remaining.values())
+            break
+    return order
+
+
+def find_matches(
+    graph: Graph,
+    pattern: GraphPattern,
+    at_entity: str,
+    restrict: Optional[Set[GraphNode]] = None,
+    limit: Optional[int] = None,
+    work_counter: Optional[Dict[str, int]] = None,
+) -> List[Valuation]:
+    """Enumerate the valuations witnessing that *graph* matches *pattern* at
+    *at_entity*.
+
+    Each returned valuation is a bijection between the pattern nodes and a set
+    of graph nodes (node-injective), mapping the designated variable to
+    *at_entity*, and such that every pattern triple has its image in the
+    graph — i.e. a subgraph isomorphism in the sense of Section 2.1.
+
+    ``restrict`` optionally confines images to a node set (for example a
+    d-neighbourhood); ``limit`` stops the enumeration early; ``work_counter``
+    (a dict) accumulates ``"candidates"`` and ``"matches"`` counts so callers
+    such as the ``EMVF2MR`` baseline can charge the enumeration cost to the
+    simulated-cluster cost model.
+    """
+    if not graph.has_entity(at_entity):
+        raise UnknownEntityError(at_entity)
+    designated = pattern.designated
+    if graph.entity_type(at_entity) != designated.etype:
+        return []
+    if restrict is not None and at_entity not in restrict:
+        return []
+
+    order = _search_order(pattern)
+    matches: List[Valuation] = []
+    valuation: Valuation = {designated.name: at_entity}
+    used: Set[GraphNode] = {at_entity}
+
+    def count(field: str, amount: int = 1) -> None:
+        if work_counter is not None:
+            work_counter[field] = work_counter.get(field, 0) + amount
+
+    def backtrack(position: int) -> bool:
+        """Return True when the enumeration should stop (limit reached)."""
+        if position == len(order):
+            matches.append(dict(valuation))
+            count("matches")
+            return limit is not None and len(matches) >= limit
+        node = order[position]
+        for candidate in sorted(
+            _candidate_images(graph, pattern, node, valuation, restrict), key=repr
+        ):
+            count("candidates")
+            if candidate in used:
+                continue
+            valuation[node.name] = candidate
+            used.add(candidate)
+            stop = backtrack(position + 1)
+            del valuation[node.name]
+            used.discard(candidate)
+            if stop:
+                return True
+        return False
+
+    backtrack(1)
+    return matches
+
+
+def has_match(
+    graph: Graph,
+    pattern: GraphPattern,
+    at_entity: str,
+    restrict: Optional[Set[GraphNode]] = None,
+) -> bool:
+    """True when *graph* matches *pattern* at *at_entity*."""
+    return bool(find_matches(graph, pattern, at_entity, restrict=restrict, limit=1))
+
+
+def match_triples(pattern: GraphPattern, valuation: Valuation) -> Set[Triple]:
+    """The match ``S``: the image of the pattern triples under *valuation*."""
+    image: Set[Triple] = set()
+    for triple in pattern.triples:
+        subject = valuation[triple.subject.name]
+        obj = valuation[triple.obj.name]
+        assert is_entity_ref(subject)
+        image.add(Triple(subject, triple.predicate, obj))
+    return image
+
+
+def coincides(
+    pattern: GraphPattern,
+    valuation1: Valuation,
+    valuation2: Valuation,
+    eq: Optional[EquivalenceRelation] = None,
+) -> bool:
+    """Do the matches under *valuation1* and *valuation2* coincide?
+
+    Implements ``S1(e1) ≅Q S2(e2)`` (and its chase variant ``≅^Eq_Q`` when an
+    equivalence relation is supplied): entity variables other than ``x`` must
+    map to identified entities, value variables must map to equal values;
+    wildcards and the designated variable are unconstrained.
+    """
+    for node in pattern.nodes():
+        v1 = valuation1[node.name]
+        v2 = valuation2[node.name]
+        if node.kind is NodeKind.ENTITY_VAR:
+            assert is_entity_ref(v1) and is_entity_ref(v2)
+            if eq is None:
+                if v1 != v2:
+                    return False
+            elif not eq.identified(v1, v2):
+                return False
+        elif node.kind is NodeKind.VALUE_VAR:
+            if v1 != v2:
+                return False
+        # DESIGNATED, WILDCARD: no constraint; CONSTANT: equal by construction.
+    return True
+
+
+def identify_pair_by_enumeration(
+    graph: Graph,
+    key: Key,
+    e1: str,
+    e2: str,
+    eq: Optional[EquivalenceRelation] = None,
+    restrict1: Optional[Set[GraphNode]] = None,
+    restrict2: Optional[Set[GraphNode]] = None,
+    work_counter: Optional[Dict[str, int]] = None,
+) -> bool:
+    """The naive per-pair check used by the ``EMVF2MR`` baseline.
+
+    Enumerates *all* matches of the key's pattern at ``e1`` and at ``e2``
+    (full VF2-style enumeration, no early termination) and then tests every
+    pair of matches for coincidence.
+    """
+    pattern = key.pattern
+    matches1 = find_matches(graph, pattern, e1, restrict=restrict1, work_counter=work_counter)
+    if not matches1:
+        return False
+    matches2 = find_matches(graph, pattern, e2, restrict=restrict2, work_counter=work_counter)
+    if not matches2:
+        return False
+    for val1, val2 in itertools.product(matches1, matches2):
+        if work_counter is not None:
+            work_counter["coincidence_checks"] = work_counter.get("coincidence_checks", 0) + 1
+        if coincides(pattern, val1, val2, eq=eq):
+            return True
+    return False
+
+
+def violations(graph: Graph, key: Key, limit: Optional[int] = None) -> List[Tuple[str, str]]:
+    """Pairs of *distinct* entities with coinciding matches of *key*.
+
+    These are the witnesses of ``G ⊭ Q(x)``: by the key's semantics each such
+    pair refers to the same real-world entity (one of the two is a duplicate).
+    """
+    pattern = key.pattern
+    found: List[Tuple[str, str]] = []
+    entities = graph.entities_of_type(key.target_type)
+    per_entity: Dict[str, List[Valuation]] = {}
+    for entity in entities:
+        per_entity[entity] = find_matches(graph, pattern, entity)
+    for e1, e2 in itertools.combinations(entities, 2):
+        for val1, val2 in itertools.product(per_entity[e1], per_entity[e2]):
+            if coincides(pattern, val1, val2):
+                found.append((e1, e2))
+                break
+        if limit is not None and len(found) >= limit:
+            return found
+    return found
+
+
+def satisfies(graph: Graph, key: Key) -> bool:
+    """``G |= Q(x)``: no two distinct entities are identified by the key."""
+    return not violations(graph, key, limit=1)

@@ -1,0 +1,124 @@
+"""d-neighbourhood extraction (Section 4.1).
+
+For an entity ``e`` and radius ``d`` (the maximum radius of the keys defined
+on ``e``'s type), the *d-neighbour* ``G^d`` of ``e`` is the subgraph of ``G``
+induced by the nodes within ``d`` hops of ``e``, ignoring edge direction.
+
+The data-locality property exploited by the algorithms is that
+``(G, Σ) |= (e1, e2)`` iff ``(G^d_1 ∪ G^d_2, Σ) |= (e1, e2)``, so the
+per-pair isomorphism checks never need the whole graph.  To avoid copying
+subgraphs for every candidate pair, the matching code usually works with
+*node sets* (:func:`d_neighborhood_nodes`) used as a restriction on the
+adjacency queries of the full graph; :func:`d_neighborhood_subgraph` builds
+an explicit induced subgraph when one is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from .graph import Graph
+from .key import KeySet
+from .triples import GraphNode
+
+
+def d_neighborhood_nodes(graph: Graph, entity: str, radius: int) -> Set[GraphNode]:
+    """Return the nodes within *radius* undirected hops of *entity*.
+
+    The entity itself is always included (radius 0).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    seen: Set[GraphNode] = {entity}
+    if radius == 0:
+        return seen
+    queue: deque[tuple[GraphNode, int]] = deque([(entity, 0)])
+    while queue:
+        node, depth = queue.popleft()
+        if depth == radius:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in seen:
+                seen.add(nbr)
+                queue.append((nbr, depth + 1))
+    return seen
+
+
+def d_neighborhood_subgraph(graph: Graph, entity: str, radius: int) -> Graph:
+    """Return the subgraph of *graph* induced by the d-neighbourhood of *entity*."""
+    return graph.induced_subgraph(d_neighborhood_nodes(graph, entity, radius))
+
+
+def radius_per_type(keys: KeySet) -> Dict[str, int]:
+    """The neighbourhood radius to use for each keyed type.
+
+    This is the maximum radius over the keys defined on the type, as in the
+    construction of ``G^d`` in Section 4.1.
+    """
+    return {etype: keys.max_radius_for_type(etype) for etype in keys.target_types()}
+
+
+class NeighborhoodIndex:
+    """A cache of d-neighbourhood node sets for the entities of keyed types.
+
+    Algorithm ``EMMR`` constructs d-neighbourhoods for all entities appearing
+    in the candidate set and caches them across rounds (the paper caches them
+    on worker disks, Haloop-style).  This index plays that role in-process,
+    and also reports the total and maximum neighbourhood sizes, which feed the
+    cost model and the optimization-effectiveness statistics.
+    """
+
+    def __init__(self, graph: Graph, keys: KeySet) -> None:
+        self._graph = graph
+        self._radius = radius_per_type(keys)
+        self._cache: Dict[str, Set[GraphNode]] = {}
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def radius_for(self, entity: str) -> int:
+        """The radius used for *entity* (0 when its type has no keys)."""
+        return self._radius.get(self._graph.entity_type(entity), 0)
+
+    def nodes(self, entity: str) -> Set[GraphNode]:
+        """The (cached) d-neighbourhood node set of *entity*."""
+        cached = self._cache.get(entity)
+        if cached is None:
+            cached = d_neighborhood_nodes(self._graph, entity, self.radius_for(entity))
+            self._cache[entity] = cached
+        return cached
+
+    def subgraph(self, entity: str) -> Graph:
+        """The explicit induced d-neighbourhood subgraph of *entity*."""
+        return self._graph.induced_subgraph(self.nodes(entity))
+
+    def restrict(self, entity: str, allowed: Set[GraphNode]) -> None:
+        """Shrink the cached neighbourhood of *entity* to ``allowed`` nodes.
+
+        Used by the optimization of Section 4.2 that reduces ``(G^d_1, G^d_2)``
+        to the nodes appearing in the maximum pairing relation.  The entity
+        itself is always kept.
+        """
+        current = self.nodes(entity)
+        self._cache[entity] = (current & allowed) | {entity}
+
+    def precompute(self, entities: Iterable[str]) -> None:
+        """Eagerly compute the neighbourhoods of *entities*."""
+        for entity in entities:
+            self.nodes(entity)
+
+    def total_size(self) -> int:
+        """Total number of nodes over all cached neighbourhoods."""
+        return sum(len(nodes) for nodes in self._cache.values())
+
+    def max_size(self) -> int:
+        """Size of the largest cached neighbourhood (``|G^d_m|``)."""
+        return max((len(nodes) for nodes in self._cache.values()), default=0)
+
+    def cached_entities(self) -> Set[str]:
+        return set(self._cache.keys())
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,216 @@
+"""The pairing relation ``P^Q`` (Proposition 9) and its two uses.
+
+Pairing is a *necessary* condition for a candidate pair to be identified by a
+key: if ``(e1, e2)`` cannot be paired by any key of ``Σ`` then
+``(G, Σ) ⊭ (e1, e2)``.  The maximum pairing relation is computed by a
+simulation-style fixpoint in ``O(|Q|·|G^d_1|·|G^d_2|)`` time, which is far
+cheaper than isomorphism checking; the optimizations of Section 4.2 use it to
+
+1. filter the candidate set ``L`` (``EMOptMR`` / the product graph of ``EMVC``), and
+2. shrink the d-neighbourhoods to the nodes that appear in the relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .equivalence import EquivalenceRelation
+from .graph import Graph
+from .key import Key, KeySet
+from .pattern import GraphPattern, NodeKind, PatternNode
+from .triples import GraphNode, Literal, is_entity_ref
+
+#: ``P^Q`` grouped by pattern node: node name → set of (n1, n2) pairs.
+PairingRelation = Dict[str, Set[Tuple[GraphNode, GraphNode]]]
+
+
+@dataclass
+class PairingStatistics:
+    """Counters describing the pairing computation (for reports / ablations)."""
+
+    computed: int = 0
+    paired: int = 0
+    pruned: int = 0
+
+    def merge(self, other: "PairingStatistics") -> None:
+        self.computed += other.computed
+        self.paired += other.paired
+        self.pruned += other.pruned
+
+
+def _initial_candidates(
+    graph: Graph,
+    node: PatternNode,
+    nodes1: Set[GraphNode],
+    nodes2: Set[GraphNode],
+    e1: str,
+    e2: str,
+) -> Set[Tuple[GraphNode, GraphNode]]:
+    """Pairs satisfying condition (2a) of the pairing definition for *node*."""
+    if node.kind is NodeKind.DESIGNATED:
+        return {(e1, e2)}
+    if node.kind is NodeKind.CONSTANT:
+        literal = Literal(node.value)
+        if literal in nodes1 and literal in nodes2:
+            return {(literal, literal)}
+        return set()
+    if node.kind is NodeKind.VALUE_VAR:
+        values1 = {n for n in nodes1 if isinstance(n, Literal)}
+        values2 = {n for n in nodes2 if isinstance(n, Literal)}
+        return {(v, v) for v in values1 & values2}
+    # entity kinds (entity variable / wildcard): same declared type on both sides
+    etype = node.etype
+    ents1 = {
+        n
+        for n in nodes1
+        if is_entity_ref(n) and graph.has_entity(n) and graph.entity_type(n) == etype
+    }
+    ents2 = {
+        n
+        for n in nodes2
+        if is_entity_ref(n) and graph.has_entity(n) and graph.entity_type(n) == etype
+    }
+    return {(n1, n2) for n1 in ents1 for n2 in ents2}
+
+
+def _supported(
+    graph: Graph,
+    pair: Tuple[GraphNode, GraphNode],
+    node_name: str,
+    pattern: GraphPattern,
+    relation: PairingRelation,
+) -> bool:
+    """Condition (2b): every incident pattern triple has a supported image."""
+    n1, n2 = pair
+    for triple in pattern.adjacent_triples(node_name):
+        if triple.subject.name == node_name:
+            if not (is_entity_ref(n1) and is_entity_ref(n2)):
+                return False
+            targets = relation[triple.obj.name]
+            objs1 = graph.objects(n1, triple.predicate)
+            objs2 = graph.objects(n2, triple.predicate)
+            if not any(o1 in objs1 and o2 in objs2 for (o1, o2) in targets):
+                return False
+        if triple.obj.name == node_name:
+            sources = relation[triple.subject.name]
+            subs1 = graph.subjects(triple.predicate, n1)
+            subs2 = graph.subjects(triple.predicate, n2)
+            if not any(s1 in subs1 and s2 in subs2 for (s1, s2) in sources):
+                return False
+    return True
+
+
+def pairing_relation(
+    graph: Graph,
+    key: Key,
+    e1: str,
+    e2: str,
+    neighborhood1: Set[GraphNode],
+    neighborhood2: Set[GraphNode],
+) -> Optional[PairingRelation]:
+    """The maximum pairing relation of *key* at ``(e1, e2)``, or None.
+
+    Returns ``None`` when ``(e1, e2)`` cannot be paired by *key* (the
+    designated pair is pruned away by the fixpoint).
+    """
+    pattern = key.pattern
+    relation: PairingRelation = {
+        node.name: _initial_candidates(graph, node, neighborhood1, neighborhood2, e1, e2)
+        for node in pattern.nodes()
+    }
+    if not relation[pattern.designated.name]:
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for node in pattern.nodes():
+            survivors = {
+                pair
+                for pair in relation[node.name]
+                if _supported(graph, pair, node.name, pattern, relation)
+            }
+            if len(survivors) != len(relation[node.name]):
+                relation[node.name] = survivors
+                changed = True
+        if not relation[pattern.designated.name]:
+            return None
+    return relation
+
+
+def can_pair(
+    graph: Graph,
+    key: Key,
+    e1: str,
+    e2: str,
+    neighborhood1: Set[GraphNode],
+    neighborhood2: Set[GraphNode],
+) -> bool:
+    """True when ``(e1, e2)`` can be paired by *key* (necessary condition)."""
+    return (
+        pairing_relation(graph, key, e1, e2, neighborhood1, neighborhood2) is not None
+    )
+
+
+def can_pair_with_any(
+    graph: Graph,
+    keys: List[Key],
+    e1: str,
+    e2: str,
+    neighborhood1: Set[GraphNode],
+    neighborhood2: Set[GraphNode],
+) -> bool:
+    """True when some key of *keys* can pair ``(e1, e2)``."""
+    return any(
+        can_pair(graph, key, e1, e2, neighborhood1, neighborhood2) for key in keys
+    )
+
+
+def pairing_support_nodes(
+    relation: PairingRelation,
+) -> Tuple[Set[GraphNode], Set[GraphNode]]:
+    """The graph nodes appearing on each side of a pairing relation.
+
+    Used by the neighbourhood-reduction optimization: the d-neighbourhoods can
+    be restricted to these nodes without changing the outcome of the check.
+    """
+    side1: Set[GraphNode] = set()
+    side2: Set[GraphNode] = set()
+    for pairs in relation.values():
+        for n1, n2 in pairs:
+            side1.add(n1)
+            side2.add(n2)
+    return side1, side2
+
+
+def reduced_neighborhoods(
+    graph: Graph,
+    keys: List[Key],
+    e1: str,
+    e2: str,
+    neighborhood1: Set[GraphNode],
+    neighborhood2: Set[GraphNode],
+) -> Optional[Tuple[Set[GraphNode], Set[GraphNode]]]:
+    """Neighbourhoods reduced to pairing-supported nodes, over all keys.
+
+    Returns ``None`` when no key can pair ``(e1, e2)`` (the pair can be
+    dropped from ``L`` altogether); otherwise the union over keys of the
+    supported nodes on each side, always containing ``e1`` / ``e2``.
+    """
+    reduced1: Set[GraphNode] = set()
+    reduced2: Set[GraphNode] = set()
+    paired = False
+    for key in keys:
+        relation = pairing_relation(graph, key, e1, e2, neighborhood1, neighborhood2)
+        if relation is None:
+            continue
+        paired = True
+        side1, side2 = pairing_support_nodes(relation)
+        reduced1 |= side1
+        reduced2 |= side2
+    if not paired:
+        return None
+    reduced1.add(e1)
+    reduced2.add(e2)
+    return reduced1 & neighborhood1 | {e1}, reduced2 & neighborhood2 | {e2}

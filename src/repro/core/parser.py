@@ -1,0 +1,293 @@
+"""A small textual DSL for graphs and keys, with round-trip serialization.
+
+The DSL keeps examples, tests and the CLI readable; it is line-oriented and
+has two document kinds.
+
+Graph documents::
+
+    # entities are declared with their type, triples with -[predicate]->
+    entity alb1 : album
+    entity art1 : artist
+    alb1 -[name_of]-> "Anthology 2"
+    alb1 -[release_year]-> 1996
+    alb1 -[recorded_by]-> art1
+
+Key documents::
+
+    key Q1 for album:
+      x -[name_of]-> name*
+      x -[recorded_by]-> artist1:artist
+
+    key Q4 for company:
+      x -[name_of]-> name*
+      _p:company -[name_of]-> name*
+      _p:company -[parent_of]-> x
+      other:company -[parent_of]-> x
+
+Node syntax inside keys:
+
+* ``x`` — the designated variable (its type comes from the ``for`` clause);
+* ``name*`` — a value variable;
+* ``other:company`` — an entity variable named ``other`` of type ``company``;
+* ``_p:company`` — a wildcard named ``p`` of type ``company``;
+* ``"UK"``, ``1996``, ``3.14``, ``true`` — constants.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..exceptions import ParseError
+from .graph import Graph
+from .key import Key, KeySet
+from .pattern import (
+    GraphPattern,
+    NodeKind,
+    PatternNode,
+    PatternTriple,
+    constant,
+    designated,
+    entity_var,
+    value_var,
+    wildcard,
+)
+from .triples import GraphNode, Literal
+
+_ENTITY_RE = re.compile(r"^entity\s+(?P<eid>\S+)\s*:\s*(?P<etype>\S+)\s*$")
+_TRIPLE_RE = re.compile(
+    r"^(?P<subject>\S+)\s*-\[\s*(?P<predicate>[^\]\s]+)\s*\]->\s*(?P<object>.+?)\s*$"
+)
+_KEY_HEADER_RE = re.compile(r"^key\s+(?P<name>\S+)\s+for\s+(?P<etype>\S+)\s*:\s*$")
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-.]*$")
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``#`` comment, respecting a very small amount of quoting."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_scalar(token: str, line_no: int) -> object:
+    """Parse a constant scalar (string, number or boolean) from *token*."""
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise ParseError(f"cannot parse value {token!r}", line=line_no)
+
+
+def _format_scalar(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)
+
+
+# ---------------------------------------------------------------------- #
+# graphs
+# ---------------------------------------------------------------------- #
+
+
+def parse_graph(text: str) -> Graph:
+    """Parse a graph document into a :class:`Graph`."""
+    graph = Graph()
+    pending_triples: List[Tuple[int, str, str, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        entity_match = _ENTITY_RE.match(line)
+        if entity_match:
+            graph.add_entity(entity_match.group("eid"), entity_match.group("etype"))
+            continue
+        triple_match = _TRIPLE_RE.match(line)
+        if triple_match:
+            pending_triples.append(
+                (
+                    line_no,
+                    triple_match.group("subject"),
+                    triple_match.group("predicate"),
+                    triple_match.group("object"),
+                )
+            )
+            continue
+        raise ParseError(f"cannot parse graph line: {raw.strip()!r}", line=line_no)
+
+    for line_no, subject, predicate, obj_token in pending_triples:
+        if not graph.has_entity(subject):
+            raise ParseError(f"triple subject {subject!r} is not a declared entity", line=line_no)
+        obj: GraphNode
+        if graph.has_entity(obj_token):
+            obj = obj_token
+        elif _IDENTIFIER_RE.match(obj_token) and not obj_token.lower() in ("true", "false"):
+            raise ParseError(
+                f"triple object {obj_token!r} looks like an entity but was never declared",
+                line=line_no,
+            )
+        else:
+            obj = Literal(_parse_scalar(obj_token, line_no))
+        if isinstance(obj, Literal):
+            graph.add_value(subject, predicate, obj)
+        else:
+            graph.add_edge(subject, predicate, obj)
+    return graph
+
+
+def serialize_graph(graph: Graph) -> str:
+    """Serialize a graph back into the DSL (stable, sorted output)."""
+    lines: List[str] = []
+    for entity in sorted(graph.entities(), key=lambda e: e.eid):
+        lines.append(f"entity {entity.eid} : {entity.etype}")
+    for triple in sorted(graph.triples(), key=lambda t: (t.subject, t.predicate, repr(t.obj))):
+        if triple.object_is_value():
+            assert isinstance(triple.obj, Literal)
+            obj = _format_scalar(triple.obj.value)
+        else:
+            obj = str(triple.obj)
+        lines.append(f"{triple.subject} -[{triple.predicate}]-> {obj}")
+    return "\n".join(lines) + "\n"
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Load a graph document from *path*."""
+    return parse_graph(Path(path).read_text(encoding="utf-8"))
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> None:
+    """Write a graph document to *path*."""
+    Path(path).write_text(serialize_graph(graph), encoding="utf-8")
+
+
+# ---------------------------------------------------------------------- #
+# keys
+# ---------------------------------------------------------------------- #
+
+
+def _parse_pattern_node(
+    token: str, target_type: str, line_no: int
+) -> PatternNode:
+    """Parse a key-pattern node token (see module docstring for the syntax)."""
+    token = token.strip()
+    if token == "x":
+        return designated("x", target_type)
+    if token.endswith("*"):
+        name = token[:-1]
+        if not _IDENTIFIER_RE.match(name):
+            raise ParseError(f"bad value-variable name {token!r}", line=line_no)
+        return value_var(name)
+    if ":" in token:
+        name, _, etype = token.partition(":")
+        name = name.strip()
+        etype = etype.strip()
+        if not etype:
+            raise ParseError(f"missing type in pattern node {token!r}", line=line_no)
+        if name.startswith("_"):
+            bare = name[1:] or "w"
+            return wildcard(bare, etype)
+        if not _IDENTIFIER_RE.match(name):
+            raise ParseError(f"bad entity-variable name {token!r}", line=line_no)
+        return entity_var(name, etype)
+    if _IDENTIFIER_RE.match(token) and token.lower() not in ("true", "false"):
+        raise ParseError(
+            f"pattern node {token!r} is neither 'x', a value variable (name*), "
+            "a typed variable (name:type / _name:type) nor a constant",
+            line=line_no,
+        )
+    return constant(_parse_scalar(token, line_no))
+
+
+def parse_keys(text: str) -> KeySet:
+    """Parse a key document into a :class:`KeySet`."""
+    keys = KeySet()
+    current_name: Optional[str] = None
+    current_type: Optional[str] = None
+    current_triples: List[PatternTriple] = []
+    header_line = 0
+
+    def flush() -> None:
+        nonlocal current_name, current_type, current_triples
+        if current_name is None:
+            return
+        if not current_triples:
+            raise ParseError(
+                f"key {current_name!r} has no pattern triples", line=header_line
+            )
+        keys.add(Key(GraphPattern(current_triples, name=current_name), name=current_name))
+        current_name, current_type, current_triples = None, None, []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        header = _KEY_HEADER_RE.match(line)
+        if header:
+            flush()
+            current_name = header.group("name")
+            current_type = header.group("etype")
+            header_line = line_no
+            continue
+        triple_match = _TRIPLE_RE.match(line)
+        if triple_match:
+            if current_name is None or current_type is None:
+                raise ParseError("pattern triple outside of a key block", line=line_no)
+            subject = _parse_pattern_node(triple_match.group("subject"), current_type, line_no)
+            obj = _parse_pattern_node(triple_match.group("object"), current_type, line_no)
+            current_triples.append(
+                PatternTriple(subject, triple_match.group("predicate"), obj)
+            )
+            continue
+        raise ParseError(f"cannot parse key line: {raw.strip()!r}", line=line_no)
+    flush()
+    return keys
+
+
+def _format_pattern_node(node: PatternNode) -> str:
+    if node.kind is NodeKind.DESIGNATED:
+        return "x"
+    if node.kind is NodeKind.VALUE_VAR:
+        return f"{node.name}*"
+    if node.kind is NodeKind.ENTITY_VAR:
+        return f"{node.name}:{node.etype}"
+    if node.kind is NodeKind.WILDCARD:
+        return f"_{node.name}:{node.etype}"
+    return _format_scalar(node.value)
+
+
+def serialize_keys(keys: KeySet) -> str:
+    """Serialize a key set back into the DSL."""
+    blocks: List[str] = []
+    for key in keys:
+        lines = [f"key {key.name} for {key.target_type}:"]
+        for triple in key.pattern.triples:
+            subject = _format_pattern_node(triple.subject)
+            obj = _format_pattern_node(triple.obj)
+            lines.append(f"  {subject} -[{triple.predicate}]-> {obj}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def load_keys(path: Union[str, Path]) -> KeySet:
+    """Load a key document from *path*."""
+    return parse_keys(Path(path).read_text(encoding="utf-8"))
+
+
+def save_keys(keys: KeySet, path: Union[str, Path]) -> None:
+    """Write a key document to *path*."""
+    Path(path).write_text(serialize_keys(keys), encoding="utf-8")

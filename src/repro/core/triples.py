@@ -1,0 +1,110 @@
+"""Primitive data model: entities, literal values and triples.
+
+The paper models a graph ``G`` as a set of triples ``(s, p, o)`` where the
+subject ``s`` is always an entity, the predicate ``p`` is a label, and the
+object ``o`` is either an entity or a data value.  Entities carry a unique id
+and a type; values are compared by value equality, entities by node identity
+(their id).
+
+In this package:
+
+* entities are referenced by their string id; their type lives in
+  :class:`Entity` records held by the graph;
+* values are wrapped in :class:`Literal` so that a triple object is
+  unambiguously either an entity reference (a ``str``) or a value
+  (a ``Literal``), regardless of the Python type of the value itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Entity:
+    """An entity: a node with a unique id and a type from Θ."""
+
+    eid: str
+    etype: str
+
+    def __post_init__(self) -> None:
+        if not self.eid:
+            raise ValueError("entity id must be a non-empty string")
+        if not self.etype:
+            raise ValueError("entity type must be a non-empty string")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.eid}:{self.etype}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A data value from D.
+
+    Two literals are equal exactly when their wrapped values are equal, which
+    implements the paper's *value equality* (``d1 = d2``).  The wrapped value
+    must be hashable (strings, numbers, booleans, tuples...).
+    """
+
+    value: object
+
+    def __post_init__(self) -> None:
+        try:
+            hash(self.value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise TypeError(
+                f"literal values must be hashable, got {type(self.value).__name__}"
+            ) from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+#: A triple object is either an entity id (``str``) or a :class:`Literal`.
+GraphNode = Union[str, Literal]
+
+
+class Triple(NamedTuple):
+    """A triple ``(subject, predicate, object)``.
+
+    ``subject`` is an entity id, ``predicate`` a label from P, and ``obj``
+    either an entity id (``str``) or a :class:`Literal`.
+    """
+
+    subject: str
+    predicate: str
+    obj: GraphNode
+
+    def object_is_value(self) -> bool:
+        """Return ``True`` when the object of this triple is a data value."""
+        return isinstance(self.obj, Literal)
+
+    def object_is_entity(self) -> bool:
+        """Return ``True`` when the object of this triple is an entity."""
+        return isinstance(self.obj, str)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.subject}, {self.predicate}, {self.obj})"
+
+
+def is_literal(node: GraphNode) -> bool:
+    """Return ``True`` when *node* is a data value (a :class:`Literal`)."""
+    return isinstance(node, Literal)
+
+
+def is_entity_ref(node: GraphNode) -> bool:
+    """Return ``True`` when *node* is an entity reference (an entity id)."""
+    return isinstance(node, str)
+
+
+def as_object(value: object) -> GraphNode:
+    """Coerce *value* into a triple object.
+
+    Strings are ambiguous (they could be entity ids or string values), so this
+    helper treats plain strings as entity references and everything else as a
+    value; wrap strings in :class:`Literal` explicitly when they are values.
+    """
+    if isinstance(value, (str, Literal)):
+        return value
+    return Literal(value)

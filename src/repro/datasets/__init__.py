@@ -1,0 +1,61 @@
+"""Datasets: the paper's running examples, realistic synthetic stand-ins for
+the Google+ and DBpedia experiments, a schema-driven synthetic generator and
+the theory constructions used in the hardness results.
+"""
+
+from .business import (
+    address_dataset,
+    address_graph,
+    address_keys,
+    business_dataset,
+    business_graph,
+    business_keys,
+)
+from .circuits import (
+    MonotoneCircuit,
+    deep_and_chain,
+    encode_circuit,
+    expected_identified_pairs,
+    random_monotone_circuit,
+)
+from .domain_base import DomainDataset, DomainSpec, LevelSpec, LocatorSpec, build_domain_dataset, domain_keys
+from .keygen import generate_keys
+from .knowledge import fig7_keys, fusion_example_graph, knowledge_dataset, knowledge_keys
+from .music import music_dataset, music_graph, music_keys
+from .social import reconciliation_keys, social_dataset, social_keys
+from .synthetic import SyntheticConfig, SyntheticDataset, generate_synthetic, synthetic_dataset
+
+__all__ = [
+    "DomainDataset",
+    "DomainSpec",
+    "LevelSpec",
+    "LocatorSpec",
+    "MonotoneCircuit",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "address_dataset",
+    "address_graph",
+    "address_keys",
+    "build_domain_dataset",
+    "business_dataset",
+    "business_graph",
+    "business_keys",
+    "deep_and_chain",
+    "domain_keys",
+    "encode_circuit",
+    "expected_identified_pairs",
+    "fig7_keys",
+    "fusion_example_graph",
+    "generate_keys",
+    "generate_synthetic",
+    "knowledge_dataset",
+    "knowledge_keys",
+    "music_dataset",
+    "music_graph",
+    "music_keys",
+    "random_monotone_circuit",
+    "reconciliation_keys",
+    "social_dataset",
+    "social_keys",
+    "synthetic_dataset",
+]

@@ -1,0 +1,179 @@
+"""The business (company) example of the paper (Example 1, Fig. 1–2, G2) and
+the UK-address example (key ``Q6``).
+
+Graph ``G2`` records company mergers and splits around AT&T/SBC:
+
+* ``com1`` and ``com2`` are both called "AT&T"; ``com0`` (also "AT&T") is a
+  parent of both, and of ``com3`` ("SBC") — the split scenario;
+* ``com4`` and ``com5`` are both called "AT&T" and have parents
+  ``{com1, com3}`` and ``{com2, com3}`` respectively, with ``com3`` ("SBC")
+  shared — the merge scenario.
+
+The keys are:
+
+* ``Q4`` — a company merged from a same-named parent is identified by its
+  name and the *other* parent company (an entity variable);
+* ``Q5`` — a company split from a same-named parent is identified by its name
+  and another child company of that parent.
+
+Example 7 of the paper: the chase identifies ``(com4, com5)`` by ``Q4`` (the
+same-named parent is a wildcard, so no recursion is needed), and then
+``(com1, com2)`` by ``Q5``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    constant,
+    designated,
+    entity_var,
+    value_var,
+    wildcard,
+)
+
+#: Predicates used by the business / address examples.
+NAME_OF = "name_of"
+PARENT_OF = "parent_of"
+NATION_OF = "nation_of"
+ZIP_CODE = "zip_code"
+
+#: Entity types.
+COMPANY = "company"
+STREET = "street"
+
+
+def business_graph() -> Graph:
+    """Build the graph fragment ``G2`` of Fig. 2."""
+    graph = Graph()
+    for company in ("com0", "com1", "com2", "com3", "com4", "com5"):
+        graph.add_entity(company, COMPANY)
+
+    graph.add_value("com0", NAME_OF, "AT&T")
+    graph.add_value("com1", NAME_OF, "AT&T")
+    graph.add_value("com2", NAME_OF, "AT&T")
+    graph.add_value("com3", NAME_OF, "SBC")
+    graph.add_value("com4", NAME_OF, "AT&T")
+    graph.add_value("com5", NAME_OF, "AT&T")
+
+    # com0 split into com1, com2 and com3; com1/com2 and com3 are parents of
+    # com4/com5 (merge).  Example 7 identifies (com1, com2) by Q5 using com3
+    # as the shared "other child", so com3 must be a child of com0 as well.
+    graph.add_edge("com0", PARENT_OF, "com1")
+    graph.add_edge("com0", PARENT_OF, "com2")
+    graph.add_edge("com0", PARENT_OF, "com3")
+    graph.add_edge("com1", PARENT_OF, "com4")
+    graph.add_edge("com3", PARENT_OF, "com4")
+    graph.add_edge("com2", PARENT_OF, "com5")
+    graph.add_edge("com3", PARENT_OF, "com5")
+    return graph
+
+
+def key_q4() -> Key:
+    """``Q4``: identify a merged company by name and the other parent company."""
+    x = designated("x", COMPANY)
+    name = value_var("name")
+    same_named_parent = wildcard("p", COMPANY)
+    other_parent = entity_var("other_parent", COMPANY)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, name),
+            PatternTriple(same_named_parent, NAME_OF, name),
+            PatternTriple(same_named_parent, PARENT_OF, x),
+            PatternTriple(other_parent, PARENT_OF, x),
+        ],
+        name="Q4",
+    )
+    return Key(pattern, name="Q4")
+
+
+def key_q5() -> Key:
+    """``Q5``: identify a split company by name and another child company."""
+    x = designated("x", COMPANY)
+    name = value_var("name")
+    same_named_parent = wildcard("p", COMPANY)
+    other_child = entity_var("other_child", COMPANY)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, name),
+            PatternTriple(same_named_parent, NAME_OF, name),
+            PatternTriple(same_named_parent, PARENT_OF, x),
+            PatternTriple(same_named_parent, PARENT_OF, other_child),
+        ],
+        name="Q5",
+    )
+    return Key(pattern, name="Q5")
+
+
+def business_keys() -> KeySet:
+    """The key set ``Σ2 = {Q4, Q5}`` of Example 7."""
+    return KeySet([key_q4(), key_q5()])
+
+
+def business_dataset() -> Tuple[Graph, KeySet]:
+    """The (graph, keys) pair of the business example."""
+    return business_graph(), business_keys()
+
+
+#: Pairs the chase must identify on this dataset (Example 7 of the paper).
+EXPECTED_IDENTIFIED_PAIRS = frozenset({("com4", "com5"), ("com1", "com2")})
+
+
+# ---------------------------------------------------------------------- #
+# the UK address example (key Q6 of Fig. 1)
+# ---------------------------------------------------------------------- #
+
+
+def key_q6() -> Key:
+    """``Q6``: a street in the UK is identified by its zip code (constant condition)."""
+    x = designated("x", STREET)
+    nation = constant("UK", name="uk")
+    code = value_var("code")
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NATION_OF, nation),
+            PatternTriple(x, ZIP_CODE, code),
+        ],
+        name="Q6",
+    )
+    return Key(pattern, name="Q6")
+
+
+def address_graph() -> Graph:
+    """A small address graph: two UK streets share a zip code, two US streets do too."""
+    graph = Graph()
+    for street in ("st_uk_1", "st_uk_2", "st_uk_3", "st_us_1", "st_us_2"):
+        graph.add_entity(street, STREET)
+
+    graph.add_value("st_uk_1", NATION_OF, "UK")
+    graph.add_value("st_uk_2", NATION_OF, "UK")
+    graph.add_value("st_uk_3", NATION_OF, "UK")
+    graph.add_value("st_us_1", NATION_OF, "US")
+    graph.add_value("st_us_2", NATION_OF, "US")
+
+    graph.add_value("st_uk_1", ZIP_CODE, "EH8 9AB")
+    graph.add_value("st_uk_2", ZIP_CODE, "EH8 9AB")
+    graph.add_value("st_uk_3", ZIP_CODE, "G12 8QQ")
+    # the US streets share a zip code but Q6 does not apply to them
+    graph.add_value("st_us_1", ZIP_CODE, "94103")
+    graph.add_value("st_us_2", ZIP_CODE, "94103")
+    return graph
+
+
+def address_keys() -> KeySet:
+    """The key set containing only ``Q6``."""
+    return KeySet([key_q6()])
+
+
+def address_dataset() -> Tuple[Graph, KeySet]:
+    """The (graph, keys) pair of the address example."""
+    return address_graph(), address_keys()
+
+
+#: Only the UK streets sharing a zip code are identified.
+EXPECTED_ADDRESS_PAIRS = frozenset({("st_uk_1", "st_uk_2")})

@@ -1,0 +1,239 @@
+"""Monotone-circuit reduction: the construction behind Theorem 4.
+
+Theorem 4 shows that entity matching cannot be parallelised in logarithmic
+rounds by reducing the Monotone Circuit Value problem to it: for every gate
+``l`` of a monotone Boolean circuit there is a pair of entities ``(e_l, e'_l)``
+that is identified by the constructed keys iff the gate evaluates to true.
+
+This module implements that construction concretely:
+
+* every gate gets its own entity type and a pair of entities;
+* an **input** gate's pair shares a tag value iff the input is true, and a
+  value-based key identifies pairs of that type by the tag;
+* an **AND** gate's key has two entity variables — one per input — so its
+  pair is identified only after *both* input pairs are;
+* an **OR** gate has two keys, one per input.
+
+Besides serving as a test of the theory (the chase must agree with direct
+circuit evaluation), deep circuits are a convenient way to build workloads
+with very long dependency chains for the ``c``-sweep ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.equivalence import Pair, canonical_pair
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+)
+from ..exceptions import DatasetError
+
+#: Predicates of the circuit encoding.
+TAG_OF = "tag_of"
+INPUT_1 = "input_1"
+INPUT_2 = "input_2"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate of a monotone circuit."""
+
+    gate_id: str
+    kind: str  # "input", "and", "or"
+    inputs: Tuple[str, ...] = ()
+    value: Optional[bool] = None  # only for input gates
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("input", "and", "or"):
+            raise DatasetError(f"unknown gate kind {self.kind!r}")
+        if self.kind == "input":
+            if self.value is None:
+                raise DatasetError(f"input gate {self.gate_id!r} needs a value")
+            if self.inputs:
+                raise DatasetError(f"input gate {self.gate_id!r} must not have inputs")
+        else:
+            if len(self.inputs) != 2:
+                raise DatasetError(
+                    f"{self.kind} gate {self.gate_id!r} needs exactly two inputs"
+                )
+
+
+@dataclass
+class MonotoneCircuit:
+    """A monotone Boolean circuit given as a DAG of gates."""
+
+    gates: Dict[str, Gate] = field(default_factory=dict)
+    output: Optional[str] = None
+
+    def add_input(self, gate_id: str, value: bool) -> None:
+        self._add(Gate(gate_id, "input", value=value))
+
+    def add_and(self, gate_id: str, left: str, right: str) -> None:
+        self._add(Gate(gate_id, "and", inputs=(left, right)))
+
+    def add_or(self, gate_id: str, left: str, right: str) -> None:
+        self._add(Gate(gate_id, "or", inputs=(left, right)))
+
+    def set_output(self, gate_id: str) -> None:
+        if gate_id not in self.gates:
+            raise DatasetError(f"unknown output gate {gate_id!r}")
+        self.output = gate_id
+
+    def _add(self, gate: Gate) -> None:
+        if gate.gate_id in self.gates:
+            raise DatasetError(f"gate {gate.gate_id!r} already exists")
+        for dependency in gate.inputs:
+            if dependency not in self.gates:
+                raise DatasetError(
+                    f"gate {gate.gate_id!r} references unknown input {dependency!r}"
+                )
+        self.gates[gate.gate_id] = gate
+
+    def evaluate(self) -> Dict[str, bool]:
+        """Direct evaluation of every gate (the ground truth for tests)."""
+        values: Dict[str, bool] = {}
+
+        def value_of(gate_id: str) -> bool:
+            if gate_id in values:
+                return values[gate_id]
+            gate = self.gates[gate_id]
+            if gate.kind == "input":
+                result = bool(gate.value)
+            elif gate.kind == "and":
+                result = value_of(gate.inputs[0]) and value_of(gate.inputs[1])
+            else:
+                result = value_of(gate.inputs[0]) or value_of(gate.inputs[1])
+            values[gate_id] = result
+            return result
+
+        for gate_id in self.gates:
+            value_of(gate_id)
+        return values
+
+    def output_value(self) -> bool:
+        if self.output is None:
+            raise DatasetError("circuit has no output gate")
+        return self.evaluate()[self.output]
+
+
+def gate_type(gate_id: str) -> str:
+    """The entity type encoding *gate_id*."""
+    return f"gate_{gate_id}"
+
+
+def gate_pair(gate_id: str) -> Pair:
+    """The entity pair encoding *gate_id*."""
+    return (f"{gate_id}_a", f"{gate_id}_b")
+
+
+def encode_circuit(circuit: MonotoneCircuit) -> Tuple[Graph, KeySet]:
+    """The Theorem-4 construction: graph and keys encoding *circuit*."""
+    graph = Graph()
+    keys = KeySet()
+    for gate_id, gate in circuit.gates.items():
+        e_a, e_b = gate_pair(gate_id)
+        etype = gate_type(gate_id)
+        graph.add_entity(e_a, etype)
+        graph.add_entity(e_b, etype)
+        if gate.kind == "input":
+            graph.add_value(e_a, TAG_OF, f"tag_{gate_id}_a")
+            graph.add_value(
+                e_b, TAG_OF, f"tag_{gate_id}_a" if gate.value else f"tag_{gate_id}_b"
+            )
+            x = designated("x", etype)
+            pattern = GraphPattern(
+                [PatternTriple(x, TAG_OF, value_var("tag"))], name=f"key_{gate_id}"
+            )
+            keys.add(Key(pattern, name=f"key_{gate_id}"))
+        else:
+            left, right = gate.inputs
+            left_a, left_b = gate_pair(left)
+            right_a, right_b = gate_pair(right)
+            graph.add_edge(e_a, INPUT_1, left_a)
+            graph.add_edge(e_b, INPUT_1, left_b)
+            graph.add_edge(e_a, INPUT_2, right_a)
+            graph.add_edge(e_b, INPUT_2, right_b)
+            if gate.kind == "and":
+                x = designated("x", etype)
+                triples = [PatternTriple(x, INPUT_1, entity_var("l", gate_type(left)))]
+                if right != left:
+                    # a gate fed twice by the same input only needs one entity
+                    # variable (injectivity forbids mapping two variables to
+                    # the same entity, and AND(v, v) = v anyway)
+                    triples.append(
+                        PatternTriple(x, INPUT_2, entity_var("r", gate_type(right)))
+                    )
+                pattern = GraphPattern(triples, name=f"key_{gate_id}")
+                keys.add(Key(pattern, name=f"key_{gate_id}"))
+            else:  # OR: one key per distinct input
+                or_sources = [("l", INPUT_1, left)]
+                if right != left:
+                    or_sources.append(("r", INPUT_2, right))
+                for suffix, predicate, source in or_sources:
+                    x = designated("x", etype)
+                    pattern = GraphPattern(
+                        [PatternTriple(x, predicate, entity_var(suffix, gate_type(source)))],
+                        name=f"key_{gate_id}_{suffix}",
+                    )
+                    keys.add(Key(pattern, name=f"key_{gate_id}_{suffix}"))
+    return graph, keys
+
+
+def expected_identified_pairs(circuit: MonotoneCircuit) -> Set[Pair]:
+    """The pairs the chase must identify: one per gate that evaluates to true."""
+    values = circuit.evaluate()
+    return {
+        canonical_pair(*gate_pair(gate_id))
+        for gate_id, value in values.items()
+        if value
+    }
+
+
+def random_monotone_circuit(
+    num_inputs: int = 4, num_gates: int = 6, seed: int = 3
+) -> MonotoneCircuit:
+    """A random monotone circuit (used by property-based tests)."""
+    if num_inputs < 1 or num_gates < 1:
+        raise DatasetError("num_inputs and num_gates must be >= 1")
+    rng = random.Random(seed)
+    circuit = MonotoneCircuit()
+    gate_ids: List[str] = []
+    for index in range(num_inputs):
+        gate_id = f"in{index}"
+        circuit.add_input(gate_id, rng.random() < 0.5)
+        gate_ids.append(gate_id)
+    for index in range(num_gates):
+        gate_id = f"g{index}"
+        left, right = rng.choice(gate_ids), rng.choice(gate_ids)
+        if rng.random() < 0.5:
+            circuit.add_and(gate_id, left, right)
+        else:
+            circuit.add_or(gate_id, left, right)
+        gate_ids.append(gate_id)
+    circuit.set_output(gate_ids[-1])
+    return circuit
+
+
+def deep_and_chain(depth: int, value: bool = True) -> MonotoneCircuit:
+    """A chain of AND gates of the given depth (long dependency chains)."""
+    if depth < 1:
+        raise DatasetError("depth must be >= 1")
+    circuit = MonotoneCircuit()
+    circuit.add_input("in_a", value)
+    circuit.add_input("in_b", True)
+    previous = "in_a"
+    for level in range(depth):
+        gate_id = f"and{level}"
+        circuit.add_and(gate_id, previous, "in_b")
+        previous = gate_id
+    circuit.set_output(previous)
+    return circuit

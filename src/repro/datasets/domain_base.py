@@ -1,0 +1,272 @@
+"""Shared machinery for the domain-flavoured dataset generators.
+
+The Google+-like (:mod:`repro.datasets.social`) and DBpedia-like
+(:mod:`repro.datasets.knowledge`) generators both need the same ingredients
+the paper's experiments rely on:
+
+* a *chain* of entity types (e.g. ``user → university → city → region``)
+  whose keys are recursively defined along the chain — this realises the
+  dependency-chain length ``c`` of Exp-3;
+* a *locator path* of wildcard hops ending in a value — this realises the key
+  radius ``d`` of Exp-3;
+* planted duplicates at every chain level, where the duplicate of a level-i
+  entity references the duplicate of its level-(i+1) entity, so recursive
+  keys have real work to do;
+* extra domain-specific "flavour" edges (friendships, publications, …) that
+  no key mentions, providing the distractors that the pairing filter and the
+  neighbourhood reduction prune away.
+
+A :class:`DomainSpec` describes the domain; :func:`build_domain_dataset`
+produces the graph, keys and ground-truth planted pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.equivalence import Pair, canonical_pair
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+    wildcard,
+)
+from ..exceptions import DatasetError
+
+#: Predicate used for the "name" value of every domain entity.
+NAME_OF = "name_of"
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One level of a domain chain."""
+
+    etype: str
+    #: predicate linking this level to the next (ignored for the last level)
+    ref_predicate: str
+    #: how many entities this level has per scale unit
+    population: int
+
+
+@dataclass(frozen=True)
+class LocatorSpec:
+    """The locator path shared by all keys of a domain (controls the radius)."""
+
+    #: (predicate, wildcard entity type) per hop; length ``d − 1`` hops are used
+    hops: Tuple[Tuple[str, str], ...]
+    #: predicate of the final value
+    value_predicate: str
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A complete description of a domain-flavoured dataset."""
+
+    name: str
+    levels: Tuple[LevelSpec, ...]
+    locator: LocatorSpec
+    #: extra predicates used for flavour edges between random entities
+    flavour_predicates: Tuple[str, ...] = ()
+    flavour_edges_per_entity: float = 0.5
+
+    def max_chain_length(self) -> int:
+        return len(self.levels)
+
+    def max_radius(self) -> int:
+        return len(self.locator.hops) + 1
+
+
+@dataclass
+class DomainDataset:
+    """Graph, keys and ground truth of a generated domain dataset."""
+
+    name: str
+    graph: Graph
+    keys: KeySet
+    planted_pairs: Set[Pair] = field(default_factory=set)
+
+    def summary(self) -> Dict[str, int]:
+        summary = dict(self.graph.stats())
+        summary["keys"] = self.keys.cardinality
+        summary["planted_pairs"] = len(self.planted_pairs)
+        return summary
+
+
+# ---------------------------------------------------------------------- #
+# key construction
+# ---------------------------------------------------------------------- #
+
+
+def _locator_triples(spec: DomainSpec, radius: int, x) -> List[PatternTriple]:
+    triples: List[PatternTriple] = []
+    current = x
+    for hop_index in range(radius - 1):
+        predicate, wildcard_type = spec.locator.hops[hop_index]
+        nxt = wildcard(f"w{hop_index + 1}", wildcard_type)
+        triples.append(PatternTriple(current, predicate, nxt))
+        current = nxt
+    triples.append(PatternTriple(current, spec.locator.value_predicate, value_var("locator")))
+    return triples
+
+
+def domain_keys(spec: DomainSpec, chain_length: int, radius: int) -> KeySet:
+    """The keys of *spec* for the requested ``c`` and ``d``.
+
+    Level ``i < c`` gets a recursive key (name + locator + next-level entity
+    variable); level ``c`` gets a value-based key (name + locator).
+    """
+    if not 1 <= chain_length <= spec.max_chain_length():
+        raise DatasetError(
+            f"{spec.name}: chain_length must be in [1, {spec.max_chain_length()}], "
+            f"got {chain_length}"
+        )
+    if not 1 <= radius <= spec.max_radius():
+        raise DatasetError(
+            f"{spec.name}: radius must be in [1, {spec.max_radius()}], got {radius}"
+        )
+    keys = KeySet()
+    for index in range(chain_length):
+        level = spec.levels[index]
+        x = designated("x", level.etype)
+        triples = [PatternTriple(x, NAME_OF, value_var("name"))]
+        triples.extend(_locator_triples(spec, radius, x))
+        if index < chain_length - 1:
+            next_level = spec.levels[index + 1]
+            triples.append(
+                PatternTriple(x, level.ref_predicate, entity_var("nxt", next_level.etype))
+            )
+        name = f"{spec.name}_{level.etype}_key"
+        keys.add(Key(GraphPattern(triples, name=name), name=name))
+    return keys
+
+
+# ---------------------------------------------------------------------- #
+# graph construction
+# ---------------------------------------------------------------------- #
+
+
+def build_domain_dataset(
+    spec: DomainSpec,
+    chain_length: int = 2,
+    radius: int = 2,
+    scale: float = 1.0,
+    duplicate_fraction: float = 0.25,
+    seed: int = 11,
+    name_vocabulary: Optional[Callable[[str, int], str]] = None,
+) -> DomainDataset:
+    """Generate a domain dataset with planted duplicate entities.
+
+    ``name_vocabulary(etype, index)`` produces the display name of an entity;
+    duplicates reuse the name of their original so name-based keys can match.
+    """
+    if scale <= 0:
+        raise DatasetError("scale must be positive")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise DatasetError("duplicate_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph()
+    keys = domain_keys(spec, chain_length, radius)
+    planted: Set[Pair] = set()
+    vocabulary = name_vocabulary or (lambda etype, index: f"{etype} #{index}")
+
+    levels = spec.levels[:chain_length]
+    ids_per_level: List[List[str]] = []
+    duplicate_ids_per_level: List[Dict[int, str]] = []
+
+    # entities, names and locator paths
+    for level_index, level in enumerate(levels):
+        population = max(2, int(round(level.population * scale)))
+        num_duplicates = max(1, int(round(population * duplicate_fraction)))
+        ids: List[str] = []
+        duplicates: Dict[int, str] = {}
+        for index in range(population):
+            eid = f"{spec.name}_{level.etype}_{index}"
+            graph.add_entity(eid, level.etype)
+            graph.add_value(eid, NAME_OF, vocabulary(level.etype, index))
+            _attach_locator(graph, spec, radius, level.etype, index, eid, shared_with=None)
+            ids.append(eid)
+            if index < num_duplicates:
+                dup = f"{eid}_dup"
+                graph.add_entity(dup, level.etype)
+                graph.add_value(dup, NAME_OF, vocabulary(level.etype, index))
+                _attach_locator(graph, spec, radius, level.etype, index, dup, shared_with=eid)
+                duplicates[index] = dup
+                planted.add(canonical_pair(eid, dup))
+        ids_per_level.append(ids)
+        duplicate_ids_per_level.append(duplicates)
+
+    # chain edges; duplicates reference duplicates so dependencies are real
+    for level_index in range(len(levels) - 1):
+        level = levels[level_index]
+        next_ids = ids_per_level[level_index + 1]
+        next_duplicates = duplicate_ids_per_level[level_index + 1]
+        for index, eid in enumerate(ids_per_level[level_index]):
+            target_index = index % len(next_ids)
+            graph.add_edge(eid, level.ref_predicate, next_ids[target_index])
+            dup = duplicate_ids_per_level[level_index].get(index)
+            if dup is not None:
+                dup_target = next_duplicates.get(target_index)
+                if dup_target is None:
+                    # no duplicate exists downstream: reference the original,
+                    # the pair is then identifiable once (t, t) ∈ Eq trivially
+                    dup_target = next_ids[target_index]
+                graph.add_edge(dup, level.ref_predicate, dup_target)
+
+    _add_flavour_edges(graph, rng, spec, ids_per_level)
+    return DomainDataset(name=spec.name, graph=graph, keys=keys, planted_pairs=planted)
+
+
+def _attach_locator(
+    graph: Graph,
+    spec: DomainSpec,
+    radius: int,
+    etype: str,
+    index: int,
+    eid: str,
+    shared_with: Optional[str],
+) -> None:
+    """Attach the locator path (length ``radius``) to *eid*.
+
+    Duplicates (``shared_with`` set) link into the original's first hop entity
+    so both sides reach the same locator value.
+    """
+    if radius == 1:
+        graph.add_value(eid, spec.locator.value_predicate, f"{spec.name}_loc_{etype}_{index}")
+        return
+    previous = eid
+    for hop_index in range(radius - 1):
+        predicate, wildcard_type = spec.locator.hops[hop_index]
+        hop_id = f"{spec.name}_{etype}_{index}_hop{hop_index + 1}"
+        graph.add_entity(hop_id, wildcard_type)
+        graph.add_edge(previous, predicate, hop_id)
+        previous = hop_id
+        if shared_with is not None:
+            return  # the shared path continues from the original's hop entity
+    graph.add_value(previous, spec.locator.value_predicate, f"{spec.name}_loc_{etype}_{index}")
+
+
+def _add_flavour_edges(
+    graph: Graph,
+    rng: random.Random,
+    spec: DomainSpec,
+    ids_per_level: Sequence[Sequence[str]],
+) -> None:
+    """Random domain-flavour edges that no key mentions (distractors)."""
+    if not spec.flavour_predicates:
+        return
+    all_ids = [eid for ids in ids_per_level for eid in ids]
+    if len(all_ids) < 2:
+        return
+    num_edges = int(len(all_ids) * spec.flavour_edges_per_entity)
+    for _ in range(num_edges):
+        source = rng.choice(all_ids)
+        target = rng.choice(all_ids)
+        if source == target:
+            continue
+        graph.add_edge(source, rng.choice(list(spec.flavour_predicates)), target)

@@ -1,0 +1,124 @@
+"""Key generator controlled by radius ``d`` and dependency-chain length ``c``.
+
+The paper's synthetic experiments generate keys "for different types of
+entities in Θ, with values from D and predicates from P", controlled by the
+maximum radius ``d`` and the length ``c`` of the longest dependency chain
+(Exp-3).  This module builds such keys over the schema used by
+:mod:`repro.datasets.synthetic`:
+
+* keys are organised into *groups*; group ``g`` covers a chain of entity
+  types ``T{g}_1 → T{g}_2 → … → T{g}_c``;
+* the key for the last type of the chain is **value-based**: the entity is
+  identified by its name and by a *locator value* reachable through a path of
+  ``d − 1`` wildcards (so the key's radius is exactly ``d``);
+* the key for every other type is **recursively defined**: the entity is
+  identified by its name, the same locator path, and an entity variable of
+  the next type in the chain — giving a dependency chain of length ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+    wildcard,
+)
+
+#: Predicates shared by all synthetic groups.
+NAME_OF = "name_of"
+LOCATOR_OF = "locator_of"
+
+
+def chain_type(group: int, level: int) -> str:
+    """The entity type at *level* (1-based) of the chain of *group*."""
+    return f"T{group}_{level}"
+
+
+def aux_type(group: int, hop: int) -> str:
+    """The auxiliary (wildcard) entity type at *hop* of the locator path."""
+    return f"A{group}_{hop}"
+
+
+def ref_predicate(group: int) -> str:
+    """The predicate linking a chain type to the next one."""
+    return f"ref_{group}"
+
+
+def hop_predicate(group: int, hop: int) -> str:
+    """The predicate of the *hop*-th step of the locator path."""
+    return f"hop_{group}_{hop}"
+
+
+def _locator_triples(group: int, radius: int, x) -> List[PatternTriple]:
+    """The locator path: ``x → w1 → … → w(d−1) → locator*`` (radius = *radius*).
+
+    For radius 1 the locator value hangs directly off ``x``.
+    """
+    triples: List[PatternTriple] = []
+    current = x
+    for hop in range(1, radius):
+        nxt = wildcard(f"w{hop}", aux_type(group, hop))
+        triples.append(PatternTriple(current, hop_predicate(group, hop), nxt))
+        current = nxt
+    triples.append(PatternTriple(current, LOCATOR_OF, value_var("locator")))
+    return triples
+
+
+def value_based_key(group: int, level: int, radius: int) -> Key:
+    """The value-based key for ``T{group}_{level}`` with the given radius."""
+    if radius < 1:
+        raise ValueError(f"radius must be >= 1, got {radius}")
+    x = designated("x", chain_type(group, level))
+    triples = [PatternTriple(x, NAME_OF, value_var("name"))]
+    triples.extend(_locator_triples(group, radius, x))
+    name = f"K{group}_{level}"
+    return Key(GraphPattern(triples, name=name), name=name)
+
+
+def recursive_key(group: int, level: int, radius: int) -> Key:
+    """The recursive key for ``T{group}_{level}``: depends on the next chain type."""
+    if radius < 1:
+        raise ValueError(f"radius must be >= 1, got {radius}")
+    x = designated("x", chain_type(group, level))
+    next_entity = entity_var("nxt", chain_type(group, level + 1))
+    triples = [
+        PatternTriple(x, NAME_OF, value_var("name")),
+        PatternTriple(x, ref_predicate(group), next_entity),
+    ]
+    triples.extend(_locator_triples(group, radius, x))
+    name = f"K{group}_{level}"
+    return Key(GraphPattern(triples, name=name), name=name)
+
+
+def group_keys(group: int, chain_length: int, radius: int) -> List[Key]:
+    """All keys of one group: ``chain_length`` keys forming a dependency chain."""
+    if chain_length < 1:
+        raise ValueError(f"chain_length must be >= 1, got {chain_length}")
+    keys: List[Key] = []
+    for level in range(1, chain_length):
+        keys.append(recursive_key(group, level, radius))
+    keys.append(value_based_key(group, chain_length, radius))
+    return keys
+
+
+def generate_keys(num_keys: int, chain_length: int = 2, radius: int = 2) -> KeySet:
+    """Generate approximately *num_keys* keys with the requested ``c`` and ``d``.
+
+    Keys come in groups of ``chain_length``; the number of groups is chosen so
+    that at least *num_keys* keys are produced (the paper's 30 / 100 / 500 key
+    workloads map to the corresponding number of groups).
+    """
+    if num_keys < 1:
+        raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+    keys = KeySet()
+    groups = max(1, (num_keys + chain_length - 1) // chain_length)
+    for group in range(groups):
+        for key in group_keys(group, chain_length, radius):
+            keys.add(key)
+    return keys

@@ -1,0 +1,252 @@
+"""A DBpedia-like knowledge base (the "DBpedia" workload).
+
+The paper's DBpedia workload is the 2014 dump (4.3M nodes, 40.3M links,
+495 entity types) with 100 constructed keys, three of which are shown in
+Fig. 7: a book identified by its name, cover artist and publisher; a company
+identified by its name, its CEO's name and its parent company; an artist
+identified by its name, birth date and birth place.  The dump is too large
+for a pure-Python isomorphism engine, so this module generates a
+laptop-scale knowledge base with the same shape:
+
+* a chain of entity types ``book → artist → location → country → continent``
+  walked by recursively defined keys (the ``c`` knob);
+* a provenance/locator path ending in a catalogue identifier (the ``d`` knob);
+* flavour edges (citations, influences, awards) that no key mentions;
+* planted duplicate entities at every level — the knowledge-fusion ground
+  truth.
+
+``knowledge_dataset(scale, chain_length, radius, seed)`` feeds the
+benchmarks; :func:`fig7_keys` provides hand-written keys mirroring Fig. 7 for
+the knowledge-fusion example.
+"""
+
+from __future__ import annotations
+
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+    wildcard,
+)
+from .domain_base import (
+    NAME_OF,
+    DomainDataset,
+    DomainSpec,
+    LevelSpec,
+    LocatorSpec,
+    build_domain_dataset,
+    domain_keys,
+)
+
+#: Entity types of the knowledge domain.
+BOOK = "book"
+ARTIST = "artist"
+COMPANY = "company"
+PERSON = "person"
+LOCATION = "location"
+COUNTRY = "country"
+CONTINENT = "continent"
+
+#: Predicates of the knowledge domain.
+COVER_ARTIST = "cover_artist"
+PUBLISHER = "publisher"
+PARENT_COMPANY = "parent_company"
+CEO = "ceo"
+BIRTH_PLACE = "birth_place"
+BIRTH_DATE = "birth_date"
+IN_COUNTRY = "in_country"
+ON_CONTINENT = "on_continent"
+CATALOGUE_ID = "catalogue_id"
+CITES = "cites"
+INFLUENCED = "influenced"
+AWARDED_WITH = "awarded_with"
+
+#: The knowledge domain: a 5-level chain and a 5-hop-capable locator path.
+KNOWLEDGE_SPEC = DomainSpec(
+    name="dbpedia",
+    levels=(
+        LevelSpec(BOOK, COVER_ARTIST, population=20),
+        LevelSpec(ARTIST, BIRTH_PLACE, population=14),
+        LevelSpec(LOCATION, IN_COUNTRY, population=10),
+        LevelSpec(COUNTRY, ON_CONTINENT, population=6),
+        LevelSpec(CONTINENT, "adjacent_to", population=3),
+    ),
+    locator=LocatorSpec(
+        hops=(
+            (BIRTH_PLACE, LOCATION),
+            (IN_COUNTRY, COUNTRY),
+            (ON_CONTINENT, CONTINENT),
+            ("adjacent_to", CONTINENT),
+        ),
+        value_predicate=CATALOGUE_ID,
+    ),
+    flavour_predicates=(CITES, INFLUENCED, AWARDED_WITH),
+    flavour_edges_per_entity=0.8,
+)
+
+
+def knowledge_dataset(
+    scale: float = 1.0,
+    chain_length: int = 2,
+    radius: int = 2,
+    duplicate_fraction: float = 0.25,
+    seed: int = 23,
+) -> DomainDataset:
+    """Generate the DBpedia-like workload (``c`` = chain_length, ``d`` = radius)."""
+    return build_domain_dataset(
+        KNOWLEDGE_SPEC,
+        chain_length=chain_length,
+        radius=radius,
+        scale=scale,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    )
+
+
+def knowledge_keys(chain_length: int = 2, radius: int = 2) -> KeySet:
+    """The generated key set used by :func:`knowledge_dataset`."""
+    return domain_keys(KNOWLEDGE_SPEC, chain_length, radius)
+
+
+# ---------------------------------------------------------------------- #
+# the three keys of Fig. 7, hand-written for the knowledge-fusion example
+# ---------------------------------------------------------------------- #
+
+
+def key_book_fig7() -> Key:
+    """A book is identified by its name, its cover artist and its publisher company."""
+    x = designated("x", BOOK)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name")),
+            PatternTriple(x, COVER_ARTIST, entity_var("artist", ARTIST)),
+            PatternTriple(x, PUBLISHER, entity_var("company", COMPANY)),
+        ],
+        name="book_by_artist_and_publisher",
+    )
+    return Key(pattern, name="book_by_artist_and_publisher")
+
+
+def key_company_fig7() -> Key:
+    """A company is identified by its name, its CEO's name and its parent company."""
+    x = designated("x", COMPANY)
+    ceo = wildcard("ceo", PERSON)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name1")),
+            PatternTriple(ceo, CEO, x),
+            PatternTriple(ceo, NAME_OF, value_var("name2")),
+            PatternTriple(x, PARENT_COMPANY, entity_var("parent", COMPANY)),
+        ],
+        name="company_by_ceo_and_parent",
+    )
+    return Key(pattern, name="company_by_ceo_and_parent")
+
+
+def key_artist_fig7() -> Key:
+    """An artist is identified by its name, birth date and (identified) birth place."""
+    x = designated("x", ARTIST)
+    place = entity_var("place", LOCATION)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name1")),
+            PatternTriple(x, BIRTH_DATE, value_var("date")),
+            PatternTriple(x, BIRTH_PLACE, place),
+            PatternTriple(place, NAME_OF, value_var("name2")),
+        ],
+        name="artist_by_birth",
+    )
+    return Key(pattern, name="artist_by_birth")
+
+
+def key_location_value_based() -> Key:
+    """A location is identified by its name and catalogue id (value-based anchor)."""
+    x = designated("x", LOCATION)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name")),
+            PatternTriple(x, CATALOGUE_ID, value_var("cat")),
+        ],
+        name="location_by_catalogue",
+    )
+    return Key(pattern, name="location_by_catalogue")
+
+
+def fig7_keys() -> KeySet:
+    """The Fig. 7 keys plus a value-based anchor key for locations."""
+    return KeySet(
+        [key_book_fig7(), key_company_fig7(), key_artist_fig7(), key_location_value_based()]
+    )
+
+
+def fusion_example_graph():
+    """A small hand-built knowledge-fusion scenario exercising the Fig. 7 keys.
+
+    Two sources contributed overlapping descriptions of the same artist, the
+    same birth place and the same book; the companies differ only by their
+    parent company.  Returns ``(graph, keys, expected_pairs)``.
+    """
+    from ..core.graph import Graph
+
+    graph = Graph()
+    # locations (duplicated across sources)
+    graph.add_entity("loc_edinburgh_a", LOCATION)
+    graph.add_entity("loc_edinburgh_b", LOCATION)
+    graph.add_entity("loc_glasgow", LOCATION)
+    for loc, name, cat in (
+        ("loc_edinburgh_a", "Edinburgh", "GB-EDH"),
+        ("loc_edinburgh_b", "Edinburgh", "GB-EDH"),
+        ("loc_glasgow", "Glasgow", "GB-GLG"),
+    ):
+        graph.add_value(loc, NAME_OF, name)
+        graph.add_value(loc, CATALOGUE_ID, cat)
+
+    # artists born there (duplicated across sources)
+    graph.add_entity("artist_a", ARTIST)
+    graph.add_entity("artist_b", ARTIST)
+    graph.add_entity("artist_other", ARTIST)
+    for artist, name, date, place in (
+        ("artist_a", "J. Painter", "1970-01-01", "loc_edinburgh_a"),
+        ("artist_b", "J. Painter", "1970-01-01", "loc_edinburgh_b"),
+        ("artist_other", "J. Painter", "1980-05-05", "loc_glasgow"),
+    ):
+        graph.add_value(artist, NAME_OF, name)
+        graph.add_value(artist, BIRTH_DATE, date)
+        graph.add_edge(artist, BIRTH_PLACE, place)
+
+    # publishers: same name, same CEO name, same parent → duplicates
+    graph.add_entity("pub_a", COMPANY)
+    graph.add_entity("pub_b", COMPANY)
+    graph.add_entity("pub_parent", COMPANY)
+    graph.add_entity("ceo_1", PERSON)
+    graph.add_entity("ceo_2", PERSON)
+    graph.add_value("pub_a", NAME_OF, "Old Town Press")
+    graph.add_value("pub_b", NAME_OF, "Old Town Press")
+    graph.add_value("pub_parent", NAME_OF, "Holding House")
+    graph.add_value("ceo_1", NAME_OF, "A. Chief")
+    graph.add_value("ceo_2", NAME_OF, "A. Chief")
+    graph.add_edge("ceo_1", CEO, "pub_a")
+    graph.add_edge("ceo_2", CEO, "pub_b")
+    graph.add_edge("pub_a", PARENT_COMPANY, "pub_parent")
+    graph.add_edge("pub_b", PARENT_COMPANY, "pub_parent")
+
+    # books by the duplicated artist at the duplicated publisher
+    graph.add_entity("book_a", BOOK)
+    graph.add_entity("book_b", BOOK)
+    graph.add_value("book_a", NAME_OF, "Views of the Castle")
+    graph.add_value("book_b", NAME_OF, "Views of the Castle")
+    graph.add_edge("book_a", COVER_ARTIST, "artist_a")
+    graph.add_edge("book_b", COVER_ARTIST, "artist_b")
+    graph.add_edge("book_a", PUBLISHER, "pub_a")
+    graph.add_edge("book_b", PUBLISHER, "pub_b")
+
+    expected = {
+        ("loc_edinburgh_a", "loc_edinburgh_b"),
+        ("artist_a", "artist_b"),
+        ("pub_a", "pub_b"),
+        ("book_a", "book_b"),
+    }
+    return graph, fig7_keys(), expected

@@ -1,0 +1,126 @@
+"""The music knowledge-graph example of the paper (Example 1, Fig. 1–2, G1).
+
+The graph ``G1`` contains three album entities and three artist entities:
+
+* ``alb1`` and ``alb2`` are both called "Anthology 2" and initially released
+  in 1996, but only ``alb1`` has a ``recorded_by`` edge (to ``art1``);
+* ``alb3`` is a different "Anthology 2" (by John Farnham, ``art3``);
+* ``art1`` and ``art2`` are both called "The Beatles"; ``art2`` recorded
+  ``alb2``.
+
+With the keys
+
+* ``Q1`` — an album is identified by its name and its recording artist,
+* ``Q2`` — an album is identified by its name and its year of initial release,
+* ``Q3`` — an artist is identified by its name and an album he or she recorded,
+
+the chase identifies ``(alb1, alb2)`` by ``Q2`` and then ``(art1, art2)`` by
+the recursively defined ``Q3`` (Example 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+)
+
+#: Predicates used by the music example.
+NAME_OF = "name_of"
+RELEASE_YEAR = "release_year"
+RECORDED_BY = "recorded_by"
+
+#: Entity types used by the music example.
+ALBUM = "album"
+ARTIST = "artist"
+
+
+def music_graph() -> Graph:
+    """Build the graph fragment ``G1`` of Fig. 2."""
+    graph = Graph()
+    for album in ("alb1", "alb2", "alb3"):
+        graph.add_entity(album, ALBUM)
+    for artist in ("art1", "art2", "art3"):
+        graph.add_entity(artist, ARTIST)
+
+    graph.add_value("alb1", NAME_OF, "Anthology 2")
+    graph.add_value("alb2", NAME_OF, "Anthology 2")
+    graph.add_value("alb3", NAME_OF, "Anthology 2")
+    graph.add_value("alb1", RELEASE_YEAR, "1996")
+    graph.add_value("alb2", RELEASE_YEAR, "1996")
+    graph.add_value("alb3", RELEASE_YEAR, "1997")
+
+    graph.add_value("art1", NAME_OF, "The Beatles")
+    graph.add_value("art2", NAME_OF, "The Beatles")
+    graph.add_value("art3", NAME_OF, "John Farnham")
+
+    graph.add_edge("alb1", RECORDED_BY, "art1")
+    graph.add_edge("alb2", RECORDED_BY, "art2")
+    graph.add_edge("alb3", RECORDED_BY, "art3")
+    return graph
+
+
+def key_q1() -> Key:
+    """``Q1``: an album is identified by its name and its recording artist."""
+    x = designated("x", ALBUM)
+    name = value_var("name")
+    artist = entity_var("artist1", ARTIST)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, name),
+            PatternTriple(x, RECORDED_BY, artist),
+        ],
+        name="Q1",
+    )
+    return Key(pattern, name="Q1")
+
+
+def key_q2() -> Key:
+    """``Q2``: an album is identified by its name and release year (value-based)."""
+    x = designated("x", ALBUM)
+    name = value_var("name")
+    year = value_var("year")
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, name),
+            PatternTriple(x, RELEASE_YEAR, year),
+        ],
+        name="Q2",
+    )
+    return Key(pattern, name="Q2")
+
+
+def key_q3() -> Key:
+    """``Q3``: an artist is identified by its name and an album it recorded."""
+    x = designated("x", ARTIST)
+    name = value_var("name")
+    album = entity_var("album1", ALBUM)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, name),
+            PatternTriple(album, RECORDED_BY, x),
+        ],
+        name="Q3",
+    )
+    return Key(pattern, name="Q3")
+
+
+def music_keys() -> KeySet:
+    """The key set ``Σ1 = {Q1, Q2, Q3}`` of Example 7."""
+    return KeySet([key_q1(), key_q2(), key_q3()])
+
+
+def music_dataset() -> Tuple[Graph, KeySet]:
+    """The (graph, keys) pair of the music example."""
+    return music_graph(), music_keys()
+
+
+#: Pairs the chase must identify on this dataset (Example 7 of the paper).
+EXPECTED_IDENTIFIED_PAIRS = frozenset({("alb1", "alb2"), ("art1", "art2")})

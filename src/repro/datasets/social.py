@@ -1,0 +1,202 @@
+"""A Google+-like social-attribute network (the "Google" workload).
+
+The paper's Google workload is a snapshot of the Google+ social network
+(2.6M nodes, 17.5M relationship edges, 30 attribute-derived entity types)
+with 30 hand-constructed keys.  That snapshot is not redistributable and is
+far beyond a pure-Python isomorphism engine, so this module generates a
+laptop-scale social-attribute network with the same *shape*:
+
+* users attend universities, universities sit in cities, cities belong to
+  regions and countries (the chain that recursive keys walk);
+* every entity has a profile "locator" path (city → region → … → a postal
+  value) realising the key radius;
+* users also have friendship / follow / endorsement edges that no key
+  mentions (the distractors social networks are full of);
+* a fraction of entities are *duplicate accounts* — the ground truth for
+  social-network reconciliation (the paper's motivating application [28]).
+
+``social_dataset(scale, chain_length, radius, seed)`` is what the benchmarks
+use; ``reconciliation_keys()`` exposes a small hand-written key set in the
+spirit of the paper's examples for the quickstart / example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.key import Key, KeySet
+from ..core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+)
+from .domain_base import (
+    NAME_OF,
+    DomainDataset,
+    DomainSpec,
+    LevelSpec,
+    LocatorSpec,
+    build_domain_dataset,
+    domain_keys,
+)
+
+#: Entity types of the social domain.
+USER = "user"
+UNIVERSITY = "university"
+CITY = "city"
+REGION = "region"
+COUNTRY = "country"
+EMPLOYER = "employer"
+
+#: Predicates of the social domain.
+ATTENDS = "attends"
+LOCATED_IN = "located_in"
+IN_REGION = "in_region"
+IN_COUNTRY = "in_country"
+POSTAL_CODE = "postal_code"
+LIVES_IN = "lives_in"
+WORKS_AT = "works_at"
+FRIEND = "friend"
+FOLLOWS = "follows"
+ENDORSES = "endorses"
+
+#: The social domain: a 5-level chain and a 5-hop-capable locator path.
+SOCIAL_SPEC = DomainSpec(
+    name="google",
+    levels=(
+        LevelSpec(USER, ATTENDS, population=24),
+        LevelSpec(UNIVERSITY, LOCATED_IN, population=12),
+        LevelSpec(CITY, IN_REGION, population=8),
+        LevelSpec(REGION, IN_COUNTRY, population=6),
+        LevelSpec(COUNTRY, "borders", population=4),
+    ),
+    locator=LocatorSpec(
+        hops=(
+            (LIVES_IN, CITY),
+            (IN_REGION, REGION),
+            (IN_COUNTRY, COUNTRY),
+            ("borders", COUNTRY),
+        ),
+        value_predicate=POSTAL_CODE,
+    ),
+    flavour_predicates=(FRIEND, FOLLOWS, ENDORSES),
+    flavour_edges_per_entity=1.0,
+)
+
+_FIRST_NAMES = (
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "Tim",
+    "Radia", "Vint", "Margaret", "John", "Frances", "Ken", "Dennis", "Niklaus",
+)
+_SURNAMES = (
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Lamport",
+    "Berners-Lee", "Perlman", "Cerf", "Hamilton", "Backus", "Allen", "Thompson",
+    "Ritchie", "Wirth",
+)
+
+
+def _social_names(etype: str, index: int) -> str:
+    """Human-flavoured display names (still injective per (etype, index))."""
+    if etype == USER:
+        first = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+        last = _SURNAMES[(index // len(_FIRST_NAMES)) % len(_SURNAMES)]
+        return f"{first} {last} {index}"
+    return f"{etype.title()} {index}"
+
+
+def social_dataset(
+    scale: float = 1.0,
+    chain_length: int = 2,
+    radius: int = 2,
+    duplicate_fraction: float = 0.25,
+    seed: int = 11,
+) -> DomainDataset:
+    """Generate the Google+-like workload.
+
+    ``chain_length`` and ``radius`` play the role of ``c`` and ``d`` in Exp-3;
+    ``scale`` is the |G| scale factor of Exp-2.
+    """
+    return build_domain_dataset(
+        SOCIAL_SPEC,
+        chain_length=chain_length,
+        radius=radius,
+        scale=scale,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+        name_vocabulary=_social_names,
+    )
+
+
+def social_keys(chain_length: int = 2, radius: int = 2) -> KeySet:
+    """The generated key set used by :func:`social_dataset`."""
+    return domain_keys(SOCIAL_SPEC, chain_length, radius)
+
+
+# ---------------------------------------------------------------------- #
+# hand-written reconciliation keys for the example scripts
+# ---------------------------------------------------------------------- #
+
+
+def key_user_by_profile() -> Key:
+    """A user account is identified by its display name and postal code."""
+    x = designated("x", USER)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name")),
+            PatternTriple(x, POSTAL_CODE, value_var("postal")),
+        ],
+        name="user_by_profile",
+    )
+    return Key(pattern, name="user_by_profile")
+
+
+def key_user_by_university() -> Key:
+    """A user account is identified by its display name and its (identified) university."""
+    x = designated("x", USER)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name")),
+            PatternTriple(x, ATTENDS, entity_var("uni", UNIVERSITY)),
+        ],
+        name="user_by_university",
+    )
+    return Key(pattern, name="user_by_university")
+
+
+def key_university_by_city() -> Key:
+    """A university is identified by its name and its (identified) city."""
+    x = designated("x", UNIVERSITY)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name")),
+            PatternTriple(x, LOCATED_IN, entity_var("city", CITY)),
+        ],
+        name="university_by_city",
+    )
+    return Key(pattern, name="university_by_city")
+
+
+def key_city_by_postal_code() -> Key:
+    """A city is identified by its name and postal code (value-based)."""
+    x = designated("x", CITY)
+    pattern = GraphPattern(
+        [
+            PatternTriple(x, NAME_OF, value_var("name")),
+            PatternTriple(x, POSTAL_CODE, value_var("postal")),
+        ],
+        name="city_by_postal_code",
+    )
+    return Key(pattern, name="city_by_postal_code")
+
+
+def reconciliation_keys() -> KeySet:
+    """A small, readable key set for the social-reconciliation example."""
+    return KeySet(
+        [
+            key_user_by_profile(),
+            key_user_by_university(),
+            key_university_by_city(),
+            key_city_by_postal_code(),
+        ]
+    )

@@ -1,0 +1,224 @@
+"""Schema-driven synthetic graph generator with planted duplicates.
+
+This is the laptop-scale counterpart of the paper's synthetic workload
+(graphs up to 100M nodes / 500M edges with 500 generated keys).  The
+generator is driven by the same knobs as the paper's experiments:
+
+* ``num_keys`` — how many keys to generate (grouped into dependency chains);
+* ``chain_length`` (``c``) — the length of the longest dependency chain;
+* ``radius`` (``d``) — the maximum key radius;
+* ``entities_per_type`` and ``duplicate_fraction`` — graph size and how many
+  duplicate entities are planted;
+* ``scale`` — a global multiplier used by the ``|G|`` sweep of Exp-2;
+* ``noise_edges`` — extra random edges that are irrelevant to every key, so
+  neighbourhoods contain distractors and the pairing filter has work to do.
+
+Planted duplicates are returned together with the graph, so tests and
+benchmarks can verify that entity matching finds exactly the planted pairs:
+the duplicate of a chain entity points to the duplicate of its successor, so
+identifying a level-``i`` pair requires the level-``i+1`` pair first — the
+dependency structure that makes the MapReduce round count grow with ``c``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..core.equivalence import Pair, canonical_pair
+from ..core.graph import Graph
+from ..core.key import KeySet
+from ..exceptions import DatasetError
+from .keygen import (
+    LOCATOR_OF,
+    NAME_OF,
+    aux_type,
+    chain_type,
+    generate_keys,
+    hop_predicate,
+    ref_predicate,
+)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Configuration of the synthetic generator."""
+
+    num_keys: int = 20
+    chain_length: int = 2
+    radius: int = 2
+    entities_per_type: int = 8
+    duplicate_fraction: float = 0.25
+    noise_edges: int = 2
+    scale: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.chain_length < 1:
+            raise DatasetError("chain_length must be >= 1")
+        if self.radius < 1:
+            raise DatasetError("radius must be >= 1")
+        if not 0.0 <= self.duplicate_fraction <= 1.0:
+            raise DatasetError("duplicate_fraction must be in [0, 1]")
+        if self.entities_per_type < 2:
+            raise DatasetError("entities_per_type must be >= 2")
+        if self.scale <= 0:
+            raise DatasetError("scale must be positive")
+
+    @property
+    def groups(self) -> int:
+        return max(1, (self.num_keys + self.chain_length - 1) // self.chain_length)
+
+    @property
+    def scaled_entities_per_type(self) -> int:
+        return max(2, int(round(self.entities_per_type * self.scale)))
+
+
+@dataclass
+class SyntheticDataset:
+    """The output of the generator: graph, keys and ground truth."""
+
+    graph: Graph
+    keys: KeySet
+    planted_pairs: Set[Pair] = field(default_factory=set)
+    config: SyntheticConfig = field(default_factory=SyntheticConfig)
+
+    def summary(self) -> Dict[str, int]:
+        summary = dict(self.graph.stats())
+        summary["keys"] = self.keys.cardinality
+        summary["planted_pairs"] = len(self.planted_pairs)
+        return summary
+
+
+def _entity_id(group: int, level: int, index: int, duplicate: bool = False) -> str:
+    suffix = "_dup" if duplicate else ""
+    return f"e{group}_{level}_{index}{suffix}"
+
+
+def generate_synthetic(config: SyntheticConfig = SyntheticConfig()) -> SyntheticDataset:
+    """Generate a synthetic dataset according to *config* (deterministic per seed)."""
+    rng = random.Random(config.seed)
+    graph = Graph()
+    keys = generate_keys(config.num_keys, config.chain_length, config.radius)
+    planted: Set[Pair] = set()
+
+    per_type = config.scaled_entities_per_type
+    num_duplicates = max(1, int(round(per_type * config.duplicate_fraction)))
+
+    for group in range(config.groups):
+        _generate_group(graph, rng, config, group, per_type, num_duplicates, planted)
+
+    _add_noise_edges(graph, rng, config)
+    return SyntheticDataset(graph=graph, keys=keys, planted_pairs=planted, config=config)
+
+
+def _generate_group(
+    graph: Graph,
+    rng: random.Random,
+    config: SyntheticConfig,
+    group: int,
+    per_type: int,
+    num_duplicates: int,
+    planted: Set[Pair],
+) -> None:
+    """Generate the entities, locator paths and duplicates of one key group."""
+    duplicate_indices = set(range(num_duplicates))
+
+    # chain entities (level 1 .. c), their names and locator paths
+    for level in range(1, config.chain_length + 1):
+        etype = chain_type(group, level)
+        for index in range(per_type):
+            eid = _entity_id(group, level, index)
+            graph.add_entity(eid, etype)
+            graph.add_value(eid, NAME_OF, f"name_{group}_{level}_{index}")
+            _attach_locator_path(graph, config, group, level, index, eid)
+            if index in duplicate_indices:
+                dup = _entity_id(group, level, index, duplicate=True)
+                graph.add_entity(dup, etype)
+                # same name and same locator path head → the value-based /
+                # recursive key conditions can coincide
+                graph.add_value(dup, NAME_OF, f"name_{group}_{level}_{index}")
+                _attach_locator_path(graph, config, group, level, index, dup, shared=True)
+                planted.add(canonical_pair(eid, dup))
+
+    # chain edges: level i → level i+1; duplicates point to duplicates so the
+    # recursive keys impose a genuine dependency chain
+    for level in range(1, config.chain_length):
+        predicate = ref_predicate(group)
+        for index in range(per_type):
+            source = _entity_id(group, level, index)
+            target = _entity_id(group, level + 1, index)
+            graph.add_edge(source, predicate, target)
+            if index in duplicate_indices:
+                dup_source = _entity_id(group, level, index, duplicate=True)
+                dup_target = _entity_id(group, level + 1, index, duplicate=True)
+                graph.add_edge(dup_source, predicate, dup_target)
+
+
+def _attach_locator_path(
+    graph: Graph,
+    config: SyntheticConfig,
+    group: int,
+    level: int,
+    index: int,
+    eid: str,
+    shared: bool = False,
+) -> None:
+    """Attach the radius-``d`` locator path to *eid*.
+
+    The path consists of ``d − 1`` auxiliary entities ending in a locator
+    value.  A duplicate entity (``shared=True``) re-uses the original's first
+    auxiliary entity (wildcards do not require distinct nodes), so the
+    coincidence conditions of the generated keys hold for planted pairs.
+    """
+    if config.radius == 1:
+        graph.add_value(eid, LOCATOR_OF, f"loc_{group}_{level}_{index}")
+        return
+    previous = eid
+    for hop in range(1, config.radius):
+        aux_id = f"aux_{group}_{level}_{index}_{hop}"
+        graph.add_entity(aux_id, aux_type(group, hop))
+        graph.add_edge(previous, hop_predicate(group, hop), aux_id)
+        previous = aux_id
+        if shared:
+            # the duplicate only needs its own edge into the shared path head
+            return
+    graph.add_value(previous, LOCATOR_OF, f"loc_{group}_{level}_{index}")
+
+
+def _add_noise_edges(graph: Graph, rng: random.Random, config: SyntheticConfig) -> None:
+    """Add random edges between chain entities that no key mentions."""
+    if config.noise_edges <= 0:
+        return
+    entity_ids = sorted(graph.entity_ids())
+    if len(entity_ids) < 2:
+        return
+    for index in range(config.noise_edges * config.groups):
+        source = rng.choice(entity_ids)
+        target = rng.choice(entity_ids)
+        if source == target:
+            continue
+        graph.add_edge(source, f"noise_{index % 5}", target)
+
+
+def synthetic_dataset(
+    num_keys: int = 20,
+    chain_length: int = 2,
+    radius: int = 2,
+    entities_per_type: int = 8,
+    duplicate_fraction: float = 0.25,
+    scale: float = 1.0,
+    seed: int = 7,
+) -> SyntheticDataset:
+    """Convenience wrapper around :func:`generate_synthetic`."""
+    config = SyntheticConfig(
+        num_keys=num_keys,
+        chain_length=chain_length,
+        radius=radius,
+        entities_per_type=entities_per_type,
+        duplicate_fraction=duplicate_fraction,
+        scale=scale,
+        seed=seed,
+    )
+    return generate_synthetic(config)

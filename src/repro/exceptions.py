@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries while still being able to
+distinguish graph-model errors from pattern/key errors, parser errors and
+runtime errors of the simulated execution substrates.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Problems with graph construction or graph queries."""
+
+
+class UnknownEntityError(GraphError):
+    """An entity id was referenced that does not exist in the graph."""
+
+    def __init__(self, entity_id: str):
+        super().__init__(f"unknown entity: {entity_id!r}")
+        self.entity_id = entity_id
+
+
+class DuplicateEntityError(GraphError):
+    """An entity id was added twice with conflicting types."""
+
+    def __init__(self, entity_id: str, existing_type: str, new_type: str):
+        super().__init__(
+            f"entity {entity_id!r} already exists with type {existing_type!r}; "
+            f"cannot re-add with type {new_type!r}"
+        )
+        self.entity_id = entity_id
+        self.existing_type = existing_type
+        self.new_type = new_type
+
+
+class PatternError(ReproError):
+    """Problems with graph-pattern construction or validation."""
+
+
+class KeyError_(PatternError):
+    """Problems with key construction or validation.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`; exported from the package as ``InvalidKeyError``.
+    """
+
+
+InvalidKeyError = KeyError_
+
+
+class ParseError(ReproError):
+    """Problems parsing the textual graph / key DSL."""
+
+    def __init__(self, message: str, line: int | None = None):
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class MatchingError(ReproError):
+    """Problems during entity matching (bad configuration, unknown algorithm)."""
+
+
+class ProofError(ReproError):
+    """A proof graph failed verification."""
+
+
+class MapReduceError(ReproError):
+    """Errors raised by the simulated MapReduce substrate."""
+
+
+class VertexCentricError(ReproError):
+    """Errors raised by the simulated vertex-centric substrate."""
+
+
+class DatasetError(ReproError):
+    """Errors raised by dataset generators."""

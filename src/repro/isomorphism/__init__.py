@@ -1,0 +1,20 @@
+"""From-scratch subgraph-isomorphism machinery (VF2-style matcher)."""
+
+from .state import MatchState, default_node_compatibility
+from .vf2 import (
+    VF2Matcher,
+    VF2Statistics,
+    brute_force_isomorphisms,
+    is_subgraph_isomorphic,
+    subgraph_isomorphisms,
+)
+
+__all__ = [
+    "MatchState",
+    "VF2Matcher",
+    "VF2Statistics",
+    "brute_force_isomorphisms",
+    "default_node_compatibility",
+    "is_subgraph_isomorphic",
+    "subgraph_isomorphisms",
+]

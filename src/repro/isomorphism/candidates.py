@@ -1,0 +1,89 @@
+"""Candidate generation and variable ordering for the VF2-style matcher.
+
+Good orderings matter far more than the core recursion: the matcher picks the
+next pattern node among those adjacent to already-mapped nodes, preferring
+rare labels (fewest candidates) first, which is the standard "most constrained
+variable" heuristic also used by TurboIso-style engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.graph import Graph
+from ..core.triples import GraphNode, Literal, is_entity_ref
+from .state import MatchState
+
+
+def initial_candidates(
+    pattern_graph: Graph, target_graph: Graph, pattern_node: GraphNode
+) -> Set[GraphNode]:
+    """All target nodes that could possibly match *pattern_node* (no context)."""
+    if isinstance(pattern_node, Literal):
+        return {pattern_node} if pattern_node in target_graph.value_nodes() else set()
+    etype = pattern_graph.entity_type(pattern_node)
+    return set(target_graph.entities_of_type(etype))
+
+
+def guided_candidates(state: MatchState, pattern_node: GraphNode) -> Set[GraphNode]:
+    """Target candidates for *pattern_node* derived from mapped neighbours.
+
+    When no neighbour of *pattern_node* is mapped yet the full label-based
+    candidate set is returned.
+    """
+    pattern_graph = state.pattern_graph
+    target_graph = state.target_graph
+    candidates: Optional[Set[GraphNode]] = None
+
+    if is_entity_ref(pattern_node):
+        for triple in pattern_graph.out_triples(pattern_node):
+            mapped_obj = state.forward.get(triple.obj)
+            if mapped_obj is None:
+                continue
+            found = set(target_graph.subjects(triple.predicate, mapped_obj))
+            candidates = found if candidates is None else candidates & found
+            if not candidates:
+                return set()
+    for triple in pattern_graph.in_triples(pattern_node):
+        mapped_subject = state.forward.get(triple.subject)
+        if mapped_subject is None:
+            continue
+        if not is_entity_ref(mapped_subject):
+            return set()
+        found = set(target_graph.objects(mapped_subject, triple.predicate))
+        candidates = found if candidates is None else candidates & found
+        if not candidates:
+            return set()
+
+    if candidates is None:
+        candidates = initial_candidates(pattern_graph, target_graph, pattern_node)
+    return candidates
+
+
+def next_pattern_node(state: MatchState) -> Optional[GraphNode]:
+    """The next unmapped pattern node to branch on (most constrained first)."""
+    pattern_graph = state.pattern_graph
+    unmapped = [
+        node
+        for node in _all_pattern_nodes(pattern_graph)
+        if not state.is_mapped(node)
+    ]
+    if not unmapped:
+        return None
+    # prefer nodes adjacent to the current partial mapping
+    adjacent = [n for n in unmapped if _touches_mapping(state, n)]
+    pool = adjacent if adjacent else unmapped
+    return min(pool, key=lambda n: (len(guided_candidates(state, n)), repr(n)))
+
+
+def _all_pattern_nodes(pattern_graph: Graph) -> List[GraphNode]:
+    nodes: List[GraphNode] = list(pattern_graph.entity_ids())
+    nodes.extend(sorted(pattern_graph.value_nodes(), key=repr))
+    return nodes
+
+
+def _touches_mapping(state: MatchState, pattern_node: GraphNode) -> bool:
+    for neighbor in state.pattern_graph.neighbors(pattern_node):
+        if state.is_mapped(neighbor):
+            return True
+    return False

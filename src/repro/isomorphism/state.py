@@ -1,0 +1,122 @@
+"""Search state for the VF2-style subgraph-isomorphism matcher.
+
+The state tracks a partial injective mapping from *pattern-graph* nodes to
+*target-graph* nodes together with the reverse mapping, and offers the
+feasibility checks of the VF2 family: semantic compatibility (labels/kinds)
+and syntactic consistency (every already-mapped neighbour must be connected
+in the same way in the target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from ..core.graph import Graph
+from ..core.triples import GraphNode, Literal, is_entity_ref
+
+#: Node-compatibility predicate: (pattern graph, pattern node, target graph, target node) -> bool
+NodeCompatibility = Callable[[Graph, GraphNode, Graph, GraphNode], bool]
+
+
+def default_node_compatibility(
+    pattern_graph: Graph, pattern_node: GraphNode, target_graph: Graph, target_node: GraphNode
+) -> bool:
+    """Entities map to entities of the same type; values map to equal values."""
+    if isinstance(pattern_node, Literal):
+        return isinstance(target_node, Literal) and pattern_node == target_node
+    if not is_entity_ref(target_node):
+        return False
+    return pattern_graph.entity_type(pattern_node) == target_graph.entity_type(target_node)
+
+
+@dataclass
+class MatchState:
+    """A partial injective mapping between two graphs' nodes."""
+
+    pattern_graph: Graph
+    target_graph: Graph
+    node_compatible: NodeCompatibility = default_node_compatibility
+    forward: Dict[GraphNode, GraphNode] = field(default_factory=dict)
+    backward: Dict[GraphNode, GraphNode] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # mapping manipulation
+    # ------------------------------------------------------------------ #
+
+    def is_mapped(self, pattern_node: GraphNode) -> bool:
+        return pattern_node in self.forward
+
+    def is_used(self, target_node: GraphNode) -> bool:
+        return target_node in self.backward
+
+    def add(self, pattern_node: GraphNode, target_node: GraphNode) -> None:
+        self.forward[pattern_node] = target_node
+        self.backward[target_node] = pattern_node
+
+    def remove(self, pattern_node: GraphNode) -> None:
+        target = self.forward.pop(pattern_node, None)
+        if target is not None:
+            self.backward.pop(target, None)
+
+    def __len__(self) -> int:
+        return len(self.forward)
+
+    def as_mapping(self) -> Dict[GraphNode, GraphNode]:
+        return dict(self.forward)
+
+    # ------------------------------------------------------------------ #
+    # feasibility
+    # ------------------------------------------------------------------ #
+
+    def feasible(self, pattern_node: GraphNode, target_node: GraphNode) -> bool:
+        """Can *pattern_node* be mapped to *target_node* in this state?"""
+        if self.is_mapped(pattern_node) or self.is_used(target_node):
+            return False
+        if not self.node_compatible(
+            self.pattern_graph, pattern_node, self.target_graph, target_node
+        ):
+            return False
+        return self._edges_consistent(pattern_node, target_node)
+
+    def _edges_consistent(self, pattern_node: GraphNode, target_node: GraphNode) -> bool:
+        """Every mapped neighbour of *pattern_node* must be mirrored in the target."""
+        if is_entity_ref(pattern_node):
+            for triple in self.pattern_graph.out_triples(pattern_node):
+                mapped_obj = self.forward.get(triple.obj)
+                if mapped_obj is None:
+                    continue
+                if not is_entity_ref(target_node):
+                    return False
+                if not self.target_graph.has_triple(
+                    target_node, triple.predicate, mapped_obj
+                ):
+                    return False
+        for triple in self.pattern_graph.in_triples(pattern_node):
+            mapped_subject = self.forward.get(triple.subject)
+            if mapped_subject is None:
+                continue
+            if not is_entity_ref(mapped_subject):
+                return False
+            if not self.target_graph.has_triple(
+                mapped_subject, triple.predicate, target_node
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # verification (used once a mapping is complete)
+    # ------------------------------------------------------------------ #
+
+    def covers_all_pattern_triples(self) -> bool:
+        """Does the (complete) mapping send every pattern triple into the target?"""
+        for triple in self.pattern_graph.triples():
+            subject = self.forward.get(triple.subject)
+            obj = self.forward.get(triple.obj)
+            if subject is None or obj is None:
+                return False
+            if not is_entity_ref(subject):
+                return False
+            if not self.target_graph.has_triple(subject, triple.predicate, obj):
+                return False
+        return True

@@ -1,0 +1,161 @@
+"""A from-scratch VF2-style subgraph-isomorphism matcher.
+
+This is the general-purpose matcher the paper's baseline ``EMVF2MR`` builds
+on: it enumerates *all* injective mappings from a pattern graph into a target
+graph (subgraph isomorphism, not induced), with pluggable node compatibility.
+It is deliberately independent from the key-specific guided evaluator of
+:mod:`repro.core.eval_guided`, and the test suite cross-checks the two (and a
+brute-force matcher) on small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..core.graph import Graph
+from ..core.triples import GraphNode
+from .candidates import guided_candidates, next_pattern_node
+from .state import MatchState, NodeCompatibility, default_node_compatibility
+
+#: A complete mapping from pattern nodes to target nodes.
+Mapping = Dict[GraphNode, GraphNode]
+
+
+@dataclass
+class VF2Statistics:
+    """Counters describing a matcher run (consumed by reports and benchmarks)."""
+
+    states_visited: int = 0
+    candidates_tried: int = 0
+    solutions: int = 0
+
+    def merge(self, other: "VF2Statistics") -> None:
+        self.states_visited += other.states_visited
+        self.candidates_tried += other.candidates_tried
+        self.solutions += other.solutions
+
+
+class VF2Matcher:
+    """Enumerates subgraph isomorphisms from ``pattern_graph`` into ``target_graph``."""
+
+    def __init__(
+        self,
+        pattern_graph: Graph,
+        target_graph: Graph,
+        node_compatible: NodeCompatibility = default_node_compatibility,
+        anchors: Optional[Mapping] = None,
+    ) -> None:
+        """``anchors`` optionally pre-maps pattern nodes to target nodes."""
+        self._pattern_graph = pattern_graph
+        self._target_graph = target_graph
+        self._node_compatible = node_compatible
+        self._anchors = dict(anchors or {})
+        self.stats = VF2Statistics()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def iter_mappings(self) -> Iterator[Mapping]:
+        """Yield every complete mapping (lazily)."""
+        state = MatchState(
+            self._pattern_graph, self._target_graph, self._node_compatible
+        )
+        for pattern_node, target_node in self._anchors.items():
+            if not state.feasible(pattern_node, target_node):
+                return
+            state.add(pattern_node, target_node)
+        yield from self._search(state)
+
+    def find_all(self, limit: Optional[int] = None) -> List[Mapping]:
+        """All mappings (optionally up to *limit*)."""
+        found: List[Mapping] = []
+        for mapping in self.iter_mappings():
+            found.append(mapping)
+            if limit is not None and len(found) >= limit:
+                break
+        return found
+
+    def exists(self) -> bool:
+        """True when at least one mapping exists."""
+        for _ in self.iter_mappings():
+            return True
+        return False
+
+    def count(self) -> int:
+        """The number of distinct mappings."""
+        return sum(1 for _ in self.iter_mappings())
+
+    # ------------------------------------------------------------------ #
+    # recursion
+    # ------------------------------------------------------------------ #
+
+    def _search(self, state: MatchState) -> Iterator[Mapping]:
+        self.stats.states_visited += 1
+        pattern_node = next_pattern_node(state)
+        if pattern_node is None:
+            if state.covers_all_pattern_triples():
+                self.stats.solutions += 1
+                yield state.as_mapping()
+            return
+        for candidate in sorted(guided_candidates(state, pattern_node), key=repr):
+            self.stats.candidates_tried += 1
+            if not state.feasible(pattern_node, candidate):
+                continue
+            state.add(pattern_node, candidate)
+            yield from self._search(state)
+            state.remove(pattern_node)
+
+
+def subgraph_isomorphisms(
+    pattern_graph: Graph,
+    target_graph: Graph,
+    anchors: Optional[Mapping] = None,
+    limit: Optional[int] = None,
+) -> List[Mapping]:
+    """Convenience wrapper: all subgraph isomorphisms of *pattern_graph* in *target_graph*."""
+    return VF2Matcher(pattern_graph, target_graph, anchors=anchors).find_all(limit=limit)
+
+
+def is_subgraph_isomorphic(
+    pattern_graph: Graph, target_graph: Graph, anchors: Optional[Mapping] = None
+) -> bool:
+    """True when *pattern_graph* embeds into *target_graph*."""
+    return VF2Matcher(pattern_graph, target_graph, anchors=anchors).exists()
+
+
+def brute_force_isomorphisms(
+    pattern_graph: Graph, target_graph: Graph
+) -> List[Mapping]:
+    """A tiny brute-force enumerator used to validate the VF2 matcher in tests.
+
+    Exponential in the number of pattern nodes; only use on very small graphs.
+    """
+    import itertools
+
+    pattern_nodes: List[GraphNode] = list(pattern_graph.entity_ids())
+    pattern_nodes.extend(sorted(pattern_graph.value_nodes(), key=repr))
+    target_nodes: List[GraphNode] = list(target_graph.entity_ids())
+    target_nodes.extend(sorted(target_graph.value_nodes(), key=repr))
+
+    found: List[Mapping] = []
+    for images in itertools.permutations(target_nodes, len(pattern_nodes)):
+        mapping = dict(zip(pattern_nodes, images))
+        if not all(
+            default_node_compatibility(pattern_graph, p, target_graph, t)
+            for p, t in mapping.items()
+        ):
+            continue
+        ok = True
+        for triple in pattern_graph.triples():
+            subject = mapping[triple.subject]
+            obj = mapping[triple.obj]
+            if not isinstance(subject, str) or not target_graph.has_triple(
+                subject, triple.predicate, obj
+            ):
+                ok = False
+                break
+        if ok:
+            found.append(mapping)
+    return found

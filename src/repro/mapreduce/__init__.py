@@ -1,0 +1,49 @@
+"""A simulated MapReduce substrate (Hadoop/Haloop stand-in).
+
+See DESIGN.md for the substitution rationale: the runtime executes map and
+reduce functions in-process, while a deterministic cost model converts the
+recorded per-task work, shuffle traffic, HDFS I/O and per-round barriers into
+simulated cluster seconds for a configurable number of processors.
+"""
+
+from .cost_model import (
+    DRIVER_OVERHEAD_SECONDS,
+    HDFS_RECORD_SECONDS,
+    ROUND_OVERHEAD_SECONDS,
+    SHUFFLE_RECORD_SECONDS,
+    WORK_UNIT_SECONDS,
+    MapReduceCostModel,
+    RoundCost,
+    spread_evenly,
+)
+from .haloop_cache import CacheStats, WorkerCache
+from .hdfs import HDFSStats, InMemoryHDFS
+from .runtime import (
+    FunctionMapper,
+    FunctionReducer,
+    JobResult,
+    MapReduceDriver,
+    MapReduceJob,
+    TaskContext,
+)
+
+__all__ = [
+    "CacheStats",
+    "DRIVER_OVERHEAD_SECONDS",
+    "FunctionMapper",
+    "FunctionReducer",
+    "HDFSStats",
+    "HDFS_RECORD_SECONDS",
+    "InMemoryHDFS",
+    "JobResult",
+    "MapReduceCostModel",
+    "MapReduceDriver",
+    "MapReduceJob",
+    "ROUND_OVERHEAD_SECONDS",
+    "RoundCost",
+    "SHUFFLE_RECORD_SECONDS",
+    "TaskContext",
+    "WORK_UNIT_SECONDS",
+    "WorkerCache",
+    "spread_evenly",
+]

@@ -1,0 +1,140 @@
+"""Deterministic cost model for the simulated MapReduce cluster.
+
+The experiments of the paper report wall-clock seconds on a Hadoop cluster of
+``p`` machines.  We cannot (and are not expected to) reproduce absolute EC2
+times; instead every simulated job reports the *work units* performed by each
+map and reduce task, and the cost model converts them into simulated seconds:
+
+* each round pays a fixed synchronization/startup overhead (the "blocking of
+  stragglers" and job-scheduling cost the paper attributes to MapReduce);
+* map and reduce phases cost the *maximum* per-worker work (the makespan —
+  workers run in parallel, a straggler holds up the barrier);
+* shuffled records and HDFS records cost I/O time that is divided across the
+  ``p`` workers.
+
+The constants below are calibrated so that the small laptop-scale datasets
+produce time series with the same *shape* as Figure 8: near-linear speedup in
+``p``, growth with ``|G|``, ``c`` and ``d``, and a MapReduce-vs-vertex-centric
+gap dominated by per-round overhead.  They are knobs of the simulation, not
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+#: Simulated seconds charged per work unit performed by a map/reduce task.
+WORK_UNIT_SECONDS = 5e-3
+#: Simulated seconds charged per record moved in the shuffle (network + sort).
+SHUFFLE_RECORD_SECONDS = 1e-3
+#: Simulated seconds charged per record read from / written to HDFS.
+HDFS_RECORD_SECONDS = 5e-4
+#: Fixed simulated seconds charged per MapReduce round (job setup + barrier).
+ROUND_OVERHEAD_SECONDS = 0.4
+#: Fixed simulated seconds charged once per job sequence (driver setup).
+DRIVER_OVERHEAD_SECONDS = 0.3
+
+
+@dataclass
+class RoundCost:
+    """Cost breakdown of a single MapReduce round."""
+
+    round_index: int
+    map_work_per_worker: List[int] = field(default_factory=list)
+    reduce_work_per_worker: List[int] = field(default_factory=list)
+    shuffled_records: int = 0
+    hdfs_records: int = 0
+
+    @property
+    def map_work(self) -> int:
+        return sum(self.map_work_per_worker)
+
+    @property
+    def reduce_work(self) -> int:
+        return sum(self.reduce_work_per_worker)
+
+    def simulated_seconds(self, processors: int) -> float:
+        """Simulated wall-clock seconds of this round on *processors* workers."""
+        processors = max(1, processors)
+        map_makespan = max(self.map_work_per_worker, default=0) * WORK_UNIT_SECONDS
+        reduce_makespan = max(self.reduce_work_per_worker, default=0) * WORK_UNIT_SECONDS
+        shuffle = self.shuffled_records * SHUFFLE_RECORD_SECONDS / processors
+        io = self.hdfs_records * HDFS_RECORD_SECONDS / processors
+        return ROUND_OVERHEAD_SECONDS + map_makespan + reduce_makespan + shuffle + io
+
+
+@dataclass
+class MapReduceCostModel:
+    """Accumulates per-round costs of a simulated MapReduce execution."""
+
+    processors: int
+    rounds: List[RoundCost] = field(default_factory=list)
+    setup_work: int = 0
+
+    def new_round(self) -> RoundCost:
+        cost = RoundCost(round_index=len(self.rounds))
+        self.rounds.append(cost)
+        return cost
+
+    def add_setup_work(self, work: int) -> None:
+        """Work performed by the driver's preprocessing jobs (L, d-neighbours)."""
+        self.setup_work += work
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_work(self) -> int:
+        return self.setup_work + sum(r.map_work + r.reduce_work for r in self.rounds)
+
+    @property
+    def total_shuffled(self) -> int:
+        return sum(r.shuffled_records for r in self.rounds)
+
+    @property
+    def total_hdfs_records(self) -> int:
+        return sum(r.hdfs_records for r in self.rounds)
+
+    def simulated_seconds(self) -> float:
+        """Total simulated wall-clock seconds of the execution."""
+        setup = (
+            DRIVER_OVERHEAD_SECONDS
+            + self.setup_work * WORK_UNIT_SECONDS / max(1, self.processors)
+        )
+        return setup + sum(r.simulated_seconds(self.processors) for r in self.rounds)
+
+    def breakdown(self) -> Dict[str, float]:
+        """A cost breakdown used by reports and by the ablation benchmarks."""
+        processors = max(1, self.processors)
+        return {
+            "rounds": float(self.num_rounds),
+            "setup_seconds": DRIVER_OVERHEAD_SECONDS
+            + self.setup_work * WORK_UNIT_SECONDS / processors,
+            "round_overhead_seconds": ROUND_OVERHEAD_SECONDS * self.num_rounds,
+            "compute_seconds": sum(
+                (max(r.map_work_per_worker, default=0) + max(r.reduce_work_per_worker, default=0))
+                * WORK_UNIT_SECONDS
+                for r in self.rounds
+            ),
+            "shuffle_seconds": self.total_shuffled * SHUFFLE_RECORD_SECONDS / processors,
+            "hdfs_seconds": self.total_hdfs_records * HDFS_RECORD_SECONDS / processors,
+            "total_seconds": self.simulated_seconds(),
+        }
+
+
+def spread_evenly(work_items: Sequence[int], processors: int) -> List[int]:
+    """Distribute per-item work over workers round-robin by descending size.
+
+    A simple longest-processing-time heuristic: the simulated scheduler
+    assigns each task to the currently least-loaded worker, which is how we
+    model Hadoop's task scheduling for the makespan computation.
+    """
+    processors = max(1, processors)
+    loads = [0] * processors
+    for work in sorted(work_items, reverse=True):
+        lightest = loads.index(min(loads))
+        loads[lightest] += work
+    return loads

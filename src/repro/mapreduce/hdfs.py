@@ -1,0 +1,99 @@
+"""An in-memory stand-in for HDFS used by the simulated MapReduce runtime.
+
+Algorithm ``EMMR`` keeps a "global variable" ``Eq`` in HDFS and reads/writes
+it every round; the driver also stages candidate pairs and d-neighbourhoods
+there.  The store is a named collection of record lists with read/write
+counters, so the cost model can charge the per-round I/O that the paper
+identifies as one of the two inherent costs of MapReduce (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..exceptions import MapReduceError
+
+
+@dataclass
+class HDFSStats:
+    """I/O counters of the simulated distributed file system."""
+
+    records_written: int = 0
+    records_read: int = 0
+    files_created: int = 0
+
+    def reset(self) -> None:
+        self.records_written = 0
+        self.records_read = 0
+        self.files_created = 0
+
+
+class InMemoryHDFS:
+    """A named record store with I/O accounting.
+
+    Files are append-only lists of arbitrary records; ``overwrite`` replaces a
+    file atomically (the way the driver refreshes the global ``Eq``).
+    """
+
+    def __init__(self) -> None:
+        self._files: Dict[str, List[object]] = {}
+        self.stats = HDFSStats()
+
+    # ------------------------------------------------------------------ #
+    # file operations
+    # ------------------------------------------------------------------ #
+
+    def create(self, name: str) -> None:
+        """Create an empty file (error when it already exists)."""
+        if name in self._files:
+            raise MapReduceError(f"HDFS file {name!r} already exists")
+        self._files[name] = []
+        self.stats.files_created += 1
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def append(self, name: str, records: Iterable[object]) -> int:
+        """Append *records* to *name* (creating it if needed); return count."""
+        bucket = self._files.setdefault(name, [])
+        count = 0
+        for record in records:
+            bucket.append(record)
+            count += 1
+        self.stats.records_written += count
+        return count
+
+    def overwrite(self, name: str, records: Iterable[object]) -> int:
+        """Replace the contents of *name* with *records*; return count."""
+        materialized = list(records)
+        self._files[name] = materialized
+        self.stats.records_written += len(materialized)
+        return len(materialized)
+
+    def read(self, name: str) -> List[object]:
+        """Read all records of *name* (error when missing)."""
+        if name not in self._files:
+            raise MapReduceError(f"HDFS file {name!r} does not exist")
+        records = list(self._files[name])
+        self.stats.records_read += len(records)
+        return records
+
+    def read_if_exists(self, name: str) -> List[object]:
+        """Read all records of *name*, or an empty list when missing."""
+        if name not in self._files:
+            return []
+        return self.read(name)
+
+    def size(self, name: str) -> int:
+        """Number of records in *name* (0 when missing); not charged as I/O."""
+        return len(self._files.get(name, ()))
+
+    def files(self) -> Iterator[str]:
+        return iter(self._files.keys())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._files

@@ -1,0 +1,230 @@
+"""The simulated MapReduce runtime: mappers, reducers, jobs and a driver.
+
+The runtime executes map and reduce functions in-process but mirrors the
+structure of a Hadoop job faithfully enough for the paper's purposes:
+
+* the input is a list of key/value pairs, split across ``p`` map tasks;
+* mappers emit intermediate key/value pairs via their context;
+* a shuffle groups the intermediate pairs by key and partitions the keys
+  across ``p`` reduce tasks;
+* reducers emit output key/value pairs.
+
+Every task reports *work units* (one per record by default, more when the
+user code calls ``context.add_work``), and each job adds a round to the
+:class:`~repro.mapreduce.cost_model.MapReduceCostModel`, which is how the
+benchmarks obtain simulated cluster seconds for a given number of processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from ..exceptions import MapReduceError
+from .cost_model import MapReduceCostModel, RoundCost
+from .haloop_cache import WorkerCache
+from .hdfs import InMemoryHDFS
+
+#: A key/value pair flowing through a job.
+KeyValue = Tuple[Hashable, object]
+
+
+class TaskContext:
+    """Execution context handed to map and reduce functions.
+
+    Collects emitted pairs and the work units reported by the user code.
+    Work defaults to one unit per processed record; computation-heavy code
+    (the isomorphism checks) adds its own work so the cost model reflects it.
+    """
+
+    def __init__(self, worker_id: int, cache: Optional[WorkerCache] = None) -> None:
+        self.worker_id = worker_id
+        self.emitted: List[KeyValue] = []
+        self.work = 0
+        self._cache = cache
+
+    def emit(self, key: Hashable, value: object) -> None:
+        """Emit an output key/value pair."""
+        self.emitted.append((key, value))
+
+    def add_work(self, units: int = 1) -> None:
+        """Report *units* of computational work to the cost model."""
+        if units < 0:
+            raise MapReduceError("work units must be non-negative")
+        self.work += units
+
+    def cached(self, name: str) -> object:
+        """Read invariant data cached on this worker (Haloop-style)."""
+        if self._cache is None:
+            raise MapReduceError("no worker cache attached to this job")
+        return self._cache.get(name)
+
+
+class Mapper(Protocol):
+    """A map function: ``map(key, value, context)``."""
+
+    def map(self, key: Hashable, value: object, context: TaskContext) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Reducer(Protocol):
+    """A reduce function: ``reduce(key, values, context)``."""
+
+    def reduce(self, key: Hashable, values: List[object], context: TaskContext) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class FunctionMapper:
+    """Adapt a plain function ``f(key, value, context)`` into a Mapper."""
+
+    def __init__(self, fn: Callable[[Hashable, object, TaskContext], None]) -> None:
+        self._fn = fn
+
+    def map(self, key: Hashable, value: object, context: TaskContext) -> None:
+        self._fn(key, value, context)
+
+
+class FunctionReducer:
+    """Adapt a plain function ``f(key, values, context)`` into a Reducer."""
+
+    def __init__(self, fn: Callable[[Hashable, List[object], TaskContext], None]) -> None:
+        self._fn = fn
+
+    def reduce(self, key: Hashable, values: List[object], context: TaskContext) -> None:
+        self._fn(key, values, context)
+
+
+@dataclass
+class JobResult:
+    """Output and accounting of one MapReduce job (one round)."""
+
+    output: List[KeyValue]
+    round_cost: RoundCost
+    map_emitted: int = 0
+
+    def grouped(self) -> Dict[Hashable, List[object]]:
+        """Output grouped by key (convenience for drivers)."""
+        grouped: Dict[Hashable, List[object]] = {}
+        for key, value in self.output:
+            grouped.setdefault(key, []).append(value)
+        return grouped
+
+
+def _partition(key: Hashable, num_workers: int) -> int:
+    """Deterministic hash partitioning of keys to workers."""
+    return hash(key) % num_workers if num_workers > 0 else 0
+
+
+class MapReduceJob:
+    """One map + shuffle + reduce execution on the simulated cluster."""
+
+    def __init__(
+        self,
+        mapper: Mapper,
+        reducer: Reducer,
+        num_workers: int,
+        cost_model: Optional[MapReduceCostModel] = None,
+        cache: Optional[WorkerCache] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
+        self._mapper = mapper
+        self._reducer = reducer
+        self._num_workers = num_workers
+        self._cost_model = cost_model
+        self._cache = cache
+
+    def run(self, input_pairs: Sequence[KeyValue]) -> JobResult:
+        """Execute the job on *input_pairs* and return its result."""
+        round_cost = (
+            self._cost_model.new_round()
+            if self._cost_model is not None
+            else RoundCost(round_index=0)
+        )
+
+        # ---- map phase ------------------------------------------------ #
+        map_splits: List[List[KeyValue]] = [[] for _ in range(self._num_workers)]
+        for key, value in input_pairs:
+            map_splits[_partition(key, self._num_workers)].append((key, value))
+
+        intermediate: List[KeyValue] = []
+        map_work: List[int] = []
+        for worker_id, split in enumerate(map_splits):
+            context = TaskContext(worker_id, self._cache)
+            for key, value in split:
+                context.add_work(1)
+                self._mapper.map(key, value, context)
+            intermediate.extend(context.emitted)
+            map_work.append(context.work)
+
+        # ---- shuffle --------------------------------------------------- #
+        grouped: Dict[Hashable, List[object]] = {}
+        for key, value in intermediate:
+            grouped.setdefault(key, []).append(value)
+        round_cost.shuffled_records += len(intermediate)
+
+        # ---- reduce phase ---------------------------------------------- #
+        reduce_splits: List[List[Tuple[Hashable, List[object]]]] = [
+            [] for _ in range(self._num_workers)
+        ]
+        for key in sorted(grouped.keys(), key=repr):
+            reduce_splits[_partition(key, self._num_workers)].append((key, grouped[key]))
+
+        output: List[KeyValue] = []
+        reduce_work: List[int] = []
+        for worker_id, split in enumerate(reduce_splits):
+            context = TaskContext(worker_id, self._cache)
+            for key, values in split:
+                context.add_work(len(values))
+                self._reducer.reduce(key, values, context)
+            output.extend(context.emitted)
+            reduce_work.append(context.work)
+
+        round_cost.map_work_per_worker = map_work
+        round_cost.reduce_work_per_worker = reduce_work
+        return JobResult(output=output, round_cost=round_cost, map_emitted=len(intermediate))
+
+
+class MapReduceDriver:
+    """A driver owning the cluster-wide pieces: HDFS, worker cache, cost model.
+
+    Iterative algorithms (``EMMR`` and friends) create one driver, then submit
+    a job per round via :meth:`run_job`, reading and writing HDFS in between
+    exactly like the paper's ``DriverMR``.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.hdfs = InMemoryHDFS()
+        self.cache = WorkerCache(num_workers)
+        self.cost_model = MapReduceCostModel(processors=num_workers)
+
+    def run_job(self, mapper: Mapper, reducer: Reducer, input_pairs: Sequence[KeyValue]) -> JobResult:
+        """Run one MapReduce round with the driver's shared state."""
+        job = MapReduceJob(
+            mapper,
+            reducer,
+            self.num_workers,
+            cost_model=self.cost_model,
+            cache=self.cache,
+        )
+        result = job.run(input_pairs)
+        # charge the HDFS traffic performed since the previous round
+        result.round_cost.hdfs_records += self._drain_hdfs_traffic()
+        return result
+
+    def _drain_hdfs_traffic(self) -> int:
+        stats = self.hdfs.stats
+        total = stats.records_read + stats.records_written
+        stats.reset()
+        return total
+
+    def charge_setup(self, work_units: int) -> None:
+        """Charge driver-side preprocessing work (candidate set, neighbourhoods)."""
+        self.cost_model.add_setup_work(work_units)
+
+    def simulated_seconds(self) -> float:
+        """Simulated cluster seconds of everything run through this driver."""
+        return self.cost_model.simulated_seconds()

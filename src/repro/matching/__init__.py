@@ -1,0 +1,129 @@
+"""Entity matching with keys: the paper's application (Sections 3–5).
+
+The high-level entry point is :func:`match_entities`, which dispatches to the
+sequential chase or to one of the parallel algorithms:
+
+=============  ==============================================================
+``chase``      sequential reference (Section 3)
+``EMMR``       MapReduce algorithm with the guided ``EvalMR`` check (Fig. 4)
+``EMVF2MR``    MapReduce baseline enumerating all matches (no early exit)
+``EMOptMR``    ``EMMR`` + pairing filter, reduced neighbourhoods, incremental
+               checking (Section 4.2)
+``EMVC``       vertex-centric asynchronous algorithm over the product graph
+``EMOptVC``    ``EMVC`` + bounded messages and prioritized propagation
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.chase import chase
+from ..core.graph import Graph
+from ..core.key import KeySet
+from ..exceptions import MatchingError
+from .candidates import CandidateSet, build_candidates, build_filtered_candidates, dependency_map
+from .em_mr import (
+    MapReduceEntityMatcher,
+    VF2MapReduceEntityMatcher,
+    em_mr,
+    em_vf2_mr,
+)
+from .em_mr_opt import OptimizedMapReduceEntityMatcher, em_mr_opt
+from .em_vc import (
+    DEFAULT_FANOUT,
+    OptimizedVertexCentricEntityMatcher,
+    VertexCentricEntityMatcher,
+    em_vc,
+    em_vc_opt,
+)
+from .eval_vc import EvalVCProgram, PairState
+from .product_graph import ProductGraph
+from .result import EMResult, EMStatistics
+from .traversal_order import TraversalStep, traversal_order, traversal_orders, tour_is_valid
+
+
+def chase_as_result(graph: Graph, keys: KeySet) -> EMResult:
+    """Run the sequential chase and wrap it in an :class:`EMResult`."""
+    outcome = chase(graph, keys)
+    stats = EMStatistics(
+        candidate_pairs=outcome.candidates,
+        processed_pairs=outcome.candidates,
+        directly_identified=len(outcome.steps),
+        identified_pairs=len(outcome.pairs()),
+        rounds=outcome.rounds,
+        checks=outcome.checks,
+        work_units=outcome.eval_stats.work,
+    )
+    return EMResult(
+        algorithm="chase",
+        processors=1,
+        eq=outcome.eq,
+        simulated_seconds=0.0,
+        stats=stats,
+    )
+
+
+#: Algorithm registry used by :func:`match_entities` and the CLI.
+ALGORITHMS = ("chase", "EMMR", "EMVF2MR", "EMOptMR", "EMVC", "EMOptVC")
+
+
+def match_entities(
+    graph: Graph,
+    keys: KeySet,
+    algorithm: str = "EMOptVC",
+    processors: int = 4,
+) -> EMResult:
+    """Compute ``chase(G, Σ)`` with the requested algorithm.
+
+    Raises :class:`~repro.exceptions.MatchingError` for unknown algorithm
+    names; names are case-insensitive.
+    """
+    canonical = {name.lower(): name for name in ALGORITHMS}
+    chosen = canonical.get(algorithm.lower())
+    if chosen is None:
+        raise MatchingError(
+            f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
+        )
+    if chosen == "chase":
+        return chase_as_result(graph, keys)
+    if chosen == "EMMR":
+        return em_mr(graph, keys, processors)
+    if chosen == "EMVF2MR":
+        return em_vf2_mr(graph, keys, processors)
+    if chosen == "EMOptMR":
+        return em_mr_opt(graph, keys, processors)
+    if chosen == "EMVC":
+        return em_vc(graph, keys, processors)
+    return em_vc_opt(graph, keys, processors)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "CandidateSet",
+    "DEFAULT_FANOUT",
+    "EMResult",
+    "EMStatistics",
+    "EvalVCProgram",
+    "MapReduceEntityMatcher",
+    "OptimizedMapReduceEntityMatcher",
+    "OptimizedVertexCentricEntityMatcher",
+    "PairState",
+    "ProductGraph",
+    "TraversalStep",
+    "VF2MapReduceEntityMatcher",
+    "VertexCentricEntityMatcher",
+    "build_candidates",
+    "build_filtered_candidates",
+    "chase_as_result",
+    "dependency_map",
+    "em_mr",
+    "em_mr_opt",
+    "em_vc",
+    "em_vc_opt",
+    "em_vf2_mr",
+    "match_entities",
+    "tour_is_valid",
+    "traversal_order",
+    "traversal_orders",
+]

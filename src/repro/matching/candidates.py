@@ -1,0 +1,157 @@
+"""Construction and filtering of the candidate set ``L``.
+
+``L`` contains every pair of same-type entities on which at least one key is
+defined; the optimized algorithms shrink it with the pairing relation of
+Proposition 9 (a cheap necessary condition) before any isomorphism check, and
+shrink the d-neighbourhoods to pairing-supported nodes at the same time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.chase import candidate_pairs
+from ..core.equivalence import Pair
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.neighborhood import NeighborhoodIndex
+from ..core.pairing import pairing_relation, pairing_support_nodes
+from ..core.triples import GraphNode
+
+
+@dataclass
+class CandidateSet:
+    """The candidate pairs to check, with the supporting neighbourhood index."""
+
+    pairs: List[Pair]
+    neighborhoods: NeighborhoodIndex
+    #: |L| before the pairing filter (for the optimization-effectiveness stats).
+    unfiltered_size: int = 0
+    #: total neighbourhood size before reduction (nodes).
+    unreduced_neighborhood_total: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+    def reduction_ratio(self) -> float:
+        """Fraction of candidate pairs removed by the pairing filter."""
+        if self.unfiltered_size == 0:
+            return 0.0
+        return 1.0 - (len(self.pairs) / self.unfiltered_size)
+
+    def neighborhood_reduction_factor(self) -> float:
+        """How many times smaller the reduced neighbourhoods are."""
+        reduced = self.neighborhoods.total_size()
+        if reduced == 0:
+            return 1.0
+        return self.unreduced_neighborhood_total / reduced
+
+
+def build_candidates(graph: Graph, keys: KeySet) -> CandidateSet:
+    """The unfiltered candidate set ``L`` with full d-neighbourhoods."""
+    pairs = candidate_pairs(graph, keys)
+    neighborhoods = NeighborhoodIndex(graph, keys)
+    involved = {e for pair in pairs for e in pair}
+    neighborhoods.precompute(involved)
+    total = neighborhoods.total_size()
+    return CandidateSet(
+        pairs=pairs,
+        neighborhoods=neighborhoods,
+        unfiltered_size=len(pairs),
+        unreduced_neighborhood_total=total,
+    )
+
+
+def build_filtered_candidates(
+    graph: Graph, keys: KeySet, reduce_neighborhoods: bool = True
+) -> CandidateSet:
+    """The candidate set after the pairing filter of Section 4.2.
+
+    Pairs that cannot be paired by any key are dropped (Proposition 9(a));
+    when *reduce_neighborhoods* is set, the d-neighbourhoods of surviving
+    pairs are shrunk to the union of pairing-supported nodes.
+    """
+    base = build_candidates(graph, keys)
+    neighborhoods = base.neighborhoods
+    keys_by_type: Dict[str, List[Key]] = {
+        etype: keys.keys_for_type(etype) for etype in keys.target_types()
+    }
+
+    surviving: List[Pair] = []
+    kept_nodes: Dict[str, Set[GraphNode]] = {}
+    for e1, e2 in base.pairs:
+        etype = graph.entity_type(e1)
+        nbhd1 = neighborhoods.nodes(e1)
+        nbhd2 = neighborhoods.nodes(e2)
+        side1: Set[GraphNode] = set()
+        side2: Set[GraphNode] = set()
+        paired = False
+        for key in keys_by_type.get(etype, ()):
+            relation = pairing_relation(graph, key, e1, e2, nbhd1, nbhd2)
+            if relation is None:
+                continue
+            paired = True
+            support1, support2 = pairing_support_nodes(relation)
+            side1 |= support1
+            side2 |= support2
+        if not paired:
+            continue
+        surviving.append((e1, e2))
+        if reduce_neighborhoods:
+            kept_nodes.setdefault(e1, set()).update(side1 | {e1})
+            kept_nodes.setdefault(e2, set()).update(side2 | {e2})
+
+    if reduce_neighborhoods:
+        for entity, allowed in kept_nodes.items():
+            neighborhoods.restrict(entity, allowed)
+
+    return CandidateSet(
+        pairs=surviving,
+        neighborhoods=neighborhoods,
+        unfiltered_size=base.unfiltered_size,
+        unreduced_neighborhood_total=base.unreduced_neighborhood_total,
+    )
+
+
+def dependency_map(
+    graph: Graph,
+    keys: KeySet,
+    candidates: CandidateSet,
+) -> Dict[Pair, Set[Pair]]:
+    """For each candidate pair, the candidate pairs that *depend on* it.
+
+    ``(e1, e2)`` depends on ``(e'1, e'2)`` when the latter lies in the
+    d-neighbourhoods of the former and has the type of an entity variable of a
+    recursive key defined on ``(e1, e2)`` (Section 4.2).  The result maps each
+    prerequisite pair to its dependents, which is the direction the
+    notifications flow in (``dep`` edges of the product graph).
+    """
+    depends_on_types: Dict[str, Set[str]] = {}
+    for etype in keys.target_types():
+        types: Set[str] = set()
+        for key in keys.keys_for_type(etype):
+            types |= key.depends_on_types()
+        depends_on_types[etype] = types
+
+    by_pair: Dict[Pair, Set[Pair]] = {pair: set() for pair in candidates.pairs}
+    candidate_index: Dict[str, List[Pair]] = {}
+    for pair in candidates.pairs:
+        etype = graph.entity_type(pair[0])
+        candidate_index.setdefault(etype, []).append(pair)
+
+    for dependent in candidates.pairs:
+        e1, e2 = dependent
+        wanted_types = depends_on_types.get(graph.entity_type(e1), set())
+        if not wanted_types:
+            continue
+        nbhd = candidates.neighborhoods.nodes(e1) | candidates.neighborhoods.nodes(e2)
+        for wanted in wanted_types:
+            for prerequisite in candidate_index.get(wanted, ()):
+                if prerequisite == dependent:
+                    continue
+                p1, p2 = prerequisite
+                if p1 in nbhd or p2 in nbhd:
+                    by_pair.setdefault(prerequisite, set()).add(dependent)
+    return by_pair

@@ -1,0 +1,233 @@
+"""``EMMR`` and ``EMVF2MR``: entity matching in (simulated) MapReduce
+(Section 4.1, Fig. 4).
+
+The driver builds the candidate set ``L`` and the d-neighbourhoods, caches
+them Haloop-style, stores the global ``Eq`` (here a union–find, which
+maintains the transitive closure the paper's reducer computes by joins) and
+then iterates MapReduce rounds until ``Eq`` stops changing:
+
+* **MapEM** — for each candidate pair, either confirm it from the previous
+  round's ``Eq`` snapshot or run the per-pair isomorphism check restricted to
+  the two d-neighbourhoods, and emit ``(entity, (e1, e2, flag))`` records;
+* **ReduceEM** — group by entity, merge newly identified pairs into the
+  global ``Eq`` (extending its transitive closure) and re-emit the still
+  unidentified pairs for the next round.
+
+``EMVF2MR`` is the same driver with the guided check replaced by full match
+enumeration (no early termination); ``EMOptMR`` (see
+:mod:`repro.matching.em_mr_opt`) adds the Section 4.2 optimizations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core.equivalence import EquivalenceRelation, Pair, canonical_pair
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..mapreduce.runtime import MapReduceDriver, TaskContext
+from .candidates import CandidateSet, build_candidates
+from .checkers import EnumerationChecker, GuidedChecker, PairChecker
+from .result import EMResult, EMStatistics
+
+#: mapper/reducer record: (e1, e2, identified?)
+PairRecord = Tuple[str, str, bool]
+
+
+class _MapEM:
+    """The ``MapEM`` function of Fig. 4 for one round."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        keys_by_type: Dict[str, List[Key]],
+        candidates: CandidateSet,
+        eq_snapshot: EquivalenceRelation,
+        checker: PairChecker,
+        pairs_to_check: Optional[Set[Pair]],
+    ) -> None:
+        self._graph = graph
+        self._keys_by_type = keys_by_type
+        self._candidates = candidates
+        self._eq = eq_snapshot
+        self._checker = checker
+        self._pairs_to_check = pairs_to_check
+        self.checks = 0
+
+    def map(self, key: Hashable, value: object, context: TaskContext) -> None:
+        e1, e2 = key  # type: ignore[misc]
+        already = bool(value) or self._eq.identified(e1, e2)
+        if already:
+            context.emit(e1, (e1, e2, True))
+            context.emit(e2, (e1, e2, True))
+            return
+        if self._pairs_to_check is not None and (e1, e2) not in self._pairs_to_check:
+            # incremental checking: nothing this pair depends on changed, so the
+            # expensive isomorphism check is skipped this round.
+            context.emit(e1, (e1, e2, False))
+            return
+        keys = self._keys_by_type.get(self._graph.entity_type(e1), [])
+        nbhd1 = self._candidates.neighborhoods.nodes(e1)
+        nbhd2 = self._candidates.neighborhoods.nodes(e2)
+        identified, work = self._checker.check(keys, e1, e2, self._eq, nbhd1, nbhd2)
+        self.checks += 1
+        context.add_work(work)
+        if identified:
+            context.emit(e1, (e1, e2, True))
+            context.emit(e2, (e1, e2, True))
+        else:
+            context.emit(e1, (e1, e2, False))
+
+
+class _ReduceEM:
+    """The ``ReduceEM`` function of Fig. 4 for one round.
+
+    The global ``Eq`` is a union–find shared with the driver; merging into it
+    plays the role of the paper's reducer-side transitive-closure joins (the
+    join work is still charged to the cost model via ``add_work``).
+    """
+
+    def __init__(self, eq: EquivalenceRelation) -> None:
+        self._eq = eq
+        self.newly_identified: Set[Pair] = set()
+
+    def reduce(self, key: Hashable, values: List[object], context: TaskContext) -> None:
+        unidentified: List[Pair] = []
+        for record in values:
+            e1, e2, flag = record  # type: ignore[misc]
+            pair = canonical_pair(e1, e2)
+            if flag:
+                if self._eq.merge(e1, e2):
+                    self.newly_identified.add(pair)
+                context.add_work(1)  # transitive-closure join work
+            else:
+                unidentified.append(pair)
+        for pair in unidentified:
+            if not self._eq.identified(*pair):
+                context.emit(pair, False)
+
+
+class MapReduceEntityMatcher:
+    """Base MapReduce entity matcher (= ``EMMR``)."""
+
+    algorithm_name = "EMMR"
+
+    def __init__(self, graph: Graph, keys: KeySet, processors: int = 4) -> None:
+        self.graph = graph
+        self.keys = keys
+        self.processors = processors
+
+    # -- extension points overridden by EMVF2MR / EMOptMR ---------------- #
+
+    def _build_candidates(self) -> CandidateSet:
+        return build_candidates(self.graph, self.keys)
+
+    def _make_checker(self) -> PairChecker:
+        return GuidedChecker(self.graph)
+
+    def _pairs_to_check(
+        self,
+        round_index: int,
+        pending: Sequence[Pair],
+        newly_identified: Set[Pair],
+        candidates: CandidateSet,
+    ) -> Optional[Set[Pair]]:
+        """Which pending pairs must run the isomorphism check this round.
+
+        ``None`` means "all of them" — the base algorithm re-checks every
+        pending pair every round (the redundant computation that the
+        incremental-checking optimization removes).
+        """
+        return None
+
+    # -- main driver loop ------------------------------------------------ #
+
+    def run(self) -> EMResult:
+        """Execute the algorithm and return its result."""
+        driver = MapReduceDriver(self.processors)
+        candidates = self._build_candidates()
+        checker = self._make_checker()
+        keys_by_type = {
+            etype: self.keys.keys_for_type(etype) for etype in self.keys.target_types()
+        }
+
+        # Driver-side preprocessing: candidate pairs + d-neighbourhood BFS,
+        # cached on the workers (Haloop-style) so rounds do not re-ship them.
+        neighborhood_total = candidates.neighborhoods.total_size()
+        driver.charge_setup(candidates.unfiltered_size + neighborhood_total)
+        driver.cache.put("neighborhoods", candidates.neighborhoods, records=neighborhood_total)
+        driver.cache.put("keys", self.keys, records=self.keys.size)
+
+        eq = EquivalenceRelation(self.graph.entity_ids())
+        driver.hdfs.overwrite("eq", [])
+
+        stats = EMStatistics(
+            candidate_pairs=candidates.unfiltered_size,
+            processed_pairs=candidates.size,
+            neighborhood_total=neighborhood_total,
+            neighborhood_max=candidates.neighborhoods.max_size(),
+        )
+
+        pending: List[Tuple[Pair, bool]] = [(pair, False) for pair in candidates.pairs]
+        newly_identified: Set[Pair] = set()
+        rounds = 0
+        while pending:
+            rounds += 1
+            eq_snapshot = eq.copy()
+            to_check = self._pairs_to_check(
+                rounds, [pair for pair, _ in pending], newly_identified, candidates
+            )
+            mapper = _MapEM(
+                self.graph, keys_by_type, candidates, eq_snapshot, checker, to_check
+            )
+            reducer = _ReduceEM(eq)
+            job = driver.run_job(mapper, reducer, pending)
+            driver.hdfs.overwrite("eq", sorted(eq.pairs()))
+            stats.checks += mapper.checks
+            stats.shuffled_records += job.map_emitted
+            newly_identified = set(reducer.newly_identified)
+            # pairs that joined Eq purely through transitivity also count as
+            # "newly identified" for dependency-based re-checking
+            for pair, _ in pending:
+                if pair not in newly_identified and not eq_snapshot.identified(*pair) and eq.identified(*pair):
+                    newly_identified.add(pair)
+            if not newly_identified:
+                break
+            pending = [
+                (pair, False)
+                for pair, _ in ((p, v) for p, v in (job.output))
+                if isinstance(pair, tuple) and not eq.identified(*pair)
+            ]
+
+        stats.rounds = rounds
+        stats.directly_identified = eq.merge_count
+        stats.identified_pairs = len(eq.pairs())
+        stats.work_units = driver.cost_model.total_work
+
+        return EMResult(
+            algorithm=self.algorithm_name,
+            processors=self.processors,
+            eq=eq,
+            simulated_seconds=driver.simulated_seconds(),
+            stats=stats,
+            cost_breakdown=driver.cost_model.breakdown(),
+        )
+
+
+class VF2MapReduceEntityMatcher(MapReduceEntityMatcher):
+    """``EMVF2MR``: the baseline that enumerates all matches per pair."""
+
+    algorithm_name = "EMVF2MR"
+
+    def _make_checker(self) -> PairChecker:
+        return EnumerationChecker(self.graph)
+
+
+def em_mr(graph: Graph, keys: KeySet, processors: int = 4) -> EMResult:
+    """Run ``EMMR`` on *graph* with *keys* using *processors* simulated workers."""
+    return MapReduceEntityMatcher(graph, keys, processors).run()
+
+
+def em_vf2_mr(graph: Graph, keys: KeySet, processors: int = 4) -> EMResult:
+    """Run the ``EMVF2MR`` baseline."""
+    return VF2MapReduceEntityMatcher(graph, keys, processors).run()

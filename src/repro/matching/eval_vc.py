@@ -1,0 +1,357 @@
+"""``EvalVC``: the vertex program of the vertex-centric algorithms (Fig. 5).
+
+Each candidate pair evaluates its keys by sending messages along the key's
+traversal order ``P_Q`` through the product graph.  A message carries the
+partial instantiation vector ``m`` (pattern-node name → product-graph node);
+the vertex hosting the current cursor position extends ``m`` by forking copies
+to feasible neighbour pairs, verifies already-instantiated edges when the tour
+revisits them, and — when the tour returns to the origin fully instantiated —
+sets the origin's flag, which triggers dependency notifications and
+transitive-closure propagation.
+
+Differences from the paper, noted for reviewers:
+
+* feasibility of a fork target is checked before sending (at the sender)
+  instead of after receiving; this only moves where the work is charged and
+  reduces pointless messages for both variants equally;
+* bounded messages (``max_fanout``) are implemented by deferring the targets
+  beyond the budget into a single low-priority continuation message processed
+  only if the evaluation is still unresolved — a form of distributed
+  backtracking that preserves completeness while capping in-flight copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.equivalence import EquivalenceRelation, Pair
+from ..core.key import Key, KeySet
+from ..core.graph import Graph
+from ..core.pattern import NodeKind, PatternNode
+from ..core.triples import GraphNode, Literal, is_entity_ref
+from ..vertexcentric.engine import VertexContext
+from .product_graph import ProductGraph, ProductNode
+from .traversal_order import TraversalStep
+
+
+@dataclass
+class PairState:
+    """Mutable per-vertex state of the product graph."""
+
+    flag: bool = False
+    is_candidate: bool = False
+    etype: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Activate:
+    """Start (or restart) key evaluation at a candidate pair.
+
+    ``prerequisite`` is the newly identified pair that caused the restart, or
+    ``None`` for the initial activation injected by the driver.
+    """
+
+    prerequisite: Optional[Pair] = None
+
+
+@dataclass(frozen=True)
+class EvalMessage:
+    """A key-evaluation message travelling along a traversal order."""
+
+    origin: Pair
+    key_name: str
+    step_index: int
+    assignment: Tuple[Tuple[str, ProductNode], ...]
+
+    def assignment_dict(self) -> Dict[str, ProductNode]:
+        return dict(self.assignment)
+
+    def extended(self, name: str, node: ProductNode, step_index: int) -> "EvalMessage":
+        items = dict(self.assignment)
+        items[name] = node
+        return EvalMessage(
+            origin=self.origin,
+            key_name=self.key_name,
+            step_index=step_index,
+            assignment=tuple(sorted(items.items())),
+        )
+
+    def advanced(self, step_index: int) -> "EvalMessage":
+        return replace(self, step_index=step_index)
+
+
+@dataclass(frozen=True)
+class DeferredFork:
+    """A continuation holding fork targets beyond the message budget."""
+
+    message: EvalMessage
+    far_name: str
+    targets: Tuple[ProductNode, ...]
+
+
+@dataclass
+class EvalVCCounters:
+    """Counters of the vertex program (used by reports and benchmarks)."""
+
+    activations: int = 0
+    eval_messages: int = 0
+    deferred_forks: int = 0
+    early_cancelled: int = 0
+    dead_branches: int = 0
+    confirmations: int = 0
+    tc_flags: int = 0
+    dep_notifications: int = 0
+
+
+class EvalVCProgram:
+    """The vertex program executed at every product-graph node."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        keys: KeySet,
+        product_graph: ProductGraph,
+        orders: Dict[str, List[TraversalStep]],
+        max_fanout: Optional[int] = None,
+        prioritize: bool = False,
+    ) -> None:
+        if max_fanout is not None and max_fanout < 1:
+            raise ValueError(f"max_fanout must be >= 1 or None, got {max_fanout}")
+        self._graph = graph
+        self._keys = keys
+        self._product_graph = product_graph
+        self._orders = orders
+        self._max_fanout = max_fanout
+        self._prioritize = prioritize
+        self._keys_by_type: Dict[str, List[Key]] = {
+            etype: keys.keys_for_type(etype) for etype in keys.target_types()
+        }
+        self._pattern_node_counts = {key.name: len(list(key.pattern.nodes())) for key in keys}
+        self.live_eq = EquivalenceRelation(graph.entity_ids())
+        self.counters = EvalVCCounters()
+
+    # ------------------------------------------------------------------ #
+    # message dispatch
+    # ------------------------------------------------------------------ #
+
+    def on_message(
+        self, vertex_id: ProductNode, state: object, payload: object, context: VertexContext
+    ) -> None:
+        assert isinstance(state, PairState)
+        if isinstance(payload, Activate):
+            self._handle_activate(vertex_id, state, payload, context)
+        elif isinstance(payload, EvalMessage):
+            self._handle_eval(vertex_id, state, payload, context)
+        elif isinstance(payload, DeferredFork):
+            self._handle_deferred(vertex_id, state, payload, context)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message payload: {type(payload).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # activation: start the evaluation of keys at a candidate pair
+    # ------------------------------------------------------------------ #
+
+    def _handle_activate(
+        self, vertex_id: ProductNode, state: PairState, payload: Activate, context: VertexContext
+    ) -> None:
+        self.counters.activations += 1
+        if state.flag or not state.is_candidate:
+            return
+        etype = state.etype or self._graph.entity_type(str(vertex_id[0]))
+        keys = self._keys_by_type.get(etype, [])
+        if payload.prerequisite is not None:
+            # a dependency was discharged: only recursively defined keys can
+            # newly succeed, value-based keys were fully evaluated already
+            keys = [key for key in keys if key.is_recursive]
+        for key in keys:
+            x_name = key.pattern.designated.name
+            initial = EvalMessage(
+                origin=(str(vertex_id[0]), str(vertex_id[1])),
+                key_name=key.name,
+                step_index=0,
+                assignment=((x_name, vertex_id),),
+            )
+            context.send(vertex_id, initial)
+
+    # ------------------------------------------------------------------ #
+    # the guided tour
+    # ------------------------------------------------------------------ #
+
+    def _handle_eval(
+        self, vertex_id: ProductNode, state: PairState, message: EvalMessage, context: VertexContext
+    ) -> None:
+        self.counters.eval_messages += 1
+        origin_state = context.state(message.origin)
+        assert isinstance(origin_state, PairState)
+        if origin_state.flag:
+            self.counters.early_cancelled += 1
+            return
+        order = self._orders[message.key_name]
+        assignment = message.assignment_dict()
+
+        if message.step_index >= len(order):
+            fully_instantiated = (
+                len(assignment) == self._pattern_node_counts[message.key_name]
+            )
+            if vertex_id == message.origin and fully_instantiated:
+                self._confirm(message.origin, context)
+            return
+
+        step = order[message.step_index]
+        near = assignment.get(step.source_name)
+        if near != vertex_id:  # pragma: no cover - defensive routing check
+            self.counters.dead_branches += 1
+            return
+        far_name = step.target_name
+        far_assigned = assignment.get(far_name)
+        if far_assigned is not None:
+            context.add_work(1)
+            if self._edge_exists(step, near, far_assigned):
+                context.send(far_assigned, message.advanced(message.step_index + 1))
+            else:
+                self.counters.dead_branches += 1
+            return
+
+        # far end not instantiated yet: fork over feasible product neighbours
+        if step.forward:
+            targets = self._product_graph.forward_neighbors(vertex_id, step.triple.predicate)
+        else:
+            targets = self._product_graph.backward_neighbors(vertex_id, step.triple.predicate)
+        context.add_work(max(1, len(targets)))
+        pattern = self._keys.by_name(message.key_name).pattern
+        far_node = pattern.node(far_name)
+        feasible = [t for t in targets if self._feasible(far_node, t, assignment)]
+        if not feasible:
+            self.counters.dead_branches += 1
+            return
+        if self._prioritize:
+            feasible.sort(key=self._priority_key)
+        self._fork(vertex_id, message, far_name, feasible, context)
+
+    def _handle_deferred(
+        self, vertex_id: ProductNode, state: PairState, payload: DeferredFork, context: VertexContext
+    ) -> None:
+        self.counters.deferred_forks += 1
+        origin_state = context.state(payload.message.origin)
+        assert isinstance(origin_state, PairState)
+        if origin_state.flag:
+            self.counters.early_cancelled += 1
+            return
+        self._fork(vertex_id, payload.message, payload.far_name, list(payload.targets), context)
+
+    def _fork(
+        self,
+        vertex_id: ProductNode,
+        message: EvalMessage,
+        far_name: str,
+        targets: List[ProductNode],
+        context: VertexContext,
+    ) -> None:
+        budget = self._max_fanout if self._max_fanout is not None else len(targets)
+        now, later = targets[:budget], targets[budget:]
+        for target in now:
+            context.send(
+                target, message.extended(far_name, target, message.step_index + 1)
+            )
+        if later:
+            context.send(
+                vertex_id,
+                DeferredFork(message=message, far_name=far_name, targets=tuple(later)),
+                priority=5,
+            )
+
+    # ------------------------------------------------------------------ #
+    # feasibility, edge verification and prioritization
+    # ------------------------------------------------------------------ #
+
+    def _feasible(
+        self, far_node: PatternNode, target: ProductNode, assignment: Dict[str, ProductNode]
+    ) -> bool:
+        t1, t2 = target
+        used1 = {pair[0] for pair in assignment.values()}
+        used2 = {pair[1] for pair in assignment.values()}
+        if t1 in used1 or t2 in used2:
+            return False
+        kind = far_node.kind
+        if kind is NodeKind.CONSTANT:
+            return (
+                isinstance(t1, Literal)
+                and isinstance(t2, Literal)
+                and t1.value == far_node.value
+                and t2.value == far_node.value
+            )
+        if kind is NodeKind.VALUE_VAR:
+            return isinstance(t1, Literal) and isinstance(t2, Literal) and t1 == t2
+        if not (is_entity_ref(t1) and is_entity_ref(t2)):
+            return False
+        if (
+            self._graph.entity_type(t1) != far_node.etype
+            or self._graph.entity_type(t2) != far_node.etype
+        ):
+            return False
+        if kind is NodeKind.ENTITY_VAR:
+            return self.live_eq.identified(t1, t2)
+        return True  # WILDCARD
+
+    def _edge_exists(
+        self, step: TraversalStep, near: ProductNode, far: ProductNode
+    ) -> bool:
+        predicate = step.triple.predicate
+        if step.forward:
+            subjects, objects = near, far
+        else:
+            subjects, objects = far, near
+        s1, s2 = subjects
+        o1, o2 = objects
+        return (
+            is_entity_ref(s1)
+            and is_entity_ref(s2)
+            and self._graph.has_triple(s1, predicate, o1)
+            and self._graph.has_triple(s2, predicate, o2)
+        )
+
+    def _priority_key(self, target: ProductNode) -> Tuple[int, int, str]:
+        """Prioritized propagation: identity pairs first, then well-connected pairs."""
+        t1, t2 = target
+        identity = 0 if t1 == t2 else 1
+        degree = self._graph.degree(t1) + self._graph.degree(t2)
+        return (identity, -degree, repr(target))
+
+    # ------------------------------------------------------------------ #
+    # confirmation: flag, transitive closure and dependency notifications
+    # ------------------------------------------------------------------ #
+
+    def _confirm(self, origin: Pair, context: VertexContext) -> None:
+        origin_state = context.state(origin)
+        assert isinstance(origin_state, PairState)
+        if origin_state.flag:
+            return
+        origin_state.flag = True
+        self.live_eq.merge(origin[0], origin[1])
+        self.counters.confirmations += 1
+        newly_flagged: List[Pair] = [origin]
+
+        # transitive closure: other candidate pairs implied by the merged class
+        for entity in self.live_eq.class_of(origin[0]):
+            for pair in self._product_graph.candidate_pairs_touching(entity):
+                if not context.has_vertex(pair):
+                    continue
+                pair_state = context.state(pair)
+                assert isinstance(pair_state, PairState)
+                if not pair_state.flag and self.live_eq.identified(pair[0], pair[1]):
+                    pair_state.flag = True
+                    newly_flagged.append(pair)
+                    self.counters.tc_flags += 1
+                    context.add_work(1)
+
+        # dependency notifications: restart dependents of every newly flagged pair
+        for flagged in newly_flagged:
+            for dependent in self._product_graph.dependents_of(flagged):
+                if not context.has_vertex(dependent):
+                    continue
+                dependent_state = context.state(dependent)
+                assert isinstance(dependent_state, PairState)
+                if not dependent_state.flag:
+                    self.counters.dep_notifications += 1
+                    context.send(dependent, Activate(prerequisite=flagged))

@@ -1,0 +1,159 @@
+"""The product graph ``Gp`` used by the vertex-centric algorithms (Section 5.1).
+
+Nodes of ``Gp`` are *pairs* of graph nodes that can appear together in some
+pairing relation of a candidate pair (Proposition 9) — entity pairs, equal
+value pairs and identity pairs — plus the candidate pairs themselves.  Edges
+mirror the topology of ``G`` (there is a ``p``-edge from ``(s1, s2)`` to
+``(o1, o2)`` when both component edges exist in ``G``), and two extra edge
+kinds encode the dependency (``dep``) and transitive-closure (``tc``)
+relationships used to drive incremental re-evaluation.
+
+The experiments report ``|Gp| ≈ 2.7·|G|`` on average, far smaller than the
+naive ``|G|²``; :meth:`ProductGraph.count_edges` reproduces that statistic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.equivalence import Pair
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.pairing import pairing_relation
+from ..core.triples import GraphNode, is_entity_ref
+from .candidates import CandidateSet, dependency_map
+
+#: A product-graph node: an ordered pair of graph nodes.
+ProductNode = Tuple[GraphNode, GraphNode]
+
+
+class ProductGraph:
+    """``Gp``: pair nodes, pair adjacency, ``dep`` edges and ``tc`` indexes."""
+
+    def __init__(self, graph: Graph, keys: KeySet, candidates: CandidateSet) -> None:
+        self._graph = graph
+        self._keys = keys
+        self._candidates = candidates
+        self._nodes: Set[ProductNode] = set()
+        self._candidate_nodes: List[Pair] = list(candidates.pairs)
+        self._dependents: Dict[Pair, Set[Pair]] = {}
+        self._pairs_by_entity: Dict[str, Set[Pair]] = defaultdict(set)
+        #: work units spent building the product graph (charged as setup cost)
+        self.construction_work = 0
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _build(self) -> None:
+        graph = self._graph
+        neighborhoods = self._candidates.neighborhoods
+        keys_by_type: Dict[str, List[Key]] = {
+            etype: self._keys.keys_for_type(etype) for etype in self._keys.target_types()
+        }
+        for e1, e2 in self._candidates.pairs:
+            pair = (e1, e2)
+            self._nodes.add(pair)
+            self._pairs_by_entity[e1].add(pair)
+            self._pairs_by_entity[e2].add(pair)
+            nbhd1 = neighborhoods.nodes(e1)
+            nbhd2 = neighborhoods.nodes(e2)
+            for key in keys_by_type.get(graph.entity_type(e1), ()):
+                relation = pairing_relation(graph, key, e1, e2, nbhd1, nbhd2)
+                self.construction_work += key.size * max(1, len(nbhd1))
+                if relation is None:
+                    continue
+                for pairs in relation.values():
+                    for node in pairs:
+                        self._nodes.add(node)
+        self._dependents = dependency_map(graph, self._keys, self._candidates)
+        self.construction_work += len(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterable[ProductNode]:
+        return iter(self._nodes)
+
+    def candidate_nodes(self) -> List[Pair]:
+        """The candidate entity pairs (the vertices on which keys are evaluated)."""
+        return list(self._candidate_nodes)
+
+    def has_node(self, node: ProductNode) -> bool:
+        return node in self._nodes
+
+    def dependents_of(self, pair: Pair) -> Set[Pair]:
+        """Candidate pairs that depend on *pair* (``dep`` edges out of it)."""
+        return self._dependents.get(pair, set())
+
+    def candidate_pairs_touching(self, entity: str) -> Set[Pair]:
+        """Candidate pairs having *entity* as a component (``tc`` edge index)."""
+        return self._pairs_by_entity.get(entity, set())
+
+    # ------------------------------------------------------------------ #
+    # adjacency (computed from G on demand; Gp edges are implicit)
+    # ------------------------------------------------------------------ #
+
+    def forward_neighbors(self, node: ProductNode, predicate: str) -> List[ProductNode]:
+        """Targets ``(o1, o2) ∈ Gp`` with ``(s1, p, o1)`` and ``(s2, p, o2)`` in ``G``."""
+        s1, s2 = node
+        if not (is_entity_ref(s1) and is_entity_ref(s2)):
+            return []
+        objs1 = self._graph.objects(s1, predicate)
+        objs2 = self._graph.objects(s2, predicate)
+        found = [
+            (o1, o2)
+            for o1 in objs1
+            for o2 in objs2
+            if (o1, o2) in self._nodes
+        ]
+        found.sort(key=repr)
+        return found
+
+    def backward_neighbors(self, node: ProductNode, predicate: str) -> List[ProductNode]:
+        """Sources ``(s1, s2) ∈ Gp`` with ``(s1, p, o1)`` and ``(s2, p, o2)`` in ``G``."""
+        o1, o2 = node
+        subs1 = self._graph.subjects(predicate, o1)
+        subs2 = self._graph.subjects(predicate, o2)
+        found = [
+            (s1, s2)
+            for s1 in subs1
+            for s2 in subs2
+            if (s1, s2) in self._nodes
+        ]
+        found.sort(key=repr)
+        return found
+
+    def count_edges(self) -> int:
+        """The number of topology edges of ``Gp`` (used by the |Gp| ≈ 2.7·|G| stat)."""
+        predicates = self._graph.predicates()
+        count = 0
+        for node in self._nodes:
+            for predicate in predicates:
+                count += len(self.forward_neighbors(node, predicate))
+        return count
+
+    def size(self) -> int:
+        """``|Gp|`` measured in edges plus dep edges (mirrors ``|G|`` in triples)."""
+        dep_edges = sum(len(deps) for deps in self._dependents.values())
+        return self.count_edges() + dep_edges
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": self.num_nodes,
+            "candidate_nodes": len(self._candidate_nodes),
+            "dep_edges": sum(len(deps) for deps in self._dependents.values()),
+            "construction_work": self.construction_work,
+        }

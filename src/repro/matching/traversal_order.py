@@ -1,0 +1,103 @@
+"""Traversal orders ``P_Q``: the guided tours of key patterns (Section 5.1).
+
+``EMVC`` propagates each evaluation message along a fixed tour of the key's
+pattern that starts and ends at the designated variable ``x`` and covers every
+pattern triple.  Finding a shortest such tour is the (NP-complete) Chinese
+Postman problem, so — like the paper — we use a greedy construction: a DFS
+from ``x`` that traverses every edge once downwards and once upwards, giving a
+tour of exactly ``2·|Q|`` steps (the bound quoted in Lemma 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..core.key import Key, KeySet
+from ..core.pattern import GraphPattern, PatternTriple
+
+
+@dataclass(frozen=True)
+class TraversalStep:
+    """One step of a tour.
+
+    ``forward`` is True when the cursor moves from the triple's subject to its
+    object, False when it moves from the object back to the subject.
+    """
+
+    triple: PatternTriple
+    forward: bool
+
+    @property
+    def source_name(self) -> str:
+        """The pattern node the cursor is at before the step."""
+        return self.triple.subject.name if self.forward else self.triple.obj.name
+
+    @property
+    def target_name(self) -> str:
+        """The pattern node the cursor is at after the step."""
+        return self.triple.obj.name if self.forward else self.triple.subject.name
+
+
+def traversal_order(pattern: GraphPattern) -> List[TraversalStep]:
+    """A tour of *pattern* starting and ending at ``x``, covering all triples.
+
+    The tour is a DFS double-traversal: each pattern triple contributes one
+    step away from ``x``'s DFS tree position and one step back, so the length
+    is ``2·|Q|`` and the final cursor position is ``x`` again.
+    """
+    steps: List[TraversalStep] = []
+    visited: Set[str] = set()
+    covered: Set[Tuple[str, str, str]] = set()
+
+    def edge_key(triple: PatternTriple) -> Tuple[str, str, str]:
+        return (triple.subject.name, triple.predicate, triple.obj.name)
+
+    def dfs(node_name: str) -> None:
+        visited.add(node_name)
+        adjacent = sorted(
+            pattern.adjacent_triples(node_name),
+            key=lambda t: (t.predicate, t.subject.name, t.obj.name),
+        )
+        for triple in adjacent:
+            key = edge_key(triple)
+            if key in covered:
+                continue
+            covered.add(key)
+            forward = triple.subject.name == node_name
+            other = triple.obj.name if forward else triple.subject.name
+            steps.append(TraversalStep(triple, forward))
+            if other not in visited:
+                dfs(other)
+            steps.append(TraversalStep(triple, not forward))
+
+    dfs(pattern.designated.name)
+    return steps
+
+
+def traversal_orders(keys: KeySet) -> Dict[str, List[TraversalStep]]:
+    """Tours for every key of *keys*, indexed by key name."""
+    return {key.name: traversal_order(key.pattern) for key in keys}
+
+
+def tour_is_valid(pattern: GraphPattern, steps: List[TraversalStep]) -> bool:
+    """Check the defining properties of a tour (used by tests).
+
+    The tour must start and end at the designated variable, consecutive steps
+    must share their cursor position, and every pattern triple must be covered
+    at least once.
+    """
+    if not steps:
+        return len(pattern.triples) == 0
+    if steps[0].source_name != pattern.designated.name:
+        return False
+    if steps[-1].target_name != pattern.designated.name:
+        return False
+    for previous, current in zip(steps, steps[1:]):
+        if previous.target_name != current.source_name:
+            return False
+    covered = {
+        (s.triple.subject.name, s.triple.predicate, s.triple.obj.name) for s in steps
+    }
+    required = {(t.subject.name, t.predicate, t.obj.name) for t in pattern.triples}
+    return required <= covered

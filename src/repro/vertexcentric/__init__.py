@@ -1,0 +1,25 @@
+"""A simulated vertex-centric asynchronous substrate (GraphLab stand-in)."""
+
+from .cost_model import (
+    ENGINE_OVERHEAD_SECONDS,
+    MESSAGE_SECONDS,
+    WORK_UNIT_SECONDS,
+    VertexCentricCostModel,
+)
+from .engine import EngineStats, VertexCentricEngine, VertexContext
+from .message import Message, VertexId
+from .scheduler import AsyncScheduler, SchedulerStats
+
+__all__ = [
+    "AsyncScheduler",
+    "ENGINE_OVERHEAD_SECONDS",
+    "EngineStats",
+    "MESSAGE_SECONDS",
+    "Message",
+    "SchedulerStats",
+    "VertexCentricCostModel",
+    "VertexCentricEngine",
+    "VertexContext",
+    "VertexId",
+    "WORK_UNIT_SECONDS",
+]

@@ -1,0 +1,50 @@
+"""Messages exchanged by the simulated vertex-centric engine.
+
+A message carries an opaque payload from one vertex to another.  Payload
+contents are algorithm-specific (``EMVC`` sends partial instantiation vectors,
+dependency notifications and transitive-closure joins); the engine only needs
+the target vertex and an optional priority used by prioritized propagation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+#: Vertices are identified by hashable ids (EM uses entity-pair tuples).
+VertexId = Hashable
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Message:
+    """One message in flight.
+
+    Messages are ordered by (priority, sequence) so that a priority queue pops
+    the most promising message first while remaining deterministic; lower
+    priority values are processed earlier.
+    """
+
+    priority: int
+    sequence: int = field(compare=True)
+    target: VertexId = field(compare=False, default=None)
+    sender: Optional[VertexId] = field(compare=False, default=None)
+    payload: object = field(compare=False, default=None)
+
+    @classmethod
+    def create(
+        cls,
+        target: VertexId,
+        payload: object,
+        sender: Optional[VertexId] = None,
+        priority: int = 0,
+    ) -> "Message":
+        return cls(
+            priority=priority,
+            sequence=next(_sequence),
+            target=target,
+            sender=sender,
+            payload=payload,
+        )

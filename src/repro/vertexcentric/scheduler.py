@@ -1,0 +1,94 @@
+"""Asynchronous scheduling of messages across the simulated workers.
+
+The GraphLab-style model of the paper has no global rounds: each worker keeps
+draining the queue of messages addressed to the vertices it hosts.  The
+simulated scheduler reproduces that structure with one priority queue per
+worker and a round-robin drain (one message per worker per turn), which is a
+deterministic stand-in for concurrent workers progressing independently —
+no worker ever waits for a straggler on another worker.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import VertexCentricError
+from .message import Message, VertexId
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing one scheduler run."""
+
+    enqueued: int = 0
+    processed: int = 0
+    max_queue_length: int = 0
+    turns: int = 0
+
+
+class AsyncScheduler:
+    """Per-worker priority queues with a deterministic round-robin drain."""
+
+    def __init__(self, num_workers: int, worker_for: Callable[[VertexId], int]) -> None:
+        if num_workers < 1:
+            raise VertexCentricError(f"num_workers must be >= 1, got {num_workers}")
+        self._num_workers = num_workers
+        self._worker_for = worker_for
+        self._queues: List[List[Message]] = [[] for _ in range(num_workers)]
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------ #
+    # queue operations
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, message: Message) -> None:
+        """Route *message* to the queue of the worker hosting its target."""
+        worker = self._worker_for(message.target) % self._num_workers
+        heapq.heappush(self._queues[worker], message)
+        self.stats.enqueued += 1
+        self.stats.max_queue_length = max(
+            self.stats.max_queue_length, sum(len(q) for q in self._queues)
+        )
+
+    def pending(self) -> int:
+        """Total number of messages waiting in all queues."""
+        return sum(len(queue) for queue in self._queues)
+
+    def has_pending(self) -> bool:
+        return any(self._queues)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        handler: Callable[[Message], None],
+        max_messages: Optional[int] = None,
+    ) -> int:
+        """Drain the queues, calling *handler* for each message.
+
+        Workers are visited round-robin and each processes at most one message
+        per turn; handlers may enqueue further messages.  Returns the number
+        of messages processed.  ``max_messages`` is a safety valve against
+        runaway algorithms (an exception is raised when it is exceeded).
+        """
+        processed = 0
+        while self.has_pending():
+            self.stats.turns += 1
+            for worker in range(self._num_workers):
+                queue = self._queues[worker]
+                if not queue:
+                    continue
+                message = heapq.heappop(queue)
+                handler(message)
+                processed += 1
+                self.stats.processed += 1
+                if max_messages is not None and processed > max_messages:
+                    raise VertexCentricError(
+                        f"message budget exceeded ({max_messages}); "
+                        "the vertex program appears not to terminate"
+                    )
+        return processed

@@ -1,0 +1,96 @@
+"""Tests of the experiment harness and the report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchlib import (
+    candidate_table,
+    chain_sweep,
+    figure_table,
+    format_table,
+    processors_sweep,
+    radius_sweep,
+    result_summary_table,
+    run_experiment,
+    scale_sweep,
+    speedup_summary,
+)
+from repro.datasets.music import music_dataset
+from repro.datasets.synthetic import synthetic_dataset
+from repro.matching import match_entities
+
+
+def music_factory(**_kwargs):
+    return music_dataset()
+
+
+def synthetic_factory(**kwargs):
+    dataset = synthetic_dataset(
+        num_keys=4, entities_per_type=4, **{k: v for k, v in kwargs.items()}
+    )
+    return dataset.graph, dataset.keys
+
+
+class TestSweepSpecs:
+    def test_spec_constructors(self):
+        spec = processors_sweep("fig8a", "google", music_factory, processors=(2, 4))
+        assert spec.parameter == "p" and spec.values == (2, 4)
+        assert "fig8a" in spec.describe()
+        assert scale_sweep("fig8b", "google", music_factory).parameter == "scale"
+        assert chain_sweep("fig8c", "google", music_factory).parameter == "chain_length"
+        assert radius_sweep("fig8d", "google", music_factory).parameter == "radius"
+
+
+class TestRunExperiment:
+    def test_processors_sweep_on_music(self):
+        spec = processors_sweep(
+            "test", "music", music_factory, processors=(2, 8), algorithms=("EMMR", "EMVC")
+        )
+        result = run_experiment(spec)
+        assert len(result.points) == 2
+        assert result.consistent_pairs()
+        assert result.speedup("EMMR") >= 1.0
+        series = result.series("EMVC")
+        assert [value for value, _ in series] == [2, 8]
+
+    def test_chain_sweep_on_synthetic(self):
+        spec = chain_sweep(
+            "test-c", "synthetic", synthetic_factory, chains=(1, 2), algorithms=("EMOptVC",),
+            radius=1, seed=3,
+        )
+        result = run_experiment(spec)
+        assert len(result.points) == 2
+        assert result.consistent_pairs()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_figure_table_and_speedup(self):
+        spec = processors_sweep(
+            "fig-test", "music", music_factory, processors=(2, 4), algorithms=("EMVC",)
+        )
+        result = run_experiment(spec)
+        table = figure_table(result)
+        assert "EMVC" in table and "fig-test" in table
+        assert "x" in speedup_summary(result)
+
+    def test_candidate_table(self):
+        text = candidate_table(
+            {"Google": {"candidates_vc": 10, "candidates_mr": 7, "confirmed": 3}}
+        )
+        assert "Google" in text and "Confirmed" in text
+
+    def test_result_summary_table(self):
+        graph, keys = music_dataset()
+        results = {
+            name: match_entities(graph, keys, algorithm=name) for name in ("EMMR", "EMOptVC")
+        }
+        text = result_summary_table(results, title="music")
+        assert "EMMR" in text and "EMOptVC" in text

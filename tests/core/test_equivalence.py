@@ -1,0 +1,75 @@
+"""Unit tests for the union–find equivalence relation (Eq)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import EquivalenceRelation, canonical_pair
+
+
+class TestCanonicalPair:
+    def test_orders_lexicographically(self):
+        assert canonical_pair("b", "a") == ("a", "b")
+        assert canonical_pair("a", "b") == ("a", "b")
+
+
+class TestEquivalenceRelation:
+    def test_starts_as_identity(self):
+        eq = EquivalenceRelation(["a", "b"])
+        assert eq.identified("a", "a")
+        assert not eq.identified("a", "b")
+        assert eq.pairs() == set()
+
+    def test_merge_and_query(self):
+        eq = EquivalenceRelation()
+        assert eq.merge("a", "b")
+        assert eq.identified("a", "b")
+        assert eq.identified("b", "a")
+        assert not eq.merge("a", "b")  # already merged
+        assert eq.merge_count == 1
+
+    def test_transitivity(self):
+        eq = EquivalenceRelation()
+        eq.merge("a", "b")
+        eq.merge("b", "c")
+        assert eq.identified("a", "c")
+        assert eq.pairs() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_unknown_members_are_singletons(self):
+        eq = EquivalenceRelation(["a"])
+        assert not eq.identified("a", "never_seen")
+        assert eq.identified("never_seen", "never_seen")
+
+    def test_contains_protocol(self):
+        eq = EquivalenceRelation()
+        eq.merge("a", "b")
+        assert ("a", "b") in eq
+        assert ("a", "c") not in eq
+        assert "not a pair" not in eq
+
+    def test_classes(self):
+        eq = EquivalenceRelation(["a", "b", "c", "d"])
+        eq.merge("a", "b")
+        classes = {frozenset(c) for c in eq.classes()}
+        assert frozenset({"a", "b"}) in classes
+        assert frozenset({"c"}) in classes
+        nontrivial = eq.nontrivial_classes()
+        assert len(nontrivial) == 1
+        assert eq.class_of("a") == {"a", "b"}
+
+    def test_copy_is_independent(self):
+        eq = EquivalenceRelation()
+        eq.merge("a", "b")
+        clone = eq.copy()
+        clone.merge("c", "d")
+        assert not eq.identified("c", "d")
+        assert clone.identified("a", "b")
+
+    def test_equality_compares_pairs(self):
+        left = EquivalenceRelation()
+        right = EquivalenceRelation()
+        left.merge("a", "b")
+        right.merge("b", "a")
+        assert left == right
+        right.merge("c", "d")
+        assert left != right

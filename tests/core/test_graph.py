@@ -1,0 +1,144 @@
+"""Unit tests for the Graph triple store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph, merge_graphs
+from repro.core.triples import Literal, Triple
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+
+
+@pytest.fixture
+def graph() -> Graph:
+    g = Graph()
+    g.add_entity("a", "album")
+    g.add_entity("b", "album")
+    g.add_entity("r", "artist")
+    g.add_value("a", "name_of", "X")
+    g.add_value("b", "name_of", "X")
+    g.add_edge("a", "recorded_by", "r")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, graph: Graph):
+        assert graph.num_entities == 3
+        assert graph.num_triples == 3
+        # two albums share the same name value node
+        assert graph.num_nodes == 4
+
+    def test_readding_entity_same_type_is_noop(self, graph: Graph):
+        graph.add_entity("a", "album")
+        assert graph.num_entities == 3
+
+    def test_readding_entity_different_type_fails(self, graph: Graph):
+        with pytest.raises(DuplicateEntityError):
+            graph.add_entity("a", "artist")
+
+    def test_triple_with_unknown_subject_fails(self, graph: Graph):
+        with pytest.raises(UnknownEntityError):
+            graph.add_edge("missing", "p", "a")
+
+    def test_triple_with_unknown_entity_object_fails(self, graph: Graph):
+        with pytest.raises(UnknownEntityError):
+            graph.add_edge("a", "p", "missing")
+
+    def test_duplicate_triples_are_deduplicated(self, graph: Graph):
+        graph.add_edge("a", "recorded_by", "r")
+        assert graph.num_triples == 3
+
+    def test_from_triples(self):
+        g = Graph.from_triples(
+            {"a": "album", "r": "artist"},
+            [Triple("a", "recorded_by", "r"), Triple("a", "name_of", Literal("X"))],
+        )
+        assert g.num_triples == 2
+
+    def test_copy_is_independent(self, graph: Graph):
+        clone = graph.copy()
+        clone.add_entity("new", "album")
+        assert not graph.has_entity("new")
+        assert clone == clone and clone != graph
+
+
+class TestQueries:
+    def test_entity_lookup(self, graph: Graph):
+        assert graph.entity_type("a") == "album"
+        with pytest.raises(UnknownEntityError):
+            graph.entity_type("zzz")
+
+    def test_entities_of_type_sorted(self, graph: Graph):
+        assert graph.entities_of_type("album") == ["a", "b"]
+        assert graph.entities_of_type("nonexistent") == []
+
+    def test_types_and_predicates(self, graph: Graph):
+        assert graph.types() == {"album", "artist"}
+        assert graph.predicates() == {"name_of", "recorded_by"}
+
+    def test_objects_and_subjects(self, graph: Graph):
+        assert graph.objects("a", "recorded_by") == {"r"}
+        assert graph.subjects("name_of", Literal("X")) == {"a", "b"}
+        assert graph.objects("a", "missing") == set()
+
+    def test_out_in_triples(self, graph: Graph):
+        assert len(graph.out_triples("a")) == 2
+        assert len(graph.in_triples("r")) == 1
+
+    def test_neighbors_are_undirected(self, graph: Graph):
+        assert "r" in graph.neighbors("a")
+        assert "a" in graph.neighbors("r")
+        assert Literal("X") in graph.neighbors("a")
+
+    def test_has_triple_and_contains(self, graph: Graph):
+        assert graph.has_triple("a", "recorded_by", "r")
+        assert Triple("a", "recorded_by", "r") in graph
+        assert "a" in graph
+        assert "zzz" not in graph
+
+    def test_value_nodes_and_degree(self, graph: Graph):
+        assert graph.value_nodes() == {Literal("X")}
+        assert graph.degree("a") == 2
+
+    def test_stats(self, graph: Graph):
+        stats = graph.stats()
+        assert stats["entities"] == 3
+        assert stats["triples"] == 3
+        assert stats["types"] == 2
+
+
+class TestStructure:
+    def test_induced_subgraph(self, graph: Graph):
+        sub = graph.induced_subgraph({"a", "r"})
+        assert sub.num_entities == 2
+        assert sub.num_triples == 1
+        assert sub.has_triple("a", "recorded_by", "r")
+
+    def test_union_and_merge(self, graph: Graph):
+        other = Graph()
+        other.add_entity("c", "album")
+        other.add_value("c", "name_of", "Y")
+        merged = graph.union(other)
+        assert merged.num_entities == 4
+        assert merge_graphs([graph, other]).num_triples == 4
+
+    def test_connectivity(self, graph: Graph):
+        assert graph.is_connected()
+        graph.add_entity("lonely", "album")
+        assert not graph.is_connected()
+        assert len(graph.connected_components()) == 2
+
+    def test_is_tree(self):
+        tree = Graph()
+        tree.add_entity("root", "t")
+        tree.add_entity("child", "t")
+        tree.add_edge("root", "p", "child")
+        assert tree.is_tree()
+        tree.add_entity("grand", "t")
+        tree.add_edge("child", "p", "grand")
+        tree.add_edge("root", "q", "grand")  # creates a cycle
+        assert not tree.is_tree()
+
+    def test_empty_graph_is_trivially_tree_and_connected(self):
+        assert Graph().is_tree()
+        assert Graph().is_connected()

@@ -1,0 +1,105 @@
+"""Unit tests for keys and key sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.key import Key, KeySet
+from repro.core.pattern import GraphPattern, PatternTriple, designated, entity_var, value_var
+from repro.datasets.business import business_keys
+from repro.datasets.music import key_q1, key_q2, key_q3, music_keys
+from repro.exceptions import InvalidKeyError
+
+
+class TestKey:
+    def test_target_type_and_size(self):
+        q1 = key_q1()
+        assert q1.target_type == "album"
+        assert q1.size == 2
+        assert q1.radius == 1
+
+    def test_recursive_vs_value_based(self):
+        assert key_q1().is_recursive
+        assert key_q2().is_value_based
+        assert key_q3().is_recursive
+
+    def test_depends_on_types(self):
+        assert key_q1().depends_on_types() == {"artist"}
+        assert key_q2().depends_on_types() == set()
+        assert key_q3().depends_on_types() == {"album"}
+
+    def test_is_defined_on(self):
+        assert key_q1().is_defined_on("album")
+        assert not key_q1().is_defined_on("artist")
+
+    def test_from_triples_and_equality(self):
+        x = designated("x", "album")
+        triples = [PatternTriple(x, "name_of", value_var("name"))]
+        key_a = Key.from_triples(triples, name="A")
+        key_b = Key.from_triples(triples, name="B")
+        assert key_a == key_b  # equality is structural (same pattern)
+        assert key_a.describe().startswith("pattern")
+
+
+class TestKeySet:
+    def test_cardinality_and_size(self):
+        keys = music_keys()
+        assert keys.cardinality == 3
+        assert len(keys) == 3
+        assert keys.size == sum(k.size for k in keys)
+
+    def test_keys_for_type(self):
+        keys = music_keys()
+        assert {k.name for k in keys.keys_for_type("album")} == {"Q1", "Q2"}
+        assert {k.name for k in keys.keys_for_type("artist")} == {"Q3"}
+        assert keys.keys_for_type("street") == []
+
+    def test_target_types_and_partitions(self):
+        keys = music_keys()
+        assert keys.target_types() == {"album", "artist"}
+        assert {k.name for k in keys.value_based_keys()} == {"Q2"}
+        assert {k.name for k in keys.recursive_keys()} == {"Q1", "Q3"}
+
+    def test_by_name(self):
+        keys = music_keys()
+        assert keys.by_name("Q2").is_value_based
+        with pytest.raises(InvalidKeyError):
+            keys.by_name("missing")
+
+    def test_duplicates_ignored_and_bad_add_rejected(self):
+        keys = KeySet([key_q1(), key_q1()])
+        assert keys.cardinality == 1
+        with pytest.raises(InvalidKeyError):
+            keys.add("not a key")  # type: ignore[arg-type]
+
+    def test_max_radius(self):
+        keys = music_keys()
+        assert keys.max_radius() == 1
+        assert keys.max_radius_for_type("album") == 1
+        assert keys.max_radius_for_type("street") == 0
+
+    def test_dependency_graph_mutual_recursion(self):
+        keys = music_keys()
+        graph = keys.type_dependency_graph()
+        assert graph["album"] == {"artist"}
+        assert graph["artist"] == {"album"}
+        assert keys.has_recursive_cycle()
+        assert keys.dependency_chain_length() == 2
+
+    def test_dependency_chain_business(self):
+        keys = business_keys()
+        # Q4/Q5 reference companies from company keys: a self-loop, chain 1
+        assert keys.dependency_chain_length() in (1, 2)
+
+    def test_empty_keyset(self):
+        keys = KeySet()
+        assert keys.cardinality == 0
+        assert keys.dependency_chain_length() == 0
+        assert keys.max_radius() == 0
+        assert not keys.has_recursive_cycle()
+
+    def test_stats(self):
+        stats = music_keys().stats()
+        assert stats["keys"] == 3
+        assert stats["recursive"] == 2
+        assert stats["max_radius"] == 1

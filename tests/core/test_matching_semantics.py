@@ -1,0 +1,125 @@
+"""Tests of the declarative semantics: matches, coincidence, satisfaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import EquivalenceRelation
+from repro.core.matching import (
+    coincides,
+    find_matches,
+    has_match,
+    identify_pair_by_enumeration,
+    match_triples,
+    satisfies,
+    violations,
+)
+from repro.datasets.business import business_graph, key_q4
+from repro.datasets.music import key_q1, key_q2, key_q3, music_graph
+from repro.exceptions import UnknownEntityError
+
+
+class TestFindMatches:
+    def test_example4_match_of_q4_at_com4(self):
+        """Example 4 of the paper: Q4 matches G2 at com4."""
+        graph = business_graph()
+        matches = find_matches(graph, key_q4().pattern, "com4")
+        assert matches, "Q4 must match at com4"
+        valuation = matches[0]
+        assert valuation["x"] == "com4"
+        # the same-named parent must be com1 and the other parent com3
+        assert valuation["p"] == "com1"
+        assert valuation["other_parent"] == "com3"
+
+    def test_no_match_for_wrong_type(self):
+        graph = music_graph()
+        assert find_matches(graph, key_q3().pattern, "alb1") == []
+
+    def test_unknown_entity_raises(self):
+        graph = music_graph()
+        with pytest.raises(UnknownEntityError):
+            find_matches(graph, key_q1().pattern, "nope")
+
+    def test_restrict_excludes_matches(self):
+        graph = music_graph()
+        assert find_matches(graph, key_q2().pattern, "alb1", restrict={"alb1"}) == []
+
+    def test_limit_stops_enumeration(self):
+        graph = music_graph()
+        matches = find_matches(graph, key_q2().pattern, "alb1", limit=1)
+        assert len(matches) == 1
+
+    def test_has_match(self):
+        graph = music_graph()
+        assert has_match(graph, key_q2().pattern, "alb1")
+
+    def test_work_counter_accumulates(self):
+        graph = music_graph()
+        counter: dict = {}
+        find_matches(graph, key_q2().pattern, "alb1", work_counter=counter)
+        assert counter.get("matches", 0) >= 1
+        assert counter.get("candidates", 0) >= 1
+
+    def test_match_triples_image(self):
+        graph = music_graph()
+        pattern = key_q2().pattern
+        valuation = find_matches(graph, pattern, "alb1")[0]
+        image = match_triples(pattern, valuation)
+        assert len(image) == pattern.size
+        assert all(triple in graph for triple in image)
+
+
+class TestCoincidence:
+    def test_value_variables_must_agree(self):
+        graph = music_graph()
+        pattern = key_q2().pattern
+        v1 = find_matches(graph, pattern, "alb1")[0]
+        v2 = find_matches(graph, pattern, "alb2")[0]
+        v3 = find_matches(graph, pattern, "alb3")[0]
+        assert coincides(pattern, v1, v2)
+        assert not coincides(pattern, v1, v3)  # different release year
+
+    def test_entity_variables_need_eq(self):
+        graph = music_graph()
+        pattern = key_q3().pattern
+        v1 = find_matches(graph, pattern, "art1")[0]
+        v2 = find_matches(graph, pattern, "art2")[0]
+        assert not coincides(pattern, v1, v2)  # albums not identified yet
+        eq = EquivalenceRelation()
+        eq.merge("alb1", "alb2")
+        assert coincides(pattern, v1, v2, eq=eq)
+
+
+class TestSatisfaction:
+    def test_g1_violates_q2(self):
+        """Example 5: either alb1 or alb2 is a duplicate w.r.t. Q2."""
+        graph = music_graph()
+        assert not satisfies(graph, key_q2())
+        assert ("alb1", "alb2") in violations(graph, key_q2())
+
+    def test_g2_violates_q4(self):
+        graph = business_graph()
+        assert not satisfies(graph, key_q4())
+        assert ("com4", "com5") in violations(graph, key_q4())
+
+    def test_satisfied_after_removing_duplicate(self):
+        graph = music_graph()
+        clean = graph.induced_subgraph(
+            set(graph.neighbors("alb1")) | {"alb1", "alb3", "art1", "art3"}
+            | set(graph.neighbors("alb3"))
+        )
+        assert satisfies(clean, key_q2())
+
+    def test_violation_limit(self):
+        graph = music_graph()
+        assert len(violations(graph, key_q2(), limit=1)) == 1
+
+
+class TestEnumerationChecker:
+    def test_identify_pair_by_enumeration_matches_guided_semantics(self):
+        graph = music_graph()
+        eq = EquivalenceRelation()
+        assert identify_pair_by_enumeration(graph, key_q2(), "alb1", "alb2", eq=eq)
+        assert not identify_pair_by_enumeration(graph, key_q3(), "art1", "art2", eq=eq)
+        eq.merge("alb1", "alb2")
+        assert identify_pair_by_enumeration(graph, key_q3(), "art1", "art2", eq=eq)

@@ -1,0 +1,125 @@
+"""Tests of the textual DSL: parsing, serialization, round trips, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import (
+    load_graph,
+    load_keys,
+    parse_graph,
+    parse_keys,
+    save_graph,
+    save_keys,
+    serialize_graph,
+    serialize_keys,
+)
+from repro.core.pattern import NodeKind
+from repro.datasets.business import business_keys
+from repro.datasets.music import music_graph, music_keys
+from repro.exceptions import ParseError
+
+GRAPH_TEXT = """
+# the music example
+entity alb1 : album
+entity art1 : artist
+alb1 -[name_of]-> "Anthology 2"
+alb1 -[release_year]-> 1996
+alb1 -[recorded_by]-> art1
+art1 -[active]-> true
+"""
+
+KEYS_TEXT = """
+key Q1 for album:
+  x -[name_of]-> name*
+  x -[recorded_by]-> artist1:artist
+
+key Q6 for street:
+  x -[nation_of]-> "UK"
+  x -[zip_code]-> code*
+
+key Q4 for company:
+  x -[name_of]-> name*
+  _p:company -[name_of]-> name*
+  _p:company -[parent_of]-> x
+  other:company -[parent_of]-> x
+"""
+
+
+class TestGraphParsing:
+    def test_parse_entities_values_and_edges(self):
+        graph = parse_graph(GRAPH_TEXT)
+        assert graph.num_entities == 2
+        assert graph.entity_type("alb1") == "album"
+        assert graph.has_triple("alb1", "recorded_by", "art1")
+        objects = {t.obj for t in graph.out_triples("alb1") if t.object_is_value()}
+        values = {o.value for o in objects}  # type: ignore[union-attr]
+        assert values == {"Anthology 2", 1996}
+
+    def test_boolean_values(self):
+        graph = parse_graph(GRAPH_TEXT)
+        assert any(
+            t.object_is_value() and t.obj.value is True  # type: ignore[union-attr]
+            for t in graph.out_triples("art1")
+        )
+
+    def test_undeclared_object_entity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_graph("entity a : t\na -[p]-> missing_entity")
+
+    def test_garbage_line_rejected_with_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_graph("entity a : t\nthis is not a triple")
+        assert excinfo.value.line == 2
+
+    def test_round_trip(self):
+        original = music_graph()
+        assert parse_graph(serialize_graph(original)) == original
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "graph.kfg"
+        save_graph(music_graph(), path)
+        assert load_graph(path) == music_graph()
+
+
+class TestKeyParsing:
+    def test_parse_kinds(self):
+        keys = parse_keys(KEYS_TEXT)
+        assert keys.cardinality == 3
+        q1 = keys.by_name("Q1")
+        assert q1.target_type == "album"
+        assert q1.is_recursive
+        q6 = keys.by_name("Q6")
+        kinds = {node.kind for node in q6.pattern.nodes()}
+        assert NodeKind.CONSTANT in kinds
+        q4 = keys.by_name("Q4")
+        assert len(q4.pattern.wildcards()) == 1
+        assert len(q4.pattern.entity_variables()) == 1
+
+    def test_triple_outside_key_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_keys("x -[p]-> name*")
+
+    def test_key_without_triples_rejected(self):
+        with pytest.raises(ParseError):
+            parse_keys("key Q for album:\n\nkey R for album:\n  x -[p]-> v*")
+
+    def test_bad_pattern_node_rejected(self):
+        with pytest.raises(ParseError):
+            parse_keys("key Q for album:\n  x -[p]-> barevariable")
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_keys("key Q for album:\n  x -[p]-> y:")
+
+    def test_round_trip_music_and_business(self):
+        for keys in (music_keys(), business_keys()):
+            parsed = parse_keys(serialize_keys(keys))
+            assert parsed.cardinality == keys.cardinality
+            for key in keys:
+                assert parsed.by_name(key.name).pattern == key.pattern
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "keys.kfk"
+        save_keys(music_keys(), path)
+        assert load_keys(path).cardinality == 3

@@ -1,0 +1,151 @@
+"""Unit tests for graph patterns and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern import (
+    GraphPattern,
+    NodeKind,
+    PatternTriple,
+    constant,
+    designated,
+    entity_var,
+    value_var,
+    wildcard,
+)
+from repro.exceptions import PatternError
+
+
+def simple_pattern() -> GraphPattern:
+    x = designated("x", "album")
+    return GraphPattern(
+        [
+            PatternTriple(x, "name_of", value_var("name")),
+            PatternTriple(x, "recorded_by", entity_var("artist1", "artist")),
+        ],
+        name="Q1",
+    )
+
+
+class TestPatternNodes:
+    def test_constructors_set_kinds(self):
+        assert designated("x", "t").kind is NodeKind.DESIGNATED
+        assert entity_var("y", "t").kind is NodeKind.ENTITY_VAR
+        assert value_var("v").kind is NodeKind.VALUE_VAR
+        assert wildcard("w", "t").kind is NodeKind.WILDCARD
+        assert constant("UK").kind is NodeKind.CONSTANT
+
+    def test_entity_kinds_require_type(self):
+        with pytest.raises(PatternError):
+            designated("x", "")
+
+    def test_value_kinds_reject_type(self):
+        with pytest.raises(PatternError):
+            from repro.core.pattern import PatternNode
+
+            PatternNode("v", NodeKind.VALUE_VAR, etype="album")
+
+    def test_constant_requires_value(self):
+        with pytest.raises(PatternError):
+            from repro.core.pattern import PatternNode
+
+            PatternNode("c", NodeKind.CONSTANT)
+
+    def test_predicates_helpers(self):
+        node = entity_var("y", "t")
+        assert node.is_entity and node.is_entity_variable
+        assert not node.is_value
+        assert value_var("v").is_value
+
+
+class TestPatternValidation:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern([])
+
+    def test_exactly_one_designated_variable(self):
+        y = entity_var("y", "album")
+        with pytest.raises(PatternError):
+            GraphPattern([PatternTriple(y, "name_of", value_var("n"))])
+        x1 = designated("x1", "album")
+        x2 = designated("x2", "album")
+        with pytest.raises(PatternError):
+            GraphPattern([PatternTriple(x1, "related_to", x2)])
+
+    def test_subject_must_be_entity_kind(self):
+        x = designated("x", "album")
+        with pytest.raises(PatternError):
+            GraphPattern([PatternTriple(value_var("v"), "p", x)])
+
+    def test_inconsistent_node_reuse_rejected(self):
+        x = designated("x", "album")
+        with pytest.raises(PatternError):
+            GraphPattern(
+                [
+                    PatternTriple(x, "p", entity_var("y", "artist")),
+                    PatternTriple(x, "q", entity_var("y", "company")),
+                ]
+            )
+
+    def test_disconnected_pattern_rejected(self):
+        x = designated("x", "album")
+        a = wildcard("a", "artist")
+        b = wildcard("b", "artist")
+        with pytest.raises(PatternError):
+            GraphPattern(
+                [
+                    PatternTriple(x, "p", value_var("v")),
+                    PatternTriple(a, "q", b),
+                ]
+            )
+
+
+class TestPatternProperties:
+    def test_size_and_nodes(self):
+        pattern = simple_pattern()
+        assert pattern.size == 2
+        assert len(pattern) == 2
+        assert pattern.node_names() == {"x", "name", "artist1"}
+        assert pattern.node("name").is_value_variable
+        with pytest.raises(PatternError):
+            pattern.node("missing")
+
+    def test_recursive_flag(self):
+        pattern = simple_pattern()
+        assert pattern.is_recursive
+        assert not pattern.is_value_based
+        x = designated("x", "album")
+        value_based = GraphPattern([PatternTriple(x, "name_of", value_var("n"))])
+        assert value_based.is_value_based
+
+    def test_radius(self):
+        pattern = simple_pattern()
+        assert pattern.radius == 1
+        x = designated("x", "street")
+        w = wildcard("w", "city")
+        chain = GraphPattern(
+            [
+                PatternTriple(x, "in", w),
+                PatternTriple(w, "zip", value_var("z")),
+            ]
+        )
+        assert chain.radius == 2
+
+    def test_entity_variable_types(self):
+        assert simple_pattern().entity_variable_types() == {"artist"}
+
+    def test_target_type_and_designated(self):
+        pattern = simple_pattern()
+        assert pattern.target_type == "album"
+        assert pattern.designated.name == "x"
+
+    def test_adjacent_triples(self):
+        pattern = simple_pattern()
+        assert len(pattern.adjacent_triples("x")) == 2
+        assert len(pattern.adjacent_triples("name")) == 1
+
+    def test_equality_and_describe(self):
+        assert simple_pattern() == simple_pattern()
+        text = simple_pattern().describe()
+        assert "name_of" in text and "recorded_by" in text

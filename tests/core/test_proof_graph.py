@@ -1,0 +1,96 @@
+"""Tests of proof graphs: construction from chase provenance and verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chase import chase
+from repro.core.proof_graph import (
+    ProofGraph,
+    ProofNode,
+    explain,
+    proof_from_chase,
+    verify_proof,
+)
+from repro.exceptions import ProofError
+
+
+class TestProofConstruction:
+    def test_proof_from_chase_has_one_node_per_direct_step(self, music):
+        graph, keys, _ = music
+        result = chase(graph, keys)
+        proof = proof_from_chase(result)
+        assert len(proof) == len(result.steps)
+        assert ("alb1", "alb2") in proof
+
+    def test_topological_order_respects_prerequisites(self, music):
+        graph, keys, _ = music
+        proof = proof_from_chase(chase(graph, keys))
+        order = [node.pair for node in proof.topological_order()]
+        assert order.index(("alb1", "alb2")) < order.index(("art1", "art2"))
+
+    def test_restricted_to_target(self, music):
+        graph, keys, _ = music
+        proof = proof_from_chase(chase(graph, keys))
+        sub = proof.restricted_to(("art1", "art2"))
+        assert set(sub.pairs()) == {("alb1", "alb2"), ("art1", "art2")}
+
+
+class TestVerification:
+    def test_valid_proofs_verify(self, music, business):
+        for graph, keys, _ in (music, business):
+            result = chase(graph, keys)
+            proof = proof_from_chase(result)
+            assert verify_proof(graph, keys, proof)
+            for pair in result.pairs():
+                assert verify_proof(graph, keys, proof, target=pair)
+
+    def test_missing_prerequisite_rejected(self, music):
+        graph, keys, _ = music
+        forged = ProofGraph()
+        forged.add(
+            ProofNode(pair=("art1", "art2"), key_name="Q3", prerequisites=(("alb1", "alb2"),))
+        )
+        with pytest.raises(ProofError):
+            verify_proof(graph, keys, forged)
+
+    def test_wrong_key_rejected(self, music):
+        graph, keys, _ = music
+        forged = ProofGraph()
+        forged.add(ProofNode(pair=("alb1", "alb3"), key_name="Q2"))
+        with pytest.raises(ProofError):
+            verify_proof(graph, keys, forged)
+
+    def test_unknown_key_rejected(self, music):
+        graph, keys, _ = music
+        forged = ProofGraph()
+        forged.add(ProofNode(pair=("alb1", "alb2"), key_name="Q99"))
+        with pytest.raises(ProofError):
+            verify_proof(graph, keys, forged)
+
+    def test_cyclic_proof_rejected(self, music):
+        graph, keys, _ = music
+        cyclic = ProofGraph()
+        cyclic.add(ProofNode(("alb1", "alb2"), "Q2", (("art1", "art2"),)))
+        cyclic.add(ProofNode(("art1", "art2"), "Q3", (("alb1", "alb2"),)))
+        with pytest.raises(ProofError):
+            cyclic.topological_order()
+
+    def test_unproven_target_rejected(self, music):
+        graph, keys, _ = music
+        proof = proof_from_chase(chase(graph, keys))
+        with pytest.raises(ProofError):
+            verify_proof(graph, keys, proof, target=("alb1", "alb3"))
+
+
+class TestExplain:
+    def test_explanation_for_identified_pair(self, music):
+        graph, keys, _ = music
+        result = chase(graph, keys)
+        steps = explain(graph, keys, result, "art1", "art2")
+        assert [node.pair for node in steps] == [("alb1", "alb2"), ("art1", "art2")]
+
+    def test_explanation_for_unidentified_pair_is_empty(self, music):
+        graph, keys, _ = music
+        result = chase(graph, keys)
+        assert explain(graph, keys, result, "alb1", "alb3") == []

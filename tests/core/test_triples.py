@@ -1,0 +1,63 @@
+"""Unit tests for the primitive data model (entities, literals, triples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.triples import Entity, Literal, Triple, as_object, is_entity_ref, is_literal
+
+
+class TestEntity:
+    def test_requires_non_empty_id(self):
+        with pytest.raises(ValueError):
+            Entity("", "album")
+
+    def test_requires_non_empty_type(self):
+        with pytest.raises(ValueError):
+            Entity("alb1", "")
+
+    def test_equality_and_hash(self):
+        assert Entity("alb1", "album") == Entity("alb1", "album")
+        assert hash(Entity("alb1", "album")) == hash(Entity("alb1", "album"))
+        assert Entity("alb1", "album") != Entity("alb1", "artist")
+
+
+class TestLiteral:
+    def test_value_equality(self):
+        assert Literal("1996") == Literal("1996")
+        assert Literal("1996") != Literal(1996)
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TypeError):
+            Literal(["a", "list"])
+
+    def test_usable_in_sets(self):
+        assert len({Literal("a"), Literal("a"), Literal("b")}) == 2
+
+
+class TestTriple:
+    def test_object_kind_helpers(self):
+        value_triple = Triple("alb1", "name_of", Literal("Anthology 2"))
+        edge_triple = Triple("alb1", "recorded_by", "art1")
+        assert value_triple.object_is_value()
+        assert not value_triple.object_is_entity()
+        assert edge_triple.object_is_entity()
+        assert not edge_triple.object_is_value()
+
+    def test_is_named_tuple(self):
+        triple = Triple("s", "p", "o")
+        subject, predicate, obj = triple
+        assert (subject, predicate, obj) == ("s", "p", "o")
+
+
+class TestHelpers:
+    def test_is_literal_and_is_entity_ref(self):
+        assert is_literal(Literal(3))
+        assert not is_literal("e1")
+        assert is_entity_ref("e1")
+        assert not is_entity_ref(Literal(3))
+
+    def test_as_object_wraps_non_strings(self):
+        assert as_object(42) == Literal(42)
+        assert as_object("e1") == "e1"
+        assert as_object(Literal("x")) == Literal("x")

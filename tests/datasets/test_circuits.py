@@ -1,0 +1,92 @@
+"""Tests of the monotone-circuit reduction (Theorem 4 construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chase import chase
+from repro.datasets.circuits import (
+    MonotoneCircuit,
+    deep_and_chain,
+    encode_circuit,
+    expected_identified_pairs,
+    gate_pair,
+    random_monotone_circuit,
+)
+from repro.exceptions import DatasetError
+
+
+class TestCircuitModel:
+    def test_evaluation(self):
+        circuit = MonotoneCircuit()
+        circuit.add_input("a", True)
+        circuit.add_input("b", False)
+        circuit.add_and("both", "a", "b")
+        circuit.add_or("either", "a", "b")
+        circuit.set_output("either")
+        values = circuit.evaluate()
+        assert values == {"a": True, "b": False, "both": False, "either": True}
+        assert circuit.output_value() is True
+
+    def test_validation(self):
+        circuit = MonotoneCircuit()
+        with pytest.raises(DatasetError):
+            circuit.add_and("g", "missing", "also_missing")
+        circuit.add_input("a", True)
+        with pytest.raises(DatasetError):
+            circuit.add_input("a", False)
+        with pytest.raises(DatasetError):
+            circuit.set_output("missing")
+        with pytest.raises(DatasetError):
+            MonotoneCircuit().output_value()
+
+
+class TestEncoding:
+    def test_true_gates_are_identified(self):
+        circuit = MonotoneCircuit()
+        circuit.add_input("a", True)
+        circuit.add_input("b", True)
+        circuit.add_input("c", False)
+        circuit.add_and("ab", "a", "b")
+        circuit.add_and("abc", "ab", "c")
+        circuit.add_or("out", "abc", "ab")
+        circuit.set_output("out")
+        graph, keys = encode_circuit(circuit)
+        result = chase(graph, keys)
+        assert result.pairs() == expected_identified_pairs(circuit)
+        assert result.identified(*gate_pair("out"))
+        assert not result.identified(*gate_pair("abc"))
+
+    def test_gate_with_identical_inputs(self):
+        circuit = MonotoneCircuit()
+        circuit.add_input("a", True)
+        circuit.add_and("aa", "a", "a")
+        circuit.add_or("oo", "aa", "aa")
+        circuit.set_output("oo")
+        graph, keys = encode_circuit(circuit)
+        assert chase(graph, keys).pairs() == expected_identified_pairs(circuit)
+
+    def test_deep_chain_depth_matches_rounds_potential(self):
+        circuit = deep_and_chain(depth=6)
+        graph, keys = encode_circuit(circuit)
+        assert chase(graph, keys).pairs() == expected_identified_pairs(circuit)
+        assert keys.dependency_chain_length() >= 6
+
+    def test_false_chain_identifies_only_true_input(self):
+        circuit = deep_and_chain(depth=3, value=False)
+        graph, keys = encode_circuit(circuit)
+        result = chase(graph, keys)
+        assert result.pairs() == expected_identified_pairs(circuit)
+        assert result.pairs() == {tuple(sorted(gate_pair("in_b")))}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_circuits_agree_with_direct_evaluation(self, seed):
+        circuit = random_monotone_circuit(num_inputs=4, num_gates=6, seed=seed)
+        graph, keys = encode_circuit(circuit)
+        assert chase(graph, keys).pairs() == expected_identified_pairs(circuit)
+
+    def test_generator_validation(self):
+        with pytest.raises(DatasetError):
+            random_monotone_circuit(0, 1)
+        with pytest.raises(DatasetError):
+            deep_and_chain(0)

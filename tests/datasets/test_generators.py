@@ -1,0 +1,112 @@
+"""Tests of the synthetic / social / knowledge generators and the key generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chase import chase
+from repro.datasets.keygen import generate_keys
+from repro.datasets.knowledge import knowledge_dataset, knowledge_keys
+from repro.datasets.social import reconciliation_keys, social_dataset, social_keys
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic, synthetic_dataset
+from repro.exceptions import DatasetError
+from repro.matching import match_entities
+
+
+class TestKeyGenerator:
+    def test_requested_chain_and_radius(self):
+        keys = generate_keys(num_keys=12, chain_length=3, radius=2)
+        assert keys.cardinality >= 12
+        assert keys.dependency_chain_length() == 3
+        assert keys.max_radius() == 2
+
+    @pytest.mark.parametrize("chain_length", [1, 2, 4])
+    def test_value_based_anchor_exists_per_group(self, chain_length):
+        keys = generate_keys(num_keys=chain_length * 2, chain_length=chain_length, radius=1)
+        assert keys.value_based_keys(), "each chain needs a value-based anchor key"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_keys(0)
+        from repro.datasets.keygen import recursive_key, value_based_key
+
+        with pytest.raises(ValueError):
+            value_based_key(0, 1, 0)
+        with pytest.raises(ValueError):
+            recursive_key(0, 1, 0)
+
+
+class TestSyntheticGenerator:
+    def test_determinism(self):
+        first = synthetic_dataset(seed=42)
+        second = synthetic_dataset(seed=42)
+        assert first.graph == second.graph
+        assert first.planted_pairs == second.planted_pairs
+
+    def test_different_seeds_differ(self):
+        assert synthetic_dataset(seed=1).graph != synthetic_dataset(seed=2).graph
+
+    def test_scale_increases_size(self):
+        small = synthetic_dataset(scale=0.5)
+        large = synthetic_dataset(scale=1.5)
+        assert large.graph.num_triples > small.graph.num_triples
+
+    def test_chase_finds_exactly_planted_pairs(self):
+        dataset = synthetic_dataset(num_keys=6, chain_length=3, radius=2, entities_per_type=4)
+        assert chase(dataset.graph, dataset.keys).pairs() == dataset.planted_pairs
+
+    def test_radius_one_has_no_aux_entities(self):
+        dataset = synthetic_dataset(num_keys=4, chain_length=1, radius=1, entities_per_type=4)
+        assert all(not t.startswith("A") for t in dataset.graph.types())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(chain_length=0)
+        with pytest.raises(DatasetError):
+            SyntheticConfig(duplicate_fraction=2.0)
+        with pytest.raises(DatasetError):
+            SyntheticConfig(scale=0)
+        with pytest.raises(DatasetError):
+            SyntheticConfig(entities_per_type=1)
+
+    def test_summary(self):
+        dataset = generate_synthetic()
+        summary = dataset.summary()
+        assert summary["planted_pairs"] == len(dataset.planted_pairs)
+        assert summary["keys"] == dataset.keys.cardinality
+
+
+class TestDomainGenerators:
+    @pytest.mark.parametrize("factory,keys_factory", [
+        (social_dataset, social_keys),
+        (knowledge_dataset, knowledge_keys),
+    ])
+    def test_keys_match_generated_graph(self, factory, keys_factory):
+        dataset = factory(scale=0.4, chain_length=2, radius=2)
+        assert {k.name for k in dataset.keys} == {k.name for k in keys_factory(2, 2)}
+        assert chase(dataset.graph, dataset.keys).pairs() == dataset.planted_pairs
+
+    def test_chain_and_radius_limits_enforced(self):
+        with pytest.raises(DatasetError):
+            social_dataset(chain_length=99)
+        with pytest.raises(DatasetError):
+            knowledge_dataset(radius=99)
+
+    def test_deeper_chains_still_exact(self):
+        dataset = social_dataset(scale=0.4, chain_length=3, radius=2)
+        result = match_entities(dataset.graph, dataset.keys, algorithm="EMOptVC")
+        assert result.pairs() == dataset.planted_pairs
+
+    def test_reconciliation_keys_work_on_radius_one_network(self):
+        dataset = social_dataset(scale=0.4, chain_length=3, radius=1)
+        result = match_entities(dataset.graph, reconciliation_keys(), algorithm="chase")
+        # the hand-written keys identify at least the duplicate user accounts
+        user_pairs = {
+            pair for pair in dataset.planted_pairs
+            if dataset.graph.entity_type(pair[0]) == "user"
+        }
+        assert user_pairs <= result.pairs()
+
+    def test_determinism(self):
+        assert social_dataset(seed=5).graph == social_dataset(seed=5).graph
+        assert knowledge_dataset(seed=5).graph == knowledge_dataset(seed=5).graph

@@ -1,0 +1,62 @@
+"""Tests of the hand-built paper examples (music G1, business G2, address)."""
+
+from __future__ import annotations
+
+from repro.core.matching import satisfies, violations
+from repro.datasets.business import (
+    address_graph,
+    address_keys,
+    business_graph,
+    business_keys,
+    key_q4,
+    key_q5,
+    key_q6,
+)
+from repro.datasets.music import key_q1, key_q2, key_q3, music_graph, music_keys
+
+
+class TestMusicExample:
+    def test_graph_matches_fig2(self):
+        graph = music_graph()
+        assert graph.num_entities == 6
+        assert graph.entities_of_type("album") == ["alb1", "alb2", "alb3"]
+        assert graph.has_triple("alb1", "recorded_by", "art1")
+
+    def test_key_shapes(self):
+        assert key_q1().is_recursive and key_q1().target_type == "album"
+        assert key_q2().is_value_based
+        assert key_q3().is_recursive and key_q3().target_type == "artist"
+        assert music_keys().cardinality == 3
+
+    def test_example5_violations(self):
+        """Example 5: either alb1 or alb2 is a duplicate (violation of Q2)."""
+        graph = music_graph()
+        assert not satisfies(graph, key_q2())
+        assert violations(graph, key_q2()) == [("alb1", "alb2")]
+
+
+class TestBusinessExample:
+    def test_graph_matches_fig2(self):
+        graph = business_graph()
+        assert graph.num_entities == 6
+        assert graph.has_triple("com1", "parent_of", "com4")
+        assert graph.has_triple("com3", "parent_of", "com5")
+
+    def test_key_shapes(self):
+        q4, q5 = key_q4(), key_q5()
+        assert q4.is_recursive and q5.is_recursive
+        assert len(q4.pattern.wildcards()) == 1
+        assert len(q5.pattern.wildcards()) == 1
+        assert business_keys().cardinality == 2
+
+    def test_example5_business_violation(self):
+        graph = business_graph()
+        assert violations(graph, key_q4()) == [("com4", "com5")]
+
+
+class TestAddressExample:
+    def test_constant_condition_limits_scope(self):
+        """Q6 only applies to UK streets: US streets sharing a zip are untouched."""
+        graph = address_graph()
+        assert violations(graph, key_q6()) == [("st_uk_1", "st_uk_2")]
+        assert address_keys().by_name("Q6").is_value_based

@@ -1,0 +1,121 @@
+"""Tests of the from-scratch VF2-style subgraph-isomorphism matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.core.triples import Literal
+from repro.isomorphism import (
+    VF2Matcher,
+    brute_force_isomorphisms,
+    is_subgraph_isomorphic,
+    subgraph_isomorphisms,
+)
+
+
+def make_triangle(prefix: str, etype: str = "node") -> Graph:
+    g = Graph()
+    names = [f"{prefix}{i}" for i in range(3)]
+    for name in names:
+        g.add_entity(name, etype)
+    g.add_edge(names[0], "to", names[1])
+    g.add_edge(names[1], "to", names[2])
+    g.add_edge(names[2], "to", names[0])
+    return g
+
+
+def make_path(prefix: str, length: int, etype: str = "node") -> Graph:
+    g = Graph()
+    names = [f"{prefix}{i}" for i in range(length)]
+    for name in names:
+        g.add_entity(name, etype)
+    for left, right in zip(names, names[1:]):
+        g.add_edge(left, "to", right)
+    return g
+
+
+class TestBasicMatching:
+    def test_triangle_in_triangle_has_three_rotations(self):
+        pattern = make_triangle("p")
+        target = make_triangle("t")
+        mappings = subgraph_isomorphisms(pattern, target)
+        assert len(mappings) == 3  # the three rotations (direction is fixed)
+
+    def test_path_in_triangle(self):
+        pattern = make_path("p", 3)
+        target = make_triangle("t")
+        assert is_subgraph_isomorphic(pattern, target)
+
+    def test_triangle_not_in_path(self):
+        pattern = make_triangle("p")
+        target = make_path("t", 4)
+        assert not is_subgraph_isomorphic(pattern, target)
+
+    def test_type_constraints_respected(self):
+        pattern = Graph()
+        pattern.add_entity("p0", "album")
+        pattern.add_entity("p1", "artist")
+        pattern.add_edge("p0", "by", "p1")
+        target = Graph()
+        target.add_entity("t0", "album")
+        target.add_entity("t1", "company")
+        target.add_edge("t0", "by", "t1")
+        assert not is_subgraph_isomorphic(pattern, target)
+
+    def test_value_nodes_must_match_exactly(self):
+        pattern = Graph()
+        pattern.add_entity("p0", "album")
+        pattern.add_value("p0", "name", "X")
+        target = Graph()
+        target.add_entity("t0", "album")
+        target.add_value("t0", "name", "Y")
+        assert not is_subgraph_isomorphic(pattern, target)
+        target.add_value("t0", "name", "X")
+        assert is_subgraph_isomorphic(pattern, target)
+
+    def test_anchors_pin_the_mapping(self):
+        pattern = make_path("p", 2)
+        target = make_path("t", 4)
+        anchored = subgraph_isomorphisms(pattern, target, anchors={"p0": "t2"})
+        assert len(anchored) == 1
+        assert anchored[0]["p0"] == "t2" and anchored[0]["p1"] == "t3"
+        assert subgraph_isomorphisms(pattern, target, anchors={"p0": "t3"}) == []
+
+    def test_limit_and_exists_and_count(self):
+        pattern = make_path("p", 2)
+        target = make_triangle("t")
+        matcher = VF2Matcher(pattern, target)
+        assert matcher.exists()
+        assert matcher.count() == 3
+        assert len(matcher.find_all(limit=2)) == 2
+
+    def test_statistics_populated(self):
+        pattern = make_path("p", 2)
+        target = make_triangle("t")
+        matcher = VF2Matcher(pattern, target)
+        matcher.find_all()
+        assert matcher.stats.solutions == 3
+        assert matcher.stats.candidates_tried > 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("pattern_size,target_size", [(2, 3), (3, 3), (3, 4)])
+    def test_same_count_as_brute_force_on_paths(self, pattern_size, target_size):
+        pattern = make_path("p", pattern_size)
+        target = make_path("t", target_size)
+        fast = subgraph_isomorphisms(pattern, target)
+        slow = brute_force_isomorphisms(pattern, target)
+        assert len(fast) == len(slow)
+
+    def test_same_count_with_values(self):
+        pattern = Graph()
+        pattern.add_entity("p0", "album")
+        pattern.add_value("p0", "name", "X")
+        target = Graph()
+        for index in range(3):
+            target.add_entity(f"t{index}", "album")
+            target.add_value(f"t{index}", "name", "X")
+        fast = subgraph_isomorphisms(pattern, target)
+        slow = brute_force_isomorphisms(pattern, target)
+        assert len(fast) == len(slow) == 3

@@ -1,0 +1,102 @@
+"""Tests of the simulated HDFS store and the MapReduce cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce import InMemoryHDFS, MapReduceCostModel, RoundCost, spread_evenly
+from repro.mapreduce.cost_model import ROUND_OVERHEAD_SECONDS
+
+
+class TestInMemoryHDFS:
+    def test_create_append_read(self):
+        hdfs = InMemoryHDFS()
+        hdfs.create("eq")
+        assert hdfs.exists("eq")
+        assert hdfs.append("eq", [1, 2, 3]) == 3
+        assert hdfs.read("eq") == [1, 2, 3]
+        assert hdfs.stats.records_written == 3
+        assert hdfs.stats.records_read == 3
+
+    def test_create_twice_fails(self):
+        hdfs = InMemoryHDFS()
+        hdfs.create("eq")
+        with pytest.raises(MapReduceError):
+            hdfs.create("eq")
+
+    def test_read_missing_fails_but_read_if_exists_does_not(self):
+        hdfs = InMemoryHDFS()
+        with pytest.raises(MapReduceError):
+            hdfs.read("missing")
+        assert hdfs.read_if_exists("missing") == []
+
+    def test_overwrite_and_delete(self):
+        hdfs = InMemoryHDFS()
+        hdfs.append("eq", [1])
+        assert hdfs.overwrite("eq", [9, 9]) == 2
+        assert hdfs.size("eq") == 2
+        hdfs.delete("eq")
+        assert not hdfs.exists("eq")
+        assert "eq" not in hdfs
+
+    def test_size_is_not_charged_as_io(self):
+        hdfs = InMemoryHDFS()
+        hdfs.append("eq", [1, 2])
+        read_before = hdfs.stats.records_read
+        hdfs.size("eq")
+        assert hdfs.stats.records_read == read_before
+
+
+class TestCostModel:
+    def test_round_seconds_include_overhead_and_makespan(self):
+        cost = RoundCost(round_index=0, map_work_per_worker=[100, 400], reduce_work_per_worker=[10])
+        seconds = cost.simulated_seconds(processors=4)
+        assert seconds > ROUND_OVERHEAD_SECONDS
+        # the straggler (400 units) dominates the map phase regardless of p
+        assert cost.simulated_seconds(4) == pytest.approx(cost.simulated_seconds(8), rel=0.2)
+
+    def test_more_processors_reduce_shuffle_time(self):
+        cost = RoundCost(round_index=0, shuffled_records=100_000)
+        assert cost.simulated_seconds(20) < cost.simulated_seconds(4)
+
+    def test_model_accumulates_rounds(self):
+        model = MapReduceCostModel(processors=4)
+        first = model.new_round()
+        first.map_work_per_worker = [10, 10]
+        second = model.new_round()
+        second.reduce_work_per_worker = [5]
+        model.add_setup_work(100)
+        assert model.num_rounds == 2
+        assert model.total_work == 125
+        breakdown = model.breakdown()
+        assert breakdown["rounds"] == 2
+        assert breakdown["total_seconds"] == pytest.approx(model.simulated_seconds())
+
+    def test_parallel_scalability_shape(self):
+        """More processors → proportionally less simulated time (same work)."""
+
+        def build(processors: int) -> MapReduceCostModel:
+            model = MapReduceCostModel(processors=processors)
+            per_worker = 120_000 // processors
+            cost = model.new_round()
+            cost.map_work_per_worker = [per_worker] * processors
+            cost.shuffled_records = 50_000
+            return model
+
+        slow = build(4).simulated_seconds()
+        fast = build(20).simulated_seconds()
+        assert fast < slow
+        # speedup is sublinear because of the fixed round overhead, but real
+        speedup = slow / fast
+        assert 1.5 < speedup <= 5.0
+
+
+class TestSpreadEvenly:
+    def test_balances_loads(self):
+        loads = spread_evenly([10, 10, 10, 10], processors=2)
+        assert sorted(loads) == [20, 20]
+
+    def test_handles_more_workers_than_items(self):
+        loads = spread_evenly([5], processors=4)
+        assert sorted(loads) == [0, 0, 0, 5]

@@ -1,0 +1,151 @@
+"""Tests of the simulated MapReduce runtime (word count & friends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce import (
+    FunctionMapper,
+    FunctionReducer,
+    MapReduceDriver,
+    MapReduceJob,
+    MapReduceCostModel,
+    WorkerCache,
+)
+
+
+def word_count_mapper(key, value, context):
+    for word in str(value).split():
+        context.emit(word, 1)
+
+
+def word_count_reducer(key, values, context):
+    context.emit(key, sum(values))
+
+
+class TestMapReduceJob:
+    def test_word_count(self):
+        job = MapReduceJob(
+            FunctionMapper(word_count_mapper), FunctionReducer(word_count_reducer), num_workers=3
+        )
+        documents = [(0, "keys for graphs"), (1, "graphs have keys"), (2, "keys keys keys")]
+        result = job.run(documents)
+        counts = dict(result.output)
+        assert counts == {"keys": 5, "for": 1, "graphs": 2, "have": 1}
+
+    def test_results_independent_of_worker_count(self):
+        documents = [(i, f"w{i % 3} shared") for i in range(20)]
+        outputs = []
+        for workers in (1, 2, 7):
+            job = MapReduceJob(
+                FunctionMapper(word_count_mapper),
+                FunctionReducer(word_count_reducer),
+                num_workers=workers,
+            )
+            outputs.append(sorted(job.run(documents).output))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_round_cost_populated(self):
+        model = MapReduceCostModel(processors=4)
+        job = MapReduceJob(
+            FunctionMapper(word_count_mapper),
+            FunctionReducer(word_count_reducer),
+            num_workers=4,
+            cost_model=model,
+        )
+        job.run([(0, "a b c"), (1, "a")])
+        assert model.num_rounds == 1
+        cost = model.rounds[0]
+        assert sum(cost.map_work_per_worker) >= 2
+        assert cost.shuffled_records == 4
+        assert model.simulated_seconds() > 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(MapReduceError):
+            MapReduceJob(FunctionMapper(word_count_mapper), FunctionReducer(word_count_reducer), 0)
+
+    def test_explicit_work_units_reach_cost_model(self):
+        model = MapReduceCostModel(processors=2)
+
+        def heavy_mapper(key, value, context):
+            context.add_work(10)
+            context.emit(key, value)
+
+        job = MapReduceJob(
+            FunctionMapper(heavy_mapper),
+            FunctionReducer(word_count_reducer),
+            num_workers=2,
+            cost_model=model,
+        )
+        job.run([(0, 1), (1, 1)])
+        assert model.total_work >= 20
+
+    def test_negative_work_rejected(self):
+        def bad_mapper(key, value, context):
+            context.add_work(-1)
+
+        job = MapReduceJob(FunctionMapper(bad_mapper), FunctionReducer(word_count_reducer), 1)
+        with pytest.raises(MapReduceError):
+            job.run([(0, "x")])
+
+    def test_grouped_output(self):
+        job = MapReduceJob(
+            FunctionMapper(word_count_mapper), FunctionReducer(word_count_reducer), num_workers=2
+        )
+        grouped = job.run([(0, "a a b")]).grouped()
+        assert grouped == {"a": [2], "b": [1]}
+
+
+class TestDriver:
+    def test_driver_runs_jobs_and_tracks_hdfs(self):
+        driver = MapReduceDriver(num_workers=3)
+        driver.hdfs.overwrite("state", ["seed"])
+        result = driver.run_job(
+            FunctionMapper(word_count_mapper), FunctionReducer(word_count_reducer), [(0, "x y")]
+        )
+        assert dict(result.output) == {"x": 1, "y": 1}
+        assert result.round_cost.hdfs_records >= 1
+        assert driver.simulated_seconds() > 0
+
+    def test_charge_setup_increases_time(self):
+        fast = MapReduceDriver(num_workers=4)
+        slow = MapReduceDriver(num_workers=4)
+        slow.charge_setup(1_000_000)
+        assert slow.simulated_seconds() > fast.simulated_seconds()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(MapReduceError):
+            MapReduceDriver(0)
+
+    def test_mapper_can_read_worker_cache(self):
+        driver = MapReduceDriver(num_workers=2)
+        driver.cache.put("factor", 3)
+
+        def scaling_mapper(key, value, context):
+            context.emit(key, value * context.cached("factor"))
+
+        def identity_reducer(key, values, context):
+            for value in values:
+                context.emit(key, value)
+
+        result = driver.run_job(
+            FunctionMapper(scaling_mapper), FunctionReducer(identity_reducer), [(0, 2), (1, 5)]
+        )
+        assert sorted(result.output) == [(0, 6), (1, 15)]
+
+
+class TestWorkerCache:
+    def test_put_get_and_stats(self):
+        cache = WorkerCache(num_workers=4)
+        cache.put("keys", {"a": 1}, records=10)
+        assert cache.get("keys") == {"a": 1}
+        assert "keys" in cache and len(cache) == 1
+        assert cache.stats.distributed_records == 40
+        assert cache.stats.hits == 1
+        assert cache.get_optional("missing", default="x") == "x"
+
+    def test_missing_entry_raises(self):
+        cache = WorkerCache(num_workers=1)
+        with pytest.raises(MapReduceError):
+            cache.get("missing")

@@ -1,0 +1,101 @@
+"""Cross-algorithm consistency: every algorithm must compute the same chase.
+
+This is the central correctness test of the reproduction: the sequential
+chase, the three MapReduce variants and the two vertex-centric variants must
+agree on every dataset, and where the dataset plants known duplicates they
+must find exactly the planted pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.circuits import (
+    deep_and_chain,
+    encode_circuit,
+    expected_identified_pairs,
+    random_monotone_circuit,
+)
+from repro.matching import ALGORITHMS, match_entities
+
+PARALLEL_ALGORITHMS = [name for name in ALGORITHMS if name != "chase"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestPaperExamples:
+    def test_music(self, music, algorithm):
+        graph, keys, expected = music
+        result = match_entities(graph, keys, algorithm=algorithm)
+        assert result.pairs() == expected
+
+    def test_business(self, business, algorithm):
+        graph, keys, expected = business
+        result = match_entities(graph, keys, algorithm=algorithm)
+        assert result.pairs() == expected
+
+    def test_address(self, address, algorithm):
+        graph, keys, expected = address
+        result = match_entities(graph, keys, algorithm=algorithm)
+        assert result.pairs() == expected
+
+    def test_fusion_example(self, fusion_example, algorithm):
+        graph, keys, expected = fusion_example
+        result = match_entities(graph, keys, algorithm=algorithm)
+        assert result.pairs() == expected
+
+
+@pytest.mark.parametrize("algorithm", PARALLEL_ALGORITHMS)
+class TestGeneratedWorkloads:
+    def test_small_synthetic_finds_planted_pairs(self, small_synthetic, algorithm):
+        result = match_entities(small_synthetic.graph, small_synthetic.keys, algorithm=algorithm)
+        assert result.pairs() == small_synthetic.planted_pairs
+
+    def test_deep_synthetic_chain(self, deep_synthetic, algorithm):
+        result = match_entities(deep_synthetic.graph, deep_synthetic.keys, algorithm=algorithm)
+        assert result.pairs() == deep_synthetic.planted_pairs
+
+    def test_social(self, small_social, algorithm):
+        result = match_entities(small_social.graph, small_social.keys, algorithm=algorithm)
+        assert result.pairs() == small_social.planted_pairs
+
+    def test_knowledge(self, small_knowledge, algorithm):
+        result = match_entities(small_knowledge.graph, small_knowledge.keys, algorithm=algorithm)
+        assert result.pairs() == small_knowledge.planted_pairs
+
+
+@pytest.mark.parametrize("algorithm", PARALLEL_ALGORITHMS)
+class TestCircuitReduction:
+    def test_deep_and_chain(self, algorithm):
+        circuit = deep_and_chain(depth=4)
+        graph, keys = encode_circuit(circuit)
+        result = match_entities(graph, keys, algorithm=algorithm)
+        assert result.pairs() == expected_identified_pairs(circuit)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_random_circuits(self, algorithm, seed):
+        circuit = random_monotone_circuit(num_inputs=3, num_gates=5, seed=seed)
+        graph, keys = encode_circuit(circuit)
+        result = match_entities(graph, keys, algorithm=algorithm)
+        assert result.pairs() == expected_identified_pairs(circuit)
+
+
+@pytest.mark.parametrize("processors", [1, 2, 8])
+def test_result_is_independent_of_processor_count(music, processors):
+    graph, keys, expected = music
+    for algorithm in PARALLEL_ALGORITHMS:
+        result = match_entities(graph, keys, algorithm=algorithm, processors=processors)
+        assert result.pairs() == expected, algorithm
+
+
+def test_unknown_algorithm_rejected(music):
+    graph, keys, _ = music
+    from repro.exceptions import MatchingError
+
+    with pytest.raises(MatchingError):
+        match_entities(graph, keys, algorithm="EMDoesNotExist")
+
+
+def test_algorithm_names_are_case_insensitive(music):
+    graph, keys, expected = music
+    result = match_entities(graph, keys, algorithm="emoptvc")
+    assert result.pairs() == expected

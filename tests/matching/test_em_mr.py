@@ -1,0 +1,91 @@
+"""Tests specific to the MapReduce algorithms (EMMR, EMVF2MR, EMOptMR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import em_mr, em_mr_opt, em_vf2_mr
+from repro.matching.checkers import EnumerationChecker, GuidedChecker
+from repro.core.equivalence import EquivalenceRelation
+from repro.datasets.music import key_q2, music_graph
+from repro.datasets.synthetic import synthetic_dataset
+
+
+class TestCheckers:
+    def test_guided_checker_reports_work(self):
+        graph = music_graph()
+        checker = GuidedChecker(graph)
+        identified, work = checker.check(
+            [key_q2()], "alb1", "alb2", EquivalenceRelation(), None, None
+        )
+        assert identified and work >= 1
+
+    def test_enumeration_checker_agrees_with_guided(self):
+        graph = music_graph()
+        guided = GuidedChecker(graph)
+        enumerated = EnumerationChecker(graph)
+        eq = EquivalenceRelation()
+        for pair in (("alb1", "alb2"), ("alb1", "alb3")):
+            left, _ = guided.check([key_q2()], *pair, eq, None, None)
+            right, _ = enumerated.check([key_q2()], *pair, eq, None, None)
+            assert left == right
+
+
+class TestEMMRBehaviour:
+    def test_round_count_matches_example8(self, music):
+        """Example 8: EMMR takes three rounds on (G1, Σ1)."""
+        graph, keys, _ = music
+        result = em_mr(graph, keys, processors=4)
+        assert result.stats.rounds == 3
+
+    def test_rounds_grow_with_dependency_chain(self):
+        shallow = synthetic_dataset(num_keys=4, chain_length=1, radius=1, entities_per_type=4)
+        deep = synthetic_dataset(num_keys=4, chain_length=4, radius=1, entities_per_type=4)
+        shallow_rounds = em_mr(shallow.graph, shallow.keys).stats.rounds
+        deep_rounds = em_mr(deep.graph, deep.keys).stats.rounds
+        assert deep_rounds > shallow_rounds
+
+    def test_statistics_populated(self, music):
+        graph, keys, _ = music
+        result = em_mr(graph, keys, processors=4)
+        stats = result.stats
+        assert stats.candidate_pairs == 6
+        assert stats.checks > 0
+        assert stats.shuffled_records > 0
+        assert stats.identified_pairs == 2
+        assert result.cost_breakdown["total_seconds"] == pytest.approx(
+            result.simulated_seconds
+        )
+
+    def test_more_processors_reduce_simulated_time(self):
+        dataset = synthetic_dataset(num_keys=8, chain_length=2, radius=2, entities_per_type=6)
+        slow = em_mr(dataset.graph, dataset.keys, processors=4).simulated_seconds
+        fast = em_mr(dataset.graph, dataset.keys, processors=20).simulated_seconds
+        assert fast < slow
+
+    def test_vf2_baseline_charges_at_least_as_much_work(self, music):
+        graph, keys, _ = music
+        guided = em_mr(graph, keys, processors=4)
+        baseline = em_vf2_mr(graph, keys, processors=4)
+        assert baseline.pairs() == guided.pairs()
+        assert baseline.stats.work_units >= guided.stats.work_units
+
+
+class TestEMOptMR:
+    def test_opt_does_not_change_the_result(self, music, business):
+        for graph, keys, expected in (music, business):
+            assert em_mr_opt(graph, keys).pairs() == expected
+
+    def test_opt_reduces_checks_on_synthetic_data(self):
+        dataset = synthetic_dataset(num_keys=8, chain_length=3, radius=2, entities_per_type=6)
+        base = em_mr(dataset.graph, dataset.keys, processors=4)
+        optimized = em_mr_opt(dataset.graph, dataset.keys, processors=4)
+        assert optimized.pairs() == base.pairs() == dataset.planted_pairs
+        assert optimized.stats.checks <= base.stats.checks
+        assert optimized.stats.processed_pairs <= base.stats.processed_pairs
+
+    def test_opt_is_not_slower_in_simulated_time(self):
+        dataset = synthetic_dataset(num_keys=8, chain_length=3, radius=2, entities_per_type=6)
+        base = em_mr(dataset.graph, dataset.keys, processors=4)
+        optimized = em_mr_opt(dataset.graph, dataset.keys, processors=4)
+        assert optimized.simulated_seconds <= base.simulated_seconds * 1.05

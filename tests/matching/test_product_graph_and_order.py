@@ -1,0 +1,94 @@
+"""Tests of the product graph Gp and the traversal orders P_Q."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.candidates import build_filtered_candidates
+from repro.matching.product_graph import ProductGraph
+from repro.matching.traversal_order import traversal_order, traversal_orders, tour_is_valid
+from repro.datasets.business import business_dataset
+from repro.datasets.music import key_q1, key_q2, key_q3, music_dataset
+from repro.datasets.synthetic import synthetic_dataset
+
+
+def build_product_graph(graph, keys) -> ProductGraph:
+    candidates = build_filtered_candidates(graph, keys, reduce_neighborhoods=False)
+    return ProductGraph(graph, keys, candidates)
+
+
+class TestProductGraph:
+    def test_candidate_pairs_are_nodes(self, music):
+        graph, keys, _ = music
+        product = build_product_graph(graph, keys)
+        assert product.has_node(("alb1", "alb2"))
+        assert ("alb1", "alb2") in product.candidate_nodes()
+
+    def test_value_pairs_become_nodes(self, music):
+        graph, keys, _ = music
+        product = build_product_graph(graph, keys)
+        from repro.core.triples import Literal
+
+        assert product.has_node((Literal("Anthology 2"), Literal("Anthology 2")))
+
+    def test_forward_and_backward_neighbors(self, music):
+        graph, keys, _ = music
+        product = build_product_graph(graph, keys)
+        forward = product.forward_neighbors(("alb1", "alb2"), "recorded_by")
+        assert ("art1", "art2") in forward
+        backward = product.backward_neighbors(("art1", "art2"), "recorded_by")
+        assert ("alb1", "alb2") in backward
+
+    def test_dependents_follow_recursive_keys(self, music):
+        graph, keys, _ = music
+        product = build_product_graph(graph, keys)
+        assert ("art1", "art2") in product.dependents_of(("alb1", "alb2"))
+
+    def test_tc_index(self, music):
+        graph, keys, _ = music
+        product = build_product_graph(graph, keys)
+        touching = product.candidate_pairs_touching("alb1")
+        assert ("alb1", "alb2") in touching and ("alb1", "alb3") in touching
+
+    def test_size_is_moderate(self, small_synthetic):
+        """|Gp| stays within a small factor of |G| (the paper reports ≈ 2.7×)."""
+        graph, keys = small_synthetic.graph, small_synthetic.keys
+        product = build_product_graph(graph, keys)
+        assert product.num_nodes < graph.num_nodes ** 2
+        ratio = product.size() / graph.num_triples
+        assert ratio < 10.0
+        stats = product.stats()
+        assert stats["nodes"] == product.num_nodes
+        assert product.construction_work > 0
+
+
+class TestTraversalOrder:
+    @pytest.mark.parametrize("key_factory", [key_q1, key_q2, key_q3])
+    def test_music_keys_have_valid_tours(self, key_factory):
+        key = key_factory()
+        steps = traversal_order(key.pattern)
+        assert tour_is_valid(key.pattern, steps)
+        assert len(steps) == 2 * key.size  # Lemma 11: at most 2|Q| propagations
+
+    def test_business_keys_have_valid_tours(self):
+        _, keys = business_dataset()
+        for key in keys:
+            assert tour_is_valid(key.pattern, traversal_order(key.pattern))
+
+    def test_synthetic_keys_have_valid_tours(self):
+        dataset = synthetic_dataset(num_keys=6, chain_length=3, radius=3, entities_per_type=3)
+        for key in dataset.keys:
+            steps = traversal_order(key.pattern)
+            assert tour_is_valid(key.pattern, steps)
+            assert steps[0].source_name == key.pattern.designated.name
+
+    def test_traversal_orders_indexed_by_key_name(self, music):
+        _, keys, _ = music
+        orders = traversal_orders(keys)
+        assert set(orders.keys()) == {"Q1", "Q2", "Q3"}
+
+    def test_tour_validity_checker_rejects_broken_tours(self):
+        key = key_q2()
+        steps = traversal_order(key.pattern)
+        assert not tour_is_valid(key.pattern, steps[:-1])  # does not return to x
+        assert not tour_is_valid(key.pattern, steps[1:])   # does not start at x

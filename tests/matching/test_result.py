@@ -1,0 +1,51 @@
+"""Tests of the EMResult / EMStatistics containers."""
+
+from __future__ import annotations
+
+from repro.core.equivalence import EquivalenceRelation
+from repro.matching import chase_as_result, match_entities
+from repro.matching.result import EMResult, EMStatistics
+
+
+class TestEMResult:
+    def test_pairs_and_identified(self):
+        eq = EquivalenceRelation()
+        eq.merge("a", "b")
+        result = EMResult(algorithm="test", processors=2, eq=eq)
+        assert result.pairs() == {("a", "b")}
+        assert result.identified("a", "b")
+        assert not result.identified("a", "c")
+        assert result.num_identified == 1
+
+    def test_summary_flattens_statistics(self):
+        eq = EquivalenceRelation()
+        stats = EMStatistics(candidate_pairs=10, rounds=3)
+        result = EMResult(
+            algorithm="EMMR", processors=4, eq=eq, simulated_seconds=1.234, stats=stats
+        )
+        summary = result.summary()
+        assert summary["algorithm"] == "EMMR"
+        assert summary["candidate_pairs"] == 10
+        assert summary["rounds"] == 3
+        assert summary["simulated_seconds"] == 1.234
+
+    def test_stats_as_dict_round_trip(self):
+        stats = EMStatistics(messages_sent=7)
+        assert stats.as_dict()["messages_sent"] == 7
+
+
+class TestChaseAsResult:
+    def test_wraps_sequential_chase(self, music):
+        graph, keys, expected = music
+        result = chase_as_result(graph, keys)
+        assert result.algorithm == "chase"
+        assert result.pairs() == expected
+        assert result.stats.identified_pairs == len(expected)
+        assert result.stats.checks > 0
+
+    def test_matches_dispatcher(self, music):
+        graph, keys, _ = music
+        assert (
+            match_entities(graph, keys, algorithm="chase").pairs()
+            == chase_as_result(graph, keys).pairs()
+        )

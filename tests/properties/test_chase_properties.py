@@ -1,0 +1,67 @@
+"""Property-based tests of the chase: Church–Rosser, monotonicity, soundness."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chase import candidate_pairs, chase
+from repro.core.key import KeySet
+from repro.datasets.music import music_dataset
+from repro.datasets.synthetic import synthetic_dataset
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_church_rosser_on_music(seed):
+    """Proposition 1: any application order yields the same chase result."""
+    graph, keys = music_dataset()
+    rng = random.Random(seed)
+    pairs = candidate_pairs(graph, keys)
+    rng.shuffle(pairs)
+    shuffled_keys = list(keys)
+    rng.shuffle(shuffled_keys)
+    shuffled = chase(graph, keys, pair_order=pairs, key_order=shuffled_keys)
+    reference = chase(graph, keys)
+    assert shuffled.pairs() == reference.pairs()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    chain_length=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_church_rosser_on_synthetic(seed, chain_length):
+    dataset = synthetic_dataset(
+        num_keys=4, chain_length=chain_length, radius=2, entities_per_type=3, seed=seed
+    )
+    graph, keys = dataset.graph, dataset.keys
+    rng = random.Random(seed)
+    pairs = candidate_pairs(graph, keys)
+    rng.shuffle(pairs)
+    assert chase(graph, keys, pair_order=pairs).pairs() == dataset.planted_pairs
+
+
+@given(drop=st.integers(min_value=0, max_value=2))
+@settings(max_examples=10, deadline=None)
+def test_chase_is_monotone_in_keys(drop):
+    """Removing a key can only shrink (never grow) the identified pairs."""
+    graph, keys = music_dataset()
+    full = chase(graph, keys).pairs()
+    remaining = [key for index, key in enumerate(keys) if index != drop]
+    reduced = chase(graph, KeySet(remaining)).pairs()
+    assert reduced <= full
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=10, deadline=None)
+def test_chase_identifies_only_same_type_pairs(seed):
+    """Soundness: identified pairs always share an entity type."""
+    dataset = synthetic_dataset(
+        num_keys=4, chain_length=2, radius=2, entities_per_type=3, seed=seed
+    )
+    result = chase(dataset.graph, dataset.keys)
+    for e1, e2 in result.pairs():
+        assert dataset.graph.entity_type(e1) == dataset.graph.entity_type(e2)

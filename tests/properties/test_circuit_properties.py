@@ -1,0 +1,36 @@
+"""Property-based test: the Theorem-4 reduction agrees with circuit evaluation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chase import chase
+from repro.datasets.circuits import (
+    encode_circuit,
+    expected_identified_pairs,
+    random_monotone_circuit,
+)
+from repro.matching import match_entities
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_inputs=st.integers(min_value=1, max_value=4),
+    num_gates=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_chase_computes_circuit_values(seed, num_inputs, num_gates):
+    circuit = random_monotone_circuit(num_inputs=num_inputs, num_gates=num_gates, seed=seed)
+    graph, keys = encode_circuit(circuit)
+    assert chase(graph, keys).pairs() == expected_identified_pairs(circuit)
+
+
+@given(seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=8, deadline=None)
+def test_parallel_algorithms_compute_circuit_values(seed):
+    circuit = random_monotone_circuit(num_inputs=3, num_gates=4, seed=seed)
+    graph, keys = encode_circuit(circuit)
+    expected = expected_identified_pairs(circuit)
+    for algorithm in ("EMOptMR", "EMOptVC"):
+        assert match_entities(graph, keys, algorithm=algorithm).pairs() == expected

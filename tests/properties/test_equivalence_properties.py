@@ -1,0 +1,52 @@
+"""Property-based tests of the union–find equivalence relation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import EquivalenceRelation
+
+members = st.sampled_from([f"e{i}" for i in range(8)])
+merge_lists = st.lists(st.tuples(members, members), max_size=25)
+
+
+@given(merges=merge_lists)
+@settings(max_examples=60, deadline=None)
+def test_relation_is_an_equivalence(merges):
+    """Reflexive, symmetric and transitive after any sequence of merges."""
+    eq = EquivalenceRelation([f"e{i}" for i in range(8)])
+    for e1, e2 in merges:
+        eq.merge(e1, e2)
+    members_list = [f"e{i}" for i in range(8)]
+    for a in members_list:
+        assert eq.identified(a, a)
+        for b in members_list:
+            assert eq.identified(a, b) == eq.identified(b, a)
+            for c in members_list:
+                if eq.identified(a, b) and eq.identified(b, c):
+                    assert eq.identified(a, c)
+
+
+@given(merges=merge_lists)
+@settings(max_examples=60, deadline=None)
+def test_merge_order_is_irrelevant(merges):
+    forward = EquivalenceRelation()
+    backward = EquivalenceRelation()
+    for e1, e2 in merges:
+        forward.merge(e1, e2)
+    for e1, e2 in reversed(merges):
+        backward.merge(e2, e1)
+    assert forward.pairs() == backward.pairs()
+
+
+@given(merges=merge_lists)
+@settings(max_examples=60, deadline=None)
+def test_pairs_consistent_with_classes(merges):
+    eq = EquivalenceRelation()
+    for e1, e2 in merges:
+        eq.merge(e1, e2)
+    pairs = eq.pairs()
+    expected = sum(len(c) * (len(c) - 1) // 2 for c in eq.classes())
+    assert len(pairs) == expected
+    assert all(a < b for a, b in pairs)

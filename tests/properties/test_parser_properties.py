@@ -1,0 +1,59 @@
+"""Property-based round-trip tests of the graph/key DSL."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import Graph
+from repro.core.parser import parse_graph, parse_keys, serialize_graph, serialize_keys
+from repro.datasets.keygen import generate_keys
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+type_names = st.sampled_from(["album", "artist", "company", "street"])
+predicates = st.sampled_from(["name_of", "recorded_by", "parent_of", "zip_code"])
+scalar_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet="abcdefghij XYZ-", min_size=0, max_size=10).filter(
+        lambda s: '"' not in s and "#" not in s
+    ),
+    st.booleans(),
+)
+
+
+@st.composite
+def graphs(draw):
+    graph = Graph()
+    entity_ids = draw(st.lists(identifiers, min_size=1, max_size=6, unique=True))
+    for eid in entity_ids:
+        graph.add_entity(eid, draw(type_names))
+    num_triples = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(num_triples):
+        subject = draw(st.sampled_from(entity_ids))
+        predicate = draw(predicates)
+        if draw(st.booleans()):
+            graph.add_edge(subject, predicate, draw(st.sampled_from(entity_ids)))
+        else:
+            graph.add_value(subject, predicate, draw(scalar_values))
+    return graph
+
+
+@given(graph=graphs())
+@settings(max_examples=60, deadline=None)
+def test_graph_round_trip(graph):
+    assert parse_graph(serialize_graph(graph)) == graph
+
+
+@given(
+    num_keys=st.integers(min_value=1, max_value=8),
+    chain_length=st.integers(min_value=1, max_value=4),
+    radius=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_generated_keys_round_trip(num_keys, chain_length, radius):
+    keys = generate_keys(num_keys, chain_length, radius)
+    parsed = parse_keys(serialize_keys(keys))
+    assert parsed.cardinality == keys.cardinality
+    for key in keys:
+        assert parsed.by_name(key.name).pattern == key.pattern
+        assert parsed.by_name(key.name).radius == key.radius

@@ -1,0 +1,39 @@
+"""Property-based test: the VF2 matcher agrees with brute force on small graphs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import Graph
+from repro.isomorphism import brute_force_isomorphisms, subgraph_isomorphisms
+
+
+@st.composite
+def small_graph(draw, prefix: str, max_nodes: int):
+    graph = Graph()
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    types = ["red", "blue"]
+    for index in range(num_nodes):
+        graph.add_entity(f"{prefix}{index}", draw(st.sampled_from(types)))
+    num_edges = draw(st.integers(min_value=0, max_value=max_nodes * 2))
+    for _ in range(num_edges):
+        source = f"{prefix}{draw(st.integers(min_value=0, max_value=num_nodes - 1))}"
+        target = f"{prefix}{draw(st.integers(min_value=0, max_value=num_nodes - 1))}"
+        if source != target:
+            graph.add_edge(source, target and source and "to", target)
+    return graph
+
+
+@given(pattern=small_graph("p", 3), target=small_graph("t", 4))
+@settings(max_examples=50, deadline=None)
+def test_vf2_matches_brute_force_count(pattern, target):
+    fast = subgraph_isomorphisms(pattern, target)
+    slow = brute_force_isomorphisms(pattern, target)
+    assert len(fast) == len(slow)
+    # every reported mapping is a genuine embedding
+    for mapping in fast:
+        for triple in pattern.triples():
+            assert target.has_triple(
+                mapping[triple.subject], triple.predicate, mapping[triple.obj]
+            )

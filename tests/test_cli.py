@@ -1,0 +1,82 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.parser import save_graph, save_keys
+from repro.datasets.music import music_dataset
+
+
+@pytest.fixture
+def music_files(tmp_path):
+    graph, keys = music_dataset()
+    graph_path = tmp_path / "music.graph"
+    keys_path = tmp_path / "music.keys"
+    save_graph(graph, graph_path)
+    save_keys(keys, keys_path)
+    return str(graph_path), str(keys_path)
+
+
+class TestMatchCommand:
+    def test_match_reports_identified_pairs(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            ["match", "--graph", graph_path, "--keys", keys_path, "--algorithm", "EMOptVC"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "alb1 == alb2" in output
+        assert "art1 == art2" in output
+
+    def test_match_with_chase_algorithm(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        assert main(["match", "--graph", graph_path, "--keys", keys_path, "--algorithm", "chase"]) == 0
+        assert "identified" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["match", "--graph", str(tmp_path / "nope.graph"), "--keys", str(tmp_path / "nope.keys")]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_check_reports_violations(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(["check", "--graph", graph_path, "--keys", keys_path])
+        output = capsys.readouterr().out
+        assert exit_code == 1  # violations present → non-zero
+        assert "duplicate candidates" in output
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset", ["synthetic", "social", "knowledge"])
+    def test_generate_writes_parseable_files(self, dataset, tmp_path, capsys):
+        out_graph = tmp_path / "out.graph"
+        out_keys = tmp_path / "out.keys"
+        exit_code = main(
+            [
+                "generate",
+                "--dataset", dataset,
+                "--scale", "0.4",
+                "--out-graph", str(out_graph),
+                "--out-keys", str(out_keys),
+            ]
+        )
+        assert exit_code == 0
+        assert out_graph.exists() and out_keys.exists()
+        # the generated files must round-trip through the match command
+        assert main(["match", "--graph", str(out_graph), "--keys", str(out_keys)]) == 0
+
+
+class TestBenchCommand:
+    def test_bench_prints_series(self, capsys):
+        exit_code = main(
+            ["bench", "--dataset", "synthetic", "--processors", "2", "4", "--scale", "0.4"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "EMVC" in output and "speedup" in output

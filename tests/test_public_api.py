@@ -1,0 +1,55 @@
+"""Tests of the top-level public API (the README / docstring quickstart)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_version_and_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export {name}"
+
+
+def test_quickstart_from_module_docstring():
+    graph = repro.Graph()
+    graph.add_entity("alb1", "album")
+    graph.add_entity("alb2", "album")
+    graph.add_value("alb1", "name_of", "Anthology 2")
+    graph.add_value("alb2", "name_of", "Anthology 2")
+    graph.add_value("alb1", "release_year", "1996")
+    graph.add_value("alb2", "release_year", "1996")
+
+    keys = repro.parse_keys(
+        """
+        key album_by_name_and_year for album:
+          x -[name_of]-> name*
+          x -[release_year]-> year*
+        """
+    )
+    result = repro.match_entities(graph, keys, algorithm="EMOptVC")
+    assert result.identified("alb1", "alb2")
+
+
+def test_algorithm_registry_is_complete():
+    assert set(repro.ALGORITHMS) == {"chase", "EMMR", "EMVF2MR", "EMOptMR", "EMVC", "EMOptVC"}
+
+
+def test_exception_hierarchy():
+    assert issubclass(repro.GraphError, repro.ReproError)
+    assert issubclass(repro.ParseError, repro.ReproError)
+    assert issubclass(repro.MatchingError, repro.ReproError)
+    assert issubclass(repro.UnknownEntityError, repro.GraphError)
+
+
+def test_chase_and_proof_api_work_together():
+    from repro.datasets.music import music_dataset
+
+    graph, keys = music_dataset()
+    chase_result = repro.chase(graph, keys)
+    proof = repro.proof_from_chase(chase_result)
+    assert repro.verify_proof(graph, keys, proof)
+    steps = repro.explain(graph, keys, chase_result, "art1", "art2")
+    assert steps and steps[-1].pair == ("art1", "art2")

@@ -1,0 +1,107 @@
+"""Tests of the simulated vertex-centric asynchronous engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.exceptions import VertexCentricError
+from repro.vertexcentric import VertexCentricEngine
+
+
+@dataclass
+class CounterState:
+    value: int = 0
+    log: List[object] = field(default_factory=list)
+
+
+class PropagateProgram:
+    """A vertex program that propagates a token along explicit 'next' links."""
+
+    def __init__(self, links):
+        self._links = links
+
+    def on_message(self, vertex_id, state, payload, context):
+        state.value += payload
+        state.log.append(payload)
+        context.add_work(2)
+        nxt = self._links.get(vertex_id)
+        if nxt is not None:
+            context.send(nxt, payload + 1)
+
+
+class TestEngine:
+    def test_chain_propagation(self):
+        links = {"a": "b", "b": "c"}
+        engine = VertexCentricEngine(PropagateProgram(links), processors=2)
+        for vertex in ("a", "b", "c"):
+            engine.add_vertex(vertex, CounterState())
+        engine.post("a", 1)
+        engine.run()
+        assert engine.vertex_state("a").value == 1
+        assert engine.vertex_state("b").value == 2
+        assert engine.vertex_state("c").value == 3
+        assert engine.stats.messages_processed == 3
+        assert engine.simulated_seconds() > 0
+
+    def test_messages_to_unknown_vertices_are_dropped(self):
+        engine = VertexCentricEngine(PropagateProgram({"a": "ghost"}), processors=1)
+        engine.add_vertex("a", CounterState())
+        engine.post("a", 1)
+        engine.run()
+        assert engine.stats.messages_dropped == 1
+
+    def test_duplicate_vertex_rejected(self):
+        engine = VertexCentricEngine(PropagateProgram({}), processors=1)
+        engine.add_vertex("a", CounterState())
+        with pytest.raises(VertexCentricError):
+            engine.add_vertex("a", CounterState())
+
+    def test_unknown_state_lookup_rejected(self):
+        engine = VertexCentricEngine(PropagateProgram({}), processors=1)
+        with pytest.raises(VertexCentricError):
+            engine.vertex_state("nope")
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(VertexCentricError):
+            VertexCentricEngine(PropagateProgram({}), processors=0)
+
+    def test_message_budget_guard(self):
+        class LoopProgram:
+            def on_message(self, vertex_id, state, payload, context):
+                context.send(vertex_id, payload)
+
+        engine = VertexCentricEngine(LoopProgram(), processors=1, max_messages=50)
+        engine.add_vertex("a", CounterState())
+        engine.post("a", 0)
+        with pytest.raises(VertexCentricError):
+            engine.run()
+
+    def test_work_attribution_and_cost_model(self):
+        links = {"a": "b"}
+        engine = VertexCentricEngine(PropagateProgram(links), processors=3)
+        engine.add_vertex("a", CounterState())
+        engine.add_vertex("b", CounterState())
+        engine.post("a", 1)
+        engine.run()
+        model = engine.cost_model
+        # each handled message charges 1 (delivery) + 2 (program) work units
+        assert sum(model.worker_work) == 6
+        assert model.messages_sent == 2
+        breakdown = model.breakdown()
+        assert breakdown["total_seconds"] == pytest.approx(model.simulated_seconds())
+
+    def test_reading_other_vertex_state(self):
+        class PeekProgram:
+            def on_message(self, vertex_id, state, payload, context):
+                other = context.state(payload)
+                state.value = other.value + 10
+
+        engine = VertexCentricEngine(PeekProgram(), processors=1)
+        engine.add_vertex("a", CounterState(value=5))
+        engine.add_vertex("b", CounterState())
+        engine.post("b", "a")
+        engine.run()
+        assert engine.vertex_state("b").value == 15

@@ -1,0 +1,90 @@
+"""Tests of the asynchronous scheduler and the vertex-centric cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VertexCentricError
+from repro.vertexcentric import AsyncScheduler, Message, VertexCentricCostModel
+
+
+class TestAsyncScheduler:
+    def test_processes_all_messages(self):
+        scheduler = AsyncScheduler(3, worker_for=lambda v: hash(v))
+        seen = []
+        for index in range(10):
+            scheduler.enqueue(Message.create(f"v{index}", index))
+        processed = scheduler.run(lambda message: seen.append(message.payload))
+        assert processed == 10
+        assert sorted(seen) == list(range(10))
+        assert scheduler.stats.enqueued == 10
+        assert scheduler.stats.processed == 10
+
+    def test_handlers_can_enqueue_more(self):
+        scheduler = AsyncScheduler(2, worker_for=lambda v: hash(v))
+        seen = []
+
+        def handler(message):
+            seen.append(message.payload)
+            if message.payload < 3:
+                scheduler.enqueue(Message.create("v", message.payload + 1))
+
+        scheduler.enqueue(Message.create("v", 0))
+        scheduler.run(handler)
+        assert seen == [0, 1, 2, 3]
+
+    def test_priority_order_within_a_worker(self):
+        scheduler = AsyncScheduler(1, worker_for=lambda v: 0)
+        seen = []
+        scheduler.enqueue(Message.create("v", "low priority", priority=5))
+        scheduler.enqueue(Message.create("v", "high priority", priority=0))
+        scheduler.run(lambda message: seen.append(message.payload))
+        assert seen == ["high priority", "low priority"]
+
+    def test_message_budget(self):
+        scheduler = AsyncScheduler(1, worker_for=lambda v: 0)
+
+        def handler(message):
+            scheduler.enqueue(Message.create("v", None))
+
+        scheduler.enqueue(Message.create("v", None))
+        with pytest.raises(VertexCentricError):
+            scheduler.run(handler, max_messages=10)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(VertexCentricError):
+            AsyncScheduler(0, worker_for=lambda v: 0)
+
+
+class TestVertexCentricCostModel:
+    def test_work_goes_to_hosting_worker(self):
+        model = VertexCentricCostModel(processors=4)
+        model.add_work("vertex", 7)
+        assert sum(model.worker_work) == 7
+        assert model.worker_work[model.worker_for("vertex")] == 7
+
+    def test_simulated_seconds_decrease_with_processors(self):
+        def build(processors: int) -> VertexCentricCostModel:
+            model = VertexCentricCostModel(processors=processors)
+            for index in range(1000):
+                model.add_work(f"v{index}", 50)
+            model.record_message_sent(5000)
+            return model
+
+        assert build(20).simulated_seconds() < build(4).simulated_seconds()
+
+    def test_no_round_overhead(self):
+        """Vertex-centric runs pay only a small fixed engine overhead."""
+        model = VertexCentricCostModel(processors=4)
+        assert model.simulated_seconds() < 1.0
+
+    def test_breakdown_and_setup_work(self):
+        model = VertexCentricCostModel(processors=2)
+        model.add_setup_work(1000)
+        breakdown = model.breakdown()
+        assert breakdown["total_seconds"] == pytest.approx(model.simulated_seconds())
+        assert model.total_work == 1000
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            VertexCentricCostModel(processors=0)
