@@ -16,7 +16,7 @@ Run with:  python examples/knowledge_fusion.py
 
 from __future__ import annotations
 
-from repro import match_entities
+from repro import MatchSession
 from repro.datasets.knowledge import fusion_example_graph, knowledge_dataset
 
 
@@ -28,7 +28,7 @@ def run_fig7_scenario() -> None:
     for key in keys:
         flavour = "recursive" if key.is_recursive else "value-based"
         print(f"  key {key.name} ({flavour}, for {key.target_type})")
-    result = match_entities(graph, keys, algorithm="EMOptVC")
+    result = MatchSession(graph).with_keys(keys).using("EMOptVC").run()
     print("  fused entity pairs:")
     for e1, e2 in sorted(result.pairs()):
         print(f"    {e1}  ≡  {e2}")
@@ -41,7 +41,8 @@ def run_generated_scenario() -> None:
     dataset = knowledge_dataset(scale=1.0, chain_length=3, radius=2, seed=23)
     print(f"  graph: {dataset.graph.stats()}")
     print(f"  keys : {dataset.keys.stats()}")
-    result = match_entities(dataset.graph, dataset.keys, algorithm="EMOptMR", processors=8)
+    session = MatchSession(dataset.graph).with_keys(dataset.keys)
+    result = session.using("EMOptMR", processors=8).run()
     found = result.pairs()
     print(f"  planted duplicates : {len(dataset.planted_pairs)}")
     print(f"  identified pairs   : {len(found)}")

@@ -21,9 +21,9 @@ from repro.benchlib import (
     run_experiment,
     speedup_summary,
 )
+from repro import MatchSession
 from repro.datasets.circuits import deep_and_chain, encode_circuit
 from repro.datasets.synthetic import synthetic_dataset
-from repro.matching import em_mr, em_vc
 
 
 def synthetic_factory(scale: float = 1.0, chain_length: int = 2, radius: int = 2, seed: int = 7):
@@ -57,8 +57,9 @@ def run_dependency_chain_stress() -> None:
     print(f"{'depth':>6} | {'EMMR rounds':>11} | {'EMMR sim s':>10} | {'EMVC sim s':>10}")
     for depth in (2, 4, 8):
         graph, keys = encode_circuit(deep_and_chain(depth))
-        mr = em_mr(graph, keys, processors=4)
-        vc = em_vc(graph, keys, processors=4)
+        session = MatchSession(graph).with_keys(keys)
+        mr = session.run("EMMR", processors=4)
+        vc = session.run("EMVC", processors=4)
         assert mr.pairs() == vc.pairs()
         print(
             f"{depth:>6} | {mr.stats.rounds:>11} | {mr.simulated_seconds:>10.2f} | "

@@ -16,7 +16,7 @@ Run with:  python examples/social_reconciliation.py
 
 from __future__ import annotations
 
-from repro import match_entities
+from repro import MatchSession
 from repro.datasets.social import reconciliation_keys, social_dataset
 
 
@@ -25,7 +25,8 @@ def reconcile_with_handwritten_keys() -> None:
     print("Hand-written reconciliation keys (name+postal code, name+university, ...)")
     dataset = social_dataset(scale=1.0, chain_length=3, radius=1, seed=11)
     keys = reconciliation_keys()
-    result = match_entities(dataset.graph, keys, algorithm="EMOptVC", processors=4)
+    session = MatchSession(dataset.graph).with_keys(keys)
+    result = session.using("EMOptVC", processors=4).run()
     users = [
         pair for pair in sorted(result.pairs())
         if dataset.graph.entity_type(pair[0]) == "user"
@@ -49,8 +50,11 @@ def compare_algorithm_families() -> None:
     print("=" * 70)
     print("MapReduce vs vertex-centric on the generated workload (c=2, d=2)")
     dataset = social_dataset(scale=1.0, chain_length=2, radius=2, seed=11)
+    # one session for all five backends: the candidate set, neighbourhood
+    # index and product graph are computed once and shared
+    session = MatchSession(dataset.graph).with_keys(dataset.keys)
     for algorithm in ("EMVF2MR", "EMMR", "EMOptMR", "EMVC", "EMOptVC"):
-        result = match_entities(dataset.graph, dataset.keys, algorithm=algorithm, processors=8)
+        result = session.run(algorithm, processors=8)
         assert result.pairs() == dataset.planted_pairs
         extra = (
             f"rounds={result.stats.rounds}"
@@ -61,6 +65,9 @@ def compare_algorithm_families() -> None:
             f"  {algorithm:9s} simulated {result.simulated_seconds:7.2f}s on 8 workers "
             f"({extra}, checks={result.stats.checks})"
         )
+    info = session.cache_info()
+    print(f"  (shared artifacts: neighbourhood index ×{info.neighborhood_index_builds}, "
+          f"product graph ×{info.product_graph_builds})")
 
 
 if __name__ == "__main__":

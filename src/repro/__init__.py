@@ -6,9 +6,10 @@ chase, and the paper's two families of parallel-scalable algorithms (a
 MapReduce family and a vertex-centric asynchronous family), both running on
 simulated execution substrates with deterministic cost models.
 
-Quickstart::
+Quickstart — a :class:`MatchSession` is the configurable entry point to every
+matching backend and caches the shared indexes across runs::
 
-    from repro import Graph, parse_keys, match_entities
+    from repro import Graph, MatchSession, parse_keys
 
     graph = Graph()
     graph.add_entity("alb1", "album")
@@ -24,13 +25,32 @@ Quickstart::
       x -[release_year]-> year*
     ''')
 
-    result = match_entities(graph, keys, algorithm="EMOptVC")
+    session = MatchSession(graph).with_keys(keys)
+    result = session.using("EMOptVC", processors=8, fanout=4).run()
     assert result.identified("alb1", "alb2")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduction of the paper's evaluation.
+    # a second run on the same session reuses the neighbourhood index,
+    # candidate sets and product graph instead of rebuilding them:
+    assert session.run("EMMR").pairs() == result.pairs()
+
+The one-shot form ``match_entities(graph, keys, algorithm="EMOptVC")`` is kept
+as a thin wrapper over the same algorithm registry; ``ALGORITHMS`` is a live
+view of the registered backend names, and new backends can be plugged in with
+:func:`register_algorithm`.  See DESIGN.md for the system layering.
 """
 
+from .api import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    MatchConfig,
+    MatchSession,
+    OptionSpec,
+    ProgressEvent,
+    Session,
+    algorithm_specs,
+    get_algorithm,
+    register_algorithm,
+)
 from .core import (
     ChaseResult,
     ChaseStep,
@@ -72,6 +92,7 @@ from .core import (
     wildcard,
 )
 from .exceptions import (
+    ConfigError,
     DatasetError,
     GraphError,
     InvalidKeyError,
@@ -82,7 +103,6 @@ from .exceptions import (
     UnknownEntityError,
 )
 from .matching import (
-    ALGORITHMS,
     EMResult,
     EMStatistics,
     em_mr,
@@ -93,12 +113,14 @@ from .matching import (
     match_entities,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "ChaseResult",
     "ChaseStep",
+    "ConfigError",
     "DatasetError",
     "EMResult",
     "EMStatistics",
@@ -112,18 +134,24 @@ __all__ = [
     "Key",
     "KeySet",
     "Literal",
+    "MatchConfig",
+    "MatchSession",
     "MatchingError",
     "NeighborhoodIndex",
     "NodeKind",
+    "OptionSpec",
     "ParseError",
     "PatternNode",
     "PatternTriple",
+    "ProgressEvent",
     "ProofError",
     "ProofGraph",
     "ReproError",
+    "Session",
     "Triple",
     "UnknownEntityError",
     "__version__",
+    "algorithm_specs",
     "chase",
     "constant",
     "designated",
@@ -136,6 +164,7 @@ __all__ = [
     "entity_var",
     "explain",
     "find_matches",
+    "get_algorithm",
     "has_match",
     "load_graph",
     "load_keys",
@@ -143,6 +172,7 @@ __all__ = [
     "parse_graph",
     "parse_keys",
     "proof_from_chase",
+    "register_algorithm",
     "satisfies",
     "save_graph",
     "save_keys",

@@ -1,0 +1,61 @@
+"""Public matching API: algorithm registry, typed config and session facade.
+
+Layering note: the matching backends in :mod:`repro.matching` import
+:mod:`repro.api.registry` at import time to register themselves, while
+:mod:`repro.api.session` imports :mod:`repro.matching` for the cached
+artifacts (candidate sets, product graphs).  To keep that acyclic, this
+package eagerly exposes only the registry/config/event layer and loads the
+session module lazily on first attribute access (PEP 562).
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_ALGORITHM, DEFAULT_PROCESSORS, MatchConfig
+from .events import ProgressEvent, ProgressObserver
+from .registry import (
+    ALGORITHMS,
+    REGISTRY,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    AlgorithmsView,
+    OptionSpec,
+    algorithm_specs,
+    get_algorithm,
+    register_algorithm,
+)
+
+_LAZY_SESSION_EXPORTS = ("MatchSession", "Session", "SessionCacheInfo")
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmRegistry",
+    "AlgorithmSpec",
+    "AlgorithmsView",
+    "DEFAULT_ALGORITHM",
+    "DEFAULT_PROCESSORS",
+    "MatchConfig",
+    "MatchSession",
+    "OptionSpec",
+    "ProgressEvent",
+    "ProgressObserver",
+    "REGISTRY",
+    "Session",
+    "SessionCacheInfo",
+    "algorithm_specs",
+    "get_algorithm",
+    "register_algorithm",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SESSION_EXPORTS:
+        from . import session
+
+        value = getattr(session, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_SESSION_EXPORTS))

@@ -1,0 +1,79 @@
+"""Typed matching configuration: the knobs of a run, in one place.
+
+A :class:`MatchConfig` consolidates what used to be scattered positional
+arguments (``processors``) and unreachable backend knobs (``fanout``,
+``prioritize``, ``reduce_neighborhoods``) into one validated value object.
+Options are a free-form mapping validated *per backend* against the
+:class:`~repro.api.registry.AlgorithmSpec` of the chosen algorithm, so a new
+backend knob never requires touching the dispatcher — declare it in the
+backend's ``options`` and it flows through ``MatchConfig`` untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigError
+from .registry import AlgorithmRegistry, AlgorithmSpec, REGISTRY
+
+#: Default algorithm of the public API (the paper's best performer).
+DEFAULT_ALGORITHM = "EMOptVC"
+
+#: Default simulated worker count (the paper's sweeps start at p=4).
+DEFAULT_PROCESSORS = 4
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """The full configuration of one entity-matching run."""
+
+    algorithm: str = DEFAULT_ALGORITHM
+    processors: int = DEFAULT_PROCESSORS
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.processors, int) or isinstance(self.processors, bool):
+            raise ConfigError(f"processors must be an int, got {self.processors!r}")
+        if self.processors < 1:
+            raise ConfigError(f"processors must be >= 1, got {self.processors}")
+        # freeze the options mapping into a plain dict we own
+        object.__setattr__(self, "options", dict(self.options))
+
+    def __hash__(self) -> int:
+        # the generated frozen-dataclass hash would choke on the options dict
+        return hash((self.algorithm, self.processors, tuple(sorted(self.options.items()))))
+
+    def with_options(self, **options: object) -> "MatchConfig":
+        """A copy of this config with *options* merged in."""
+        merged = dict(self.options)
+        merged.update(options)
+        return replace(self, options=merged)
+
+    def using(self, algorithm: str, **options: object) -> "MatchConfig":
+        """A copy targeting *algorithm*, replacing the backend options."""
+        return replace(self, algorithm=algorithm, options=dict(options))
+
+    def resolve(
+        self, registry: Optional[AlgorithmRegistry] = None
+    ) -> Tuple[AlgorithmSpec, Dict[str, object]]:
+        """Look up the algorithm spec and validate the options against it.
+
+        Raises :class:`~repro.exceptions.MatchingError` for unknown algorithm
+        names and :class:`~repro.exceptions.ConfigError` for options the
+        backend does not accept (or of the wrong type).
+        """
+        # explicit None-check: an empty registry is falsy (it has __len__)
+        spec = (REGISTRY if registry is None else registry).get(self.algorithm)
+        return spec, spec.validate_options(self.options)
+
+    def validated(self, registry: Optional[AlgorithmRegistry] = None) -> "MatchConfig":
+        """Validate and return self (fluent form of :meth:`resolve`)."""
+        self.resolve(registry)
+        return self
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. for provenance logs."""
+        options = ", ".join(f"{k}={v!r}" for k, v in sorted(self.options.items()))
+        suffix = f", {options}" if options else ""
+        return f"{self.algorithm}(p={self.processors}{suffix})"

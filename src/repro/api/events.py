@@ -1,0 +1,40 @@
+"""Progress events emitted by matching runs to session observers.
+
+Backends report coarse-grained progress through an optional observer callback:
+the MapReduce family emits one ``"round"`` event per MapReduce round, the
+vertex-centric family emits stage events around product-graph construction and
+the engine drain, and every backend emits a final ``"done"`` event.  Observers
+are registered on a :class:`~repro.api.session.MatchSession` via
+``on_progress`` (or passed directly to a runner as ``observer=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification from a matching run."""
+
+    algorithm: str
+    #: "candidates", "product-graph", "round", "engine" or "done".
+    stage: str
+    #: MapReduce round number (0 for stages outside the round loop).
+    round: int = 0
+    #: identified pairs so far (including transitivity).
+    identified: int = 0
+    #: pending candidate pairs (MapReduce) or posted messages (vertex-centric).
+    pending: int = 0
+    detail: str = ""
+
+
+#: An observer is any callable accepting a :class:`ProgressEvent`.
+ProgressObserver = Callable[[ProgressEvent], None]
+
+
+def notify(observer, event: ProgressEvent) -> None:
+    """Deliver *event* to *observer* when one is set (helper for backends)."""
+    if observer is not None:
+        observer(event)

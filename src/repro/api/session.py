@@ -1,0 +1,347 @@
+"""``MatchSession``: one configurable entry point for repeated matching runs.
+
+A session owns a graph, a key set and the expensive precomputed artifacts the
+backends share — the :class:`~repro.core.neighborhood.NeighborhoodIndex`, the
+candidate sets (per filter flavour), the product graph and the per-key
+traversal orders — so a benchmark sweep that runs all six algorithms on the
+same input builds each of them exactly once instead of once per algorithm::
+
+    from repro import MatchSession
+
+    session = MatchSession(graph).with_keys(keys)
+    opt = session.using("EMOptVC", processors=8, fanout=4).run()
+    mr = session.run("EMOptMR")          # reuses the neighbourhood index
+
+Sessions also support incremental re-matching: mutating the graph (e.g.
+``graph.add_value(...)``) between runs is detected via the graph's mutation
+journal, and only the neighbourhoods a mutation could have staled are evicted
+before the next run.  Observers registered with :meth:`MatchSession.on_progress`
+receive per-round :class:`~repro.api.events.ProgressEvent` notifications, and
+:attr:`MatchSession.history` records the (config, result) provenance of every
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.equivalence import Pair
+from ..core.graph import Graph
+from ..core.key import KeySet
+from ..core.neighborhood import NeighborhoodIndex
+from ..exceptions import MatchingError
+from ..matching.candidates import (
+    CandidateSet,
+    build_candidates,
+    build_filtered_candidates,
+    dependency_map,
+)
+from ..matching.product_graph import ProductGraph
+from ..matching.result import EMResult
+from ..matching.traversal_order import traversal_orders
+from .config import MatchConfig
+from .events import ProgressEvent, ProgressObserver
+from .registry import ALGORITHMS
+
+
+@dataclass(frozen=True)
+class SessionCacheInfo:
+    """Build counters of a session's artifact cache (for tests and tuning)."""
+
+    neighborhood_index_builds: int = 0
+    candidate_builds: int = 0
+    product_graph_builds: int = 0
+    traversal_order_builds: int = 0
+    invalidations: int = 0
+
+
+class SessionArtifacts:
+    """The per-session cache of precomputed matching artifacts.
+
+    Backends receive this object as their ``artifacts`` argument and ask it
+    for candidate sets / product graphs instead of rebuilding them.  Flavours
+    are keyed by ``(filtered, reduce_neighborhoods)``; all flavours share one
+    underlying :class:`NeighborhoodIndex` (reduced flavours restrict a clone,
+    never the shared base).
+    """
+
+    def __init__(self, graph: Graph, keys: KeySet) -> None:
+        self._graph = graph
+        self._keys = keys
+        self._version = graph.version
+        self._index: Optional[NeighborhoodIndex] = None
+        self._candidates: Dict[Tuple[bool, bool], CandidateSet] = {}
+        self._dependency_maps: Dict[Tuple[bool, bool], Dict[Pair, set]] = {}
+        self._product_graphs: Dict[Tuple[bool, bool], ProductGraph] = {}
+        self._orders: Optional[Dict[str, object]] = None
+        # build counters exposed through SessionCacheInfo
+        self.index_builds = 0
+        self.candidate_builds = 0
+        self.product_graph_builds = 0
+        self.order_builds = 0
+        self.invalidations = 0
+
+    # -- cache lifecycle ------------------------------------------------- #
+
+    def reset(self) -> None:
+        """Drop every cached artifact (e.g. after a key-set change)."""
+        self._index = None
+        self._candidates.clear()
+        self._dependency_maps.clear()
+        self._product_graphs.clear()
+        self._orders = None
+        self._version = self._graph.version
+        self.invalidations += 1
+
+    def refresh(self) -> None:
+        """Reconcile the cache with any graph mutations since the last run.
+
+        Derived artifacts (candidate sets, product graphs) are always dropped
+        on mutation — new triples can create or destroy candidate pairs — but
+        the neighbourhood index is evicted *selectively*: only entities whose
+        cached d-neighbourhood could contain a touched node are recomputed.
+        """
+        version = self._graph.version
+        if version == self._version:
+            return
+        touched = self._graph.touched_since(self._version)
+        self._candidates.clear()
+        self._dependency_maps.clear()
+        self._product_graphs.clear()
+        if touched is None or self._index is None:
+            self._index = None
+        else:
+            stale = [
+                entity
+                for entity in self._index.cached_entities()
+                if entity in touched or touched & self._index.nodes(entity)
+            ]
+            for entity in stale:
+                self._index.evict(entity)
+        self._version = version
+        self.invalidations += 1
+
+    # -- artifact accessors (the backend-facing surface) ----------------- #
+
+    def neighborhood_index(self) -> NeighborhoodIndex:
+        if self._index is None:
+            self._index = NeighborhoodIndex(self._graph, self._keys)
+            self.index_builds += 1
+        return self._index
+
+    def candidates(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> CandidateSet:
+        flavor = (filtered, reduce_neighborhoods)
+        cached = self._candidates.get(flavor)
+        if cached is None:
+            index = self.neighborhood_index()
+            if filtered:
+                cached = build_filtered_candidates(
+                    self._graph,
+                    self._keys,
+                    reduce_neighborhoods=reduce_neighborhoods,
+                    index=index,
+                )
+            else:
+                cached = build_candidates(self._graph, self._keys, index=index)
+            self._candidates[flavor] = cached
+            self.candidate_builds += 1
+        return cached
+
+    def dependency_map(self, *, filtered: bool, reduce_neighborhoods: bool = False):
+        flavor = (filtered, reduce_neighborhoods)
+        cached = self._dependency_maps.get(flavor)
+        if cached is None:
+            cached = dependency_map(
+                self._graph,
+                self._keys,
+                self.candidates(filtered=filtered, reduce_neighborhoods=reduce_neighborhoods),
+            )
+            self._dependency_maps[flavor] = cached
+        return cached
+
+    def product_graph(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> ProductGraph:
+        flavor = (filtered, reduce_neighborhoods)
+        cached = self._product_graphs.get(flavor)
+        if cached is None:
+            cached = ProductGraph(
+                self._graph,
+                self._keys,
+                self.candidates(filtered=filtered, reduce_neighborhoods=reduce_neighborhoods),
+            )
+            self._product_graphs[flavor] = cached
+            self.product_graph_builds += 1
+        return cached
+
+    def traversal_orders(self):
+        if self._orders is None:
+            self._orders = traversal_orders(self._keys)
+            self.order_builds += 1
+        return self._orders
+
+    def cache_info(self) -> SessionCacheInfo:
+        return SessionCacheInfo(
+            neighborhood_index_builds=self.index_builds,
+            candidate_builds=self.candidate_builds,
+            product_graph_builds=self.product_graph_builds,
+            traversal_order_builds=self.order_builds,
+            invalidations=self.invalidations,
+        )
+
+
+class MatchSession:
+    """A fluent facade over the algorithm registry with artifact caching."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        keys: Optional[KeySet] = None,
+        config: Optional[MatchConfig] = None,
+    ) -> None:
+        self._graph = graph
+        self._keys = keys
+        self._config = config or MatchConfig()
+        self._artifacts: Optional[SessionArtifacts] = None
+        self._observers: List[ProgressObserver] = []
+        self._history: List[Tuple[MatchConfig, EMResult]] = []
+
+    # -- fluent configuration -------------------------------------------- #
+
+    def with_keys(self, keys: KeySet) -> "MatchSession":
+        """Set (or replace) the key set, dropping every key-derived cache.
+
+        The caches are dropped unconditionally — even when *keys* is the same
+        object — because a :class:`KeySet` can be mutated in place (e.g. via
+        ``KeySet.add``) and the session cannot observe that; re-passing the
+        key set is the caller's signal that it changed.
+        """
+        self._keys = keys
+        self._artifacts = None
+        return self
+
+    def using(self, algorithm: str, *, processors: Optional[int] = None, **options: object) -> "MatchSession":
+        """Choose the default algorithm (and its options) for :meth:`run`."""
+        self._config = MatchConfig(
+            algorithm=algorithm,
+            processors=self._config.processors if processors is None else processors,
+            options=options,
+        )
+        return self
+
+    def on_progress(self, observer: ProgressObserver) -> "MatchSession":
+        """Register an observer for per-round :class:`ProgressEvent`\\ s."""
+        self._observers.append(observer)
+        return self
+
+    # -- introspection ---------------------------------------------------- #
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def keys(self) -> Optional[KeySet]:
+        return self._keys
+
+    @property
+    def config(self) -> MatchConfig:
+        return self._config
+
+    @property
+    def history(self) -> Tuple[Tuple[MatchConfig, EMResult], ...]:
+        """(config, result) provenance of every run, oldest first."""
+        return tuple(self._history)
+
+    def cache_info(self) -> SessionCacheInfo:
+        """Artifact-cache build counters (all zero before the first run)."""
+        if self._artifacts is None:
+            return SessionCacheInfo()
+        return self._artifacts.cache_info()
+
+    def invalidate(self) -> "MatchSession":
+        """Manually drop every cached artifact."""
+        if self._artifacts is not None:
+            self._artifacts.reset()
+        return self
+
+    # -- execution --------------------------------------------------------- #
+
+    def run(
+        self,
+        algorithm: Optional[str] = None,
+        *,
+        processors: Optional[int] = None,
+        **options: object,
+    ) -> EMResult:
+        """Run one matching algorithm, reusing the session's cached artifacts.
+
+        With no arguments, runs the configuration set via :meth:`using`.
+        Passing *algorithm* (and options) runs that backend instead without
+        changing the session default.
+        """
+        if self._keys is None:
+            raise MatchingError("MatchSession has no keys; call with_keys(...) first")
+        if algorithm is None:
+            config = self._config
+            if processors is not None or options:
+                config = MatchConfig(
+                    algorithm=config.algorithm,
+                    processors=config.processors if processors is None else processors,
+                    options={**config.options, **options},
+                )
+        else:
+            config = MatchConfig(
+                algorithm=algorithm,
+                processors=self._config.processors if processors is None else processors,
+                options=options,
+            )
+        spec, validated = config.resolve()
+        artifacts = self._refresh_artifacts()
+        result = spec.run(
+            self._graph,
+            self._keys,
+            processors=config.processors,
+            options=validated,
+            artifacts=artifacts,
+            observer=self._dispatch_event if self._observers else None,
+        )
+        self._history.append((config, result))
+        return result
+
+    def run_all(
+        self,
+        algorithms: Optional[Sequence[str]] = None,
+        *,
+        processors: Optional[int] = None,
+    ) -> Dict[str, EMResult]:
+        """Run several algorithms on the shared artifacts; name → result."""
+        names = list(algorithms) if algorithms is not None else list(ALGORITHMS)
+        return {name: self.run(name, processors=processors) for name in names}
+
+    def rematch(self) -> EMResult:
+        """Re-run the session's current configuration (e.g. after mutations)."""
+        return self.run()
+
+    # -- internals --------------------------------------------------------- #
+
+    def _refresh_artifacts(self) -> SessionArtifacts:
+        if self._artifacts is None:
+            self._artifacts = SessionArtifacts(self._graph, self._keys)
+        else:
+            self._artifacts.refresh()
+        return self._artifacts
+
+    def _dispatch_event(self, event: ProgressEvent) -> None:
+        for observer in self._observers:
+            observer(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        keys = "no keys" if self._keys is None else f"{self._keys.cardinality} keys"
+        return (
+            f"MatchSession({self._graph.num_entities} entities, {keys}, "
+            f"default={self._config.describe()}, runs={len(self._history)})"
+        )
+
+
+#: Short alias used in the quickstart: ``Session(graph).with_keys(...)``.
+Session = MatchSession

@@ -11,11 +11,11 @@ to the corresponding sub-figure of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..api.session import MatchSession
 from ..core.graph import Graph
 from ..core.key import KeySet
-from ..matching import match_entities
 from ..matching.result import EMResult
 
 #: The algorithms of Fig. 8, in the paper's legend order.
@@ -36,6 +36,8 @@ class ExperimentSpec:
     dataset_factory: DatasetFactory
     algorithms: Tuple[str, ...] = FIGURE8_ALGORITHMS
     fixed: Dict[str, object] = field(default_factory=dict)
+    #: per-algorithm backend options, e.g. {"EMOptVC": {"fanout": 8}}.
+    algorithm_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
 
     def describe(self) -> str:
         fixed = ", ".join(f"{k}={v}" for k, v in sorted(self.fixed.items()))
@@ -89,17 +91,26 @@ class ExperimentResult:
 
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Run a sweep: one dataset instantiation and one matching run per point."""
+    """Run a sweep: one dataset instantiation and one matching run per point.
+
+    All algorithms at one sweep point share a :class:`MatchSession`, so the
+    candidate set, d-neighbourhood index and product graph are built once per
+    point instead of once per algorithm.
+    """
     outcome = ExperimentResult(spec=spec)
     for value in spec.values:
         parameters = dict(spec.fixed)
         parameters[spec.parameter] = value
         processors = int(parameters.pop("p", 4))
         graph, keys = spec.dataset_factory(**parameters)
+        session = MatchSession(graph).with_keys(keys)
         point = SweepPoint(value=value)
         for algorithm in spec.algorithms:
-            point.results[algorithm] = match_entities(
-                graph, keys, algorithm=algorithm, processors=processors
+            options = dict(spec.algorithm_options.get(algorithm, {}))
+            # a per-algorithm "processors" entry overrides the sweep default
+            point_processors = int(options.pop("processors", processors))
+            point.results[algorithm] = session.run(
+                algorithm, processors=point_processors, **options
             )
         outcome.points.append(point)
     return outcome

@@ -2,27 +2,32 @@
 
 Sub-commands:
 
-* ``match``    — load a graph and a key set (DSL files) and run entity matching;
-* ``check``    — check ``G |= Q(x)`` for every key and report violations;
-* ``generate`` — write a synthetic dataset (graph + keys) to DSL files;
-* ``bench``    — run one of the paper's sweeps and print the series.
+* ``match``      — load a graph and a key set (DSL files) and run entity matching;
+* ``check``      — check ``G |= Q(x)`` for every key and report violations;
+* ``generate``   — write a synthetic dataset (graph + keys) to DSL files;
+* ``bench``      — run one of the paper's sweeps and print the series;
+* ``algorithms`` — list the registered matching backends and their options.
+
+All matching dispatch goes through the algorithm registry: ``match`` accepts
+``--fanout`` and generic ``--set key=value`` backend options, which are
+validated against the chosen backend's :class:`~repro.api.AlgorithmSpec`.
+Dataset names are resolved through the dataset registry
+(:mod:`repro.datasets.registry`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from .api import MatchSession, algorithm_specs
+from .api.registry import ALGORITHMS
 from .benchlib import figure_table, processors_sweep, run_experiment, speedup_summary
 from .core.matching import violations
 from .core.parser import load_graph, load_keys, save_graph, save_keys
-from .datasets.knowledge import knowledge_dataset
-from .datasets.social import social_dataset
-from .datasets.synthetic import synthetic_dataset
+from .datasets.registry import DATASETS, dataset_factory, make_dataset
 from .exceptions import ReproError
-from .matching import ALGORITHMS, match_entities
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,6 +44,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="EMOptVC", choices=list(ALGORITHMS), help="algorithm to use"
     )
     match_parser.add_argument("--processors", type=int, default=4, help="simulated workers")
+    match_parser.add_argument(
+        "--fanout",
+        type=int,
+        default=None,
+        help="bounded-message fan-out budget (EMOptVC only)",
+    )
+    match_parser.add_argument(
+        "--set",
+        dest="options",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="backend option passthrough, e.g. --set prioritize=false (repeatable)",
+    )
 
     check_parser = subparsers.add_parser("check", help="check key satisfaction (G |= Q(x))")
     check_parser.add_argument("--graph", required=True, help="graph DSL file")
@@ -48,8 +67,8 @@ def _build_parser() -> argparse.ArgumentParser:
     generate_parser.add_argument(
         "--dataset",
         default="synthetic",
-        choices=["synthetic", "social", "knowledge"],
-        help="which generator to use",
+        choices=list(DATASETS),
+        help="which registered dataset to build",
     )
     generate_parser.add_argument("--keys-count", type=int, default=20, dest="num_keys")
     generate_parser.add_argument("--chain-length", type=int, default=2)
@@ -63,33 +82,50 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--dataset",
         default="synthetic",
-        choices=["synthetic", "social", "knowledge"],
+        choices=list(DATASETS),
     )
     bench_parser.add_argument("--processors", type=int, nargs="+", default=[4, 8, 12, 16, 20])
     bench_parser.add_argument("--scale", type=float, default=1.0)
+
+    subparsers.add_parser(
+        "algorithms", help="list the registered matching algorithms and their options"
+    )
     return parser
 
 
-def _dataset_factory(name: str):
-    if name == "social":
-        return lambda **kw: _unpack(social_dataset(**kw))
-    if name == "knowledge":
-        return lambda **kw: _unpack(knowledge_dataset(**kw))
-    return lambda **kw: _unpack_synthetic(synthetic_dataset(**kw))
+def _parse_option_value(raw: str) -> object:
+    """Coerce a ``--set`` value: int, float or bool when possible, else str."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(raw)
+        except ValueError:
+            continue
+    return raw
 
 
-def _unpack(dataset):
-    return dataset.graph, dataset.keys
-
-
-def _unpack_synthetic(dataset):
-    return dataset.graph, dataset.keys
+def _parse_options(pairs: Sequence[str]) -> Dict[str, object]:
+    options: Dict[str, object] = {}
+    for item in pairs:
+        key, separator, raw = item.partition("=")
+        if not separator or not key:
+            raise ReproError(f"--set expects KEY=VALUE, got {item!r}")
+        if key in ("algorithm", "processors"):
+            raise ReproError(f"use --{key} instead of --set {key}=...")
+        options[key] = _parse_option_value(raw)
+    return options
 
 
 def _command_match(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     keys = load_keys(args.keys)
-    result = match_entities(graph, keys, algorithm=args.algorithm, processors=args.processors)
+    options = _parse_options(args.options)
+    if args.fanout is not None:
+        options["fanout"] = args.fanout
+    session = MatchSession(graph).with_keys(keys)
+    result = session.run(args.algorithm, processors=args.processors, **options)
     print(f"algorithm      : {result.algorithm}")
     print(f"processors     : {result.processors}")
     print(f"identified     : {result.num_identified} pairs")
@@ -114,25 +150,14 @@ def _command_check(args: argparse.Namespace) -> int:
 
 
 def _command_generate(args: argparse.Namespace) -> int:
-    if args.dataset == "social":
-        dataset = social_dataset(
-            scale=args.scale, chain_length=args.chain_length, radius=args.radius, seed=args.seed
-        )
-        graph, keys = dataset.graph, dataset.keys
-    elif args.dataset == "knowledge":
-        dataset = knowledge_dataset(
-            scale=args.scale, chain_length=args.chain_length, radius=args.radius, seed=args.seed
-        )
-        graph, keys = dataset.graph, dataset.keys
-    else:
-        dataset = synthetic_dataset(
-            num_keys=args.num_keys,
-            chain_length=args.chain_length,
-            radius=args.radius,
-            scale=args.scale,
-            seed=args.seed,
-        )
-        graph, keys = dataset.graph, dataset.keys
+    graph, keys = make_dataset(
+        args.dataset,
+        num_keys=args.num_keys,
+        chain_length=args.chain_length,
+        radius=args.radius,
+        scale=args.scale,
+        seed=args.seed,
+    )
     save_graph(graph, args.out_graph)
     save_keys(keys, args.out_keys)
     print(f"wrote {graph.num_triples} triples to {args.out_graph}")
@@ -141,17 +166,26 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    factory = _dataset_factory(args.dataset)
     spec = processors_sweep(
         experiment_id=f"cli-{args.dataset}",
         dataset_name=args.dataset,
-        dataset_factory=factory,
+        dataset_factory=dataset_factory(args.dataset),
         processors=args.processors,
         scale=args.scale,
     )
     result = run_experiment(spec)
     print(figure_table(result))
     print(speedup_summary(result))
+    return 0
+
+
+def _command_algorithms(args: argparse.Namespace) -> int:
+    print(f"{'name':<10} {'family':<15} {'options':<40} description")
+    for spec in algorithm_specs():
+        options = ", ".join(
+            f"{option.name}={option.default!r}" for option in spec.options
+        ) or "-"
+        print(f"{spec.name:<10} {spec.family:<15} {options:<40} {spec.description}")
     return 0
 
 
@@ -164,6 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "check": _command_check,
         "generate": _command_generate,
         "bench": _command_bench,
+        "algorithms": _command_algorithms,
     }
     try:
         return handlers[args.command](args)

@@ -45,7 +45,17 @@ class Graph:
         "_out_by_pred",
         "_in_by_pred",
         "_undirected",
+        "_version",
+        "_touched_log",
+        "_log_base_version",
     )
+
+    #: Mutation journal window (entries).  The journal is a sliding window:
+    #: when it fills up it is cleared and restarted at the current version,
+    #: so memory stays bounded (~1 MB worst case) and recent deltas remain
+    #: answerable; :meth:`touched_since` answers ``None`` for versions that
+    #: fell out of the window (callers then do a full cache rebuild).
+    MUTATION_LOG_LIMIT = 100_000
 
     def __init__(self) -> None:
         self._entities: Dict[str, Entity] = {}
@@ -59,6 +69,12 @@ class Graph:
         self._in_by_pred: Dict[Tuple[GraphNode, str], Set[str]] = defaultdict(set)
         # undirected adjacency (ignoring direction and predicate), for BFS
         self._undirected: Dict[GraphNode, Set[GraphNode]] = defaultdict(set)
+        # mutation journal: monotone version + the nodes each mutation touched,
+        # so sessions can invalidate exactly the caches a mutation staled;
+        # the log holds the entries for versions (_log_base_version, _version]
+        self._version: int = 0
+        self._touched_log: List[GraphNode] = []
+        self._log_base_version: int = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -78,6 +94,7 @@ class Graph:
         entity = Entity(eid, etype)
         self._entities[eid] = entity
         self._by_type[etype].add(eid)
+        self._record_mutation((eid,))
         return entity
 
     def add_triple(self, triple: Triple) -> None:
@@ -95,6 +112,32 @@ class Graph:
         self._in_by_pred[(triple.obj, triple.predicate)].add(triple.subject)
         self._undirected[triple.subject].add(triple.obj)
         self._undirected[triple.obj].add(triple.subject)
+        self._record_mutation((triple.subject, triple.obj))
+
+    def _record_mutation(self, nodes: Tuple[GraphNode, ...]) -> None:
+        self._version += len(nodes)
+        log = self._touched_log
+        if len(log) + len(nodes) > self.MUTATION_LOG_LIMIT:
+            # slide the window: older deltas become unanswerable, memory stays bounded
+            log.clear()
+            self._log_base_version = self._version
+        else:
+            log.extend(nodes)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumped by every entity/triple addition."""
+        return self._version
+
+    def touched_since(self, version: int) -> Optional[Set[GraphNode]]:
+        """Nodes touched by mutations after *version* of this graph.
+
+        Returns ``None`` when *version* fell out of the journal window;
+        callers must then treat *every* node as possibly touched.
+        """
+        if version < self._log_base_version:
+            return None
+        return set(self._touched_log[version - self._log_base_version :])
 
     def add_edge(self, subject: str, predicate: str, obj: str) -> None:
         """Add an entity-to-entity triple ``(subject, predicate, obj)``."""

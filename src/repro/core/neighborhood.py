@@ -94,6 +94,25 @@ class NeighborhoodIndex:
         """The explicit induced d-neighbourhood subgraph of *entity*."""
         return self._graph.induced_subgraph(self.nodes(entity))
 
+    def clone(self) -> "NeighborhoodIndex":
+        """A copy sharing the already-computed node sets.
+
+        The cache *entries* are shared (they are never mutated in place:
+        :meth:`restrict` replaces them with fresh sets), so a clone lets one
+        consumer reduce its neighbourhoods without staling the original —
+        the mechanism :class:`~repro.api.session.MatchSession` uses to serve
+        both reduced and unreduced algorithm families from one BFS pass.
+        """
+        twin = object.__new__(NeighborhoodIndex)
+        twin._graph = self._graph
+        twin._radius = dict(self._radius)
+        twin._cache = dict(self._cache)
+        return twin
+
+    def evict(self, entity: str) -> None:
+        """Drop the cached neighbourhood of *entity* (recomputed on demand)."""
+        self._cache.pop(entity, None)
+
     def restrict(self, entity: str, allowed: Set[GraphNode]) -> None:
         """Shrink the cached neighbourhood of *entity* to ``allowed`` nodes.
 

@@ -22,10 +22,16 @@ from .domain_base import DomainDataset, DomainSpec, LevelSpec, LocatorSpec, buil
 from .keygen import generate_keys
 from .knowledge import fig7_keys, fusion_example_graph, knowledge_dataset, knowledge_keys
 from .music import music_dataset, music_graph, music_keys
+from .registry import DATASETS, DatasetSpec, dataset_factory, dataset_spec, make_dataset
 from .social import reconciliation_keys, social_dataset, social_keys
 from .synthetic import SyntheticConfig, SyntheticDataset, generate_synthetic, synthetic_dataset
 
 __all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_factory",
+    "dataset_spec",
+    "make_dataset",
     "DomainDataset",
     "DomainSpec",
     "LevelSpec",

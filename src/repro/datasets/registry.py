@@ -1,0 +1,96 @@
+"""Dataset registry: one lookup for every named workload.
+
+The CLI's ``generate`` and ``bench`` commands (and the benchmark harness)
+resolve dataset names here instead of duplicating per-dataset construction
+branches.  Each :class:`DatasetSpec` declares which generator parameters the
+workload accepts, so callers can pass a superset of knobs (``scale``,
+``chain_length``, ``radius``, ``num_keys``, ...) and the registry forwards
+only the accepted ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..core.graph import Graph
+from ..core.key import KeySet
+from ..exceptions import DatasetError
+from .knowledge import knowledge_dataset
+from .music import music_dataset
+from .social import social_dataset
+from .synthetic import synthetic_dataset
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named workload: its factory and the generator knobs it accepts."""
+
+    name: str
+    factory: Callable[..., object]
+    parameters: Tuple[str, ...]
+    description: str
+
+    def build(self, **parameters: object) -> Tuple[Graph, KeySet]:
+        """Instantiate the workload, ignoring parameters it does not accept."""
+        accepted = {k: v for k, v in parameters.items() if k in self.parameters}
+        dataset = self.factory(**accepted)
+        if isinstance(dataset, tuple):
+            graph, keys = dataset
+            return graph, keys
+        return dataset.graph, dataset.keys
+
+
+_GENERATOR_PARAMS = ("scale", "chain_length", "radius", "duplicate_fraction", "seed")
+
+#: Name → spec for every registered workload (insertion-ordered).
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="synthetic",
+            factory=synthetic_dataset,
+            parameters=("num_keys", "entities_per_type") + _GENERATOR_PARAMS,
+            description="schema-driven synthetic generator (Exp-1..3 workload)",
+        ),
+        DatasetSpec(
+            name="social",
+            factory=social_dataset,
+            parameters=_GENERATOR_PARAMS,
+            description="Google+-like social-attribute network with planted duplicates",
+        ),
+        DatasetSpec(
+            name="knowledge",
+            factory=knowledge_dataset,
+            parameters=_GENERATOR_PARAMS,
+            description="DBpedia-like knowledge base with planted duplicates",
+        ),
+        DatasetSpec(
+            name="music",
+            factory=music_dataset,
+            parameters=(),
+            description="the paper's music example (G1, Σ1 of Figs. 1-2; fixed size)",
+        ),
+    )
+}
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Resolve *name* in the registry, raising :class:`DatasetError` if unknown."""
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; expected one of {', '.join(DATASETS)}"
+        )
+    return spec
+
+
+def make_dataset(name: str, **parameters: object) -> Tuple[Graph, KeySet]:
+    """Build the workload *name* with the accepted subset of *parameters*."""
+    return dataset_spec(name).build(**parameters)
+
+
+def dataset_factory(name: str) -> Callable[..., Tuple[Graph, KeySet]]:
+    """A ``(graph, keys)`` factory for *name*, e.g. for the sweep harness."""
+    spec = dataset_spec(name)
+    return spec.build

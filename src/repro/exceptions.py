@@ -66,6 +66,11 @@ class MatchingError(ReproError):
     """Problems during entity matching (bad configuration, unknown algorithm)."""
 
 
+class ConfigError(MatchingError):
+    """An invalid :class:`~repro.api.MatchConfig`: bad processor count, an
+    option the chosen backend does not accept, or an option of the wrong type."""
+
+
 class ProofError(ReproError):
     """A proof graph failed verification."""
 

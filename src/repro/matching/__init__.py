@@ -1,7 +1,8 @@
 """Entity matching with keys: the paper's application (Sections 3–5).
 
-The high-level entry point is :func:`match_entities`, which dispatches to the
-sequential chase or to one of the parallel algorithms:
+The high-level entry points are the :class:`~repro.api.session.MatchSession`
+facade and :func:`match_entities`, both of which dispatch through the
+algorithm registry (:mod:`repro.api.registry`).  The built-in backends:
 
 =============  ==============================================================
 ``chase``      sequential reference (Section 3)
@@ -12,12 +13,19 @@ sequential chase or to one of the parallel algorithms:
 ``EMVC``       vertex-centric asynchronous algorithm over the product graph
 ``EMOptVC``    ``EMVC`` + bounded messages and prioritized propagation
 =============  ==============================================================
+
+Each backend registers itself with
+:func:`~repro.api.registry.register_algorithm`; ``ALGORITHMS`` is the live
+view of the registered names.  Backend-specific knobs (e.g. ``EMOptVC``'s
+``fanout``) are forwarded as keyword options and validated per backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Optional
 
+from ..api.events import ProgressEvent
+from ..api.registry import ALGORITHMS, get_algorithm, register_algorithm
 from ..core.chase import chase
 from ..core.graph import Graph
 from ..core.key import KeySet
@@ -64,8 +72,21 @@ def chase_as_result(graph: Graph, keys: KeySet) -> EMResult:
     )
 
 
-#: Algorithm registry used by :func:`match_entities` and the CLI.
-ALGORITHMS = ("chase", "EMMR", "EMVF2MR", "EMOptMR", "EMVC", "EMOptVC")
+@register_algorithm(
+    "chase",
+    family="sequential",
+    capabilities=("reference",),
+    description="sequential chase, the reference implementation (Section 3)",
+)
+def _run_chase(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    processors: int = 1,
+    artifacts: Optional[object] = None,
+    observer: Optional[Callable[[ProgressEvent], None]] = None,
+) -> EMResult:
+    return chase_as_result(graph, keys)
 
 
 def match_entities(
@@ -73,29 +94,21 @@ def match_entities(
     keys: KeySet,
     algorithm: str = "EMOptVC",
     processors: int = 4,
+    **options: object,
 ) -> EMResult:
     """Compute ``chase(G, Σ)`` with the requested algorithm.
 
-    Raises :class:`~repro.exceptions.MatchingError` for unknown algorithm
-    names; names are case-insensitive.
+    A thin compatibility wrapper over the algorithm registry: the name is
+    resolved case-insensitively and any extra keyword arguments are forwarded
+    to the backend as options (validated against its
+    :class:`~repro.api.registry.AlgorithmSpec`).  Raises
+    :class:`~repro.exceptions.MatchingError` for unknown algorithm names and
+    :class:`~repro.exceptions.ConfigError` for options the backend does not
+    accept.  For repeated runs on the same graph, prefer
+    :class:`repro.MatchSession`, which caches the shared indexes.
     """
-    canonical = {name.lower(): name for name in ALGORITHMS}
-    chosen = canonical.get(algorithm.lower())
-    if chosen is None:
-        raise MatchingError(
-            f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
-        )
-    if chosen == "chase":
-        return chase_as_result(graph, keys)
-    if chosen == "EMMR":
-        return em_mr(graph, keys, processors)
-    if chosen == "EMVF2MR":
-        return em_vf2_mr(graph, keys, processors)
-    if chosen == "EMOptMR":
-        return em_mr_opt(graph, keys, processors)
-    if chosen == "EMVC":
-        return em_vc(graph, keys, processors)
-    return em_vc_opt(graph, keys, processors)
+    spec = get_algorithm(algorithm)
+    return spec.run(graph, keys, processors=processors, options=options)
 
 
 __all__ = [

@@ -49,10 +49,16 @@ class CandidateSet:
         return self.unreduced_neighborhood_total / reduced
 
 
-def build_candidates(graph: Graph, keys: KeySet) -> CandidateSet:
-    """The unfiltered candidate set ``L`` with full d-neighbourhoods."""
+def build_candidates(
+    graph: Graph, keys: KeySet, *, index: Optional[NeighborhoodIndex] = None
+) -> CandidateSet:
+    """The unfiltered candidate set ``L`` with full d-neighbourhoods.
+
+    Pass a prebuilt *index* (e.g. a session cache) to reuse neighbourhood BFS
+    results across runs; it is extended in place with any missing entities.
+    """
     pairs = candidate_pairs(graph, keys)
-    neighborhoods = NeighborhoodIndex(graph, keys)
+    neighborhoods = index if index is not None else NeighborhoodIndex(graph, keys)
     involved = {e for pair in pairs for e in pair}
     neighborhoods.precompute(involved)
     total = neighborhoods.total_size()
@@ -65,16 +71,24 @@ def build_candidates(graph: Graph, keys: KeySet) -> CandidateSet:
 
 
 def build_filtered_candidates(
-    graph: Graph, keys: KeySet, reduce_neighborhoods: bool = True
+    graph: Graph,
+    keys: KeySet,
+    reduce_neighborhoods: bool = True,
+    *,
+    index: Optional[NeighborhoodIndex] = None,
 ) -> CandidateSet:
     """The candidate set after the pairing filter of Section 4.2.
 
     Pairs that cannot be paired by any key are dropped (Proposition 9(a));
     when *reduce_neighborhoods* is set, the d-neighbourhoods of surviving
-    pairs are shrunk to the union of pairing-supported nodes.
+    pairs are shrunk to the union of pairing-supported nodes.  A shared
+    *index* is never reduced in place — the reduction happens on a clone, so
+    the caller's cache stays valid for unreduced consumers.
     """
-    base = build_candidates(graph, keys)
+    base = build_candidates(graph, keys, index=index)
     neighborhoods = base.neighborhoods
+    if reduce_neighborhoods and index is not None:
+        neighborhoods = index.clone()
     keys_by_type: Dict[str, List[Key]] = {
         etype: keys.keys_for_type(etype) for etype in keys.target_types()
     }

@@ -20,8 +20,10 @@ enumeration (no early termination); ``EMOptMR`` (see
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..api.events import ProgressEvent, notify
+from ..api.registry import get_algorithm, register_algorithm
 from ..core.equivalence import EquivalenceRelation, Pair, canonical_pair
 from ..core.graph import Graph
 from ..core.key import Key, KeySet
@@ -112,14 +114,30 @@ class MapReduceEntityMatcher:
 
     algorithm_name = "EMMR"
 
-    def __init__(self, graph: Graph, keys: KeySet, processors: int = 4) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        keys: KeySet,
+        processors: int = 4,
+        *,
+        artifacts: Optional[object] = None,
+        observer: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
         self.graph = graph
         self.keys = keys
         self.processors = processors
+        #: session artifact cache (``repro.api.session.SessionArtifacts``) or None
+        self.artifacts = artifacts
+        self.observer = observer
+
+    def _notify(self, stage: str, **fields: object) -> None:
+        notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
 
     # -- extension points overridden by EMVF2MR / EMOptMR ---------------- #
 
     def _build_candidates(self) -> CandidateSet:
+        if self.artifacts is not None:
+            return self.artifacts.candidates(filtered=False, reduce_neighborhoods=False)
         return build_candidates(self.graph, self.keys)
 
     def _make_checker(self) -> PairChecker:
@@ -168,6 +186,7 @@ class MapReduceEntityMatcher:
             neighborhood_max=candidates.neighborhoods.max_size(),
         )
 
+        self._notify("candidates", pending=candidates.size)
         pending: List[Tuple[Pair, bool]] = [(pair, False) for pair in candidates.pairs]
         newly_identified: Set[Pair] = set()
         rounds = 0
@@ -191,6 +210,12 @@ class MapReduceEntityMatcher:
             for pair, _ in pending:
                 if pair not in newly_identified and not eq_snapshot.identified(*pair) and eq.identified(*pair):
                     newly_identified.add(pair)
+            self._notify(
+                "round",
+                round=rounds,
+                identified=len(eq.pairs()),
+                pending=len(pending),
+            )
             if not newly_identified:
                 break
             pending = [
@@ -204,6 +229,7 @@ class MapReduceEntityMatcher:
         stats.identified_pairs = len(eq.pairs())
         stats.work_units = driver.cost_model.total_work
 
+        self._notify("done", round=rounds, identified=stats.identified_pairs)
         return EMResult(
             algorithm=self.algorithm_name,
             processors=self.processors,
@@ -223,11 +249,49 @@ class VF2MapReduceEntityMatcher(MapReduceEntityMatcher):
         return EnumerationChecker(self.graph)
 
 
+@register_algorithm(
+    "EMMR",
+    family="mapreduce",
+    capabilities=("parallel", "rounds", "incremental-eq"),
+    description="MapReduce algorithm with the guided EvalMR check (Fig. 4)",
+)
+def _run_em_mr(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    processors: int = 4,
+    artifacts: Optional[object] = None,
+    observer: Optional[Callable[[ProgressEvent], None]] = None,
+) -> EMResult:
+    return MapReduceEntityMatcher(
+        graph, keys, processors, artifacts=artifacts, observer=observer
+    ).run()
+
+
+@register_algorithm(
+    "EMVF2MR",
+    family="mapreduce",
+    capabilities=("parallel", "rounds"),
+    description="MapReduce baseline enumerating all matches (no early exit)",
+)
+def _run_em_vf2_mr(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    processors: int = 4,
+    artifacts: Optional[object] = None,
+    observer: Optional[Callable[[ProgressEvent], None]] = None,
+) -> EMResult:
+    return VF2MapReduceEntityMatcher(
+        graph, keys, processors, artifacts=artifacts, observer=observer
+    ).run()
+
+
 def em_mr(graph: Graph, keys: KeySet, processors: int = 4) -> EMResult:
     """Run ``EMMR`` on *graph* with *keys* using *processors* simulated workers."""
-    return MapReduceEntityMatcher(graph, keys, processors).run()
+    return get_algorithm("EMMR").run(graph, keys, processors=processors)
 
 
 def em_vf2_mr(graph: Graph, keys: KeySet, processors: int = 4) -> EMResult:
     """Run the ``EMVF2MR`` baseline."""
-    return VF2MapReduceEntityMatcher(graph, keys, processors).run()
+    return get_algorithm("EMVF2MR").run(graph, keys, processors=processors)

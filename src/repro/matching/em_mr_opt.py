@@ -5,7 +5,8 @@ Three optimizations on top of :class:`~repro.matching.em_mr.MapReduceEntityMatch
 1. **Reducing L** — candidate pairs that cannot be *paired* by any key
    (Proposition 9) are dropped before any isomorphism check.
 2. **Reducing (G^d_1, G^d_2)** — the d-neighbourhoods of surviving pairs are
-   shrunk to the nodes appearing in the maximum pairing relations.
+   shrunk to the nodes appearing in the maximum pairing relations (can be
+   switched off with the ``reduce_neighborhoods`` option, e.g. for ablations).
 3. **Entity dependency + incremental checking** — after the first round, a
    pending pair re-runs its (expensive) isomorphism check only when a pair it
    depends on was newly identified in the previous round; otherwise the mapper
@@ -15,8 +16,10 @@ Three optimizations on top of :class:`~repro.matching.em_mr.MapReduceEntityMatch
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set
+from typing import Callable, Dict, Optional, Sequence, Set
 
+from ..api.events import ProgressEvent
+from ..api.registry import OptionSpec, get_algorithm, register_algorithm
 from ..core.equivalence import Pair
 from ..core.graph import Graph
 from ..core.key import KeySet
@@ -31,12 +34,32 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
 
     algorithm_name = "EMOptMR"
 
-    def __init__(self, graph: Graph, keys: KeySet, processors: int = 4) -> None:
-        super().__init__(graph, keys, processors)
+    def __init__(
+        self,
+        graph: Graph,
+        keys: KeySet,
+        processors: int = 4,
+        *,
+        reduce_neighborhoods: bool = True,
+        artifacts: Optional[object] = None,
+        observer: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        super().__init__(graph, keys, processors, artifacts=artifacts, observer=observer)
+        self.reduce_neighborhoods = reduce_neighborhoods
         self._dependents: Optional[Dict[Pair, Set[Pair]]] = None
 
     def _build_candidates(self) -> CandidateSet:
-        candidates = build_filtered_candidates(self.graph, self.keys, reduce_neighborhoods=True)
+        if self.artifacts is not None:
+            candidates = self.artifacts.candidates(
+                filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
+            )
+            self._dependents = self.artifacts.dependency_map(
+                filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
+            )
+            return candidates
+        candidates = build_filtered_candidates(
+            self.graph, self.keys, reduce_neighborhoods=self.reduce_neighborhoods
+        )
         self._dependents = dependency_map(self.graph, self.keys, candidates)
         return candidates
 
@@ -57,6 +80,39 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
         return to_check
 
 
+@register_algorithm(
+    "EMOptMR",
+    family="mapreduce",
+    options=(
+        OptionSpec(
+            "reduce_neighborhoods",
+            bool,
+            True,
+            "shrink d-neighbourhoods to pairing-supported nodes (Section 4.2)",
+        ),
+    ),
+    capabilities=("parallel", "rounds", "pairing-filter", "incremental-check"),
+    description="EMMR + pairing filter, reduced neighbourhoods, incremental checking",
+)
+def _run_em_mr_opt(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    processors: int = 4,
+    artifacts: Optional[object] = None,
+    observer: Optional[Callable[[ProgressEvent], None]] = None,
+    reduce_neighborhoods: bool = True,
+) -> EMResult:
+    return OptimizedMapReduceEntityMatcher(
+        graph,
+        keys,
+        processors,
+        reduce_neighborhoods=reduce_neighborhoods,
+        artifacts=artifacts,
+        observer=observer,
+    ).run()
+
+
 def em_mr_opt(graph: Graph, keys: KeySet, processors: int = 4) -> EMResult:
     """Run ``EMOptMR`` on *graph* with *keys* using *processors* simulated workers."""
-    return OptimizedMapReduceEntityMatcher(graph, keys, processors).run()
+    return get_algorithm("EMOptMR").run(graph, keys, processors=processors)

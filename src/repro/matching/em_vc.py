@@ -14,8 +14,10 @@ propagation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from ..api.events import ProgressEvent, notify
+from ..api.registry import OptionSpec, get_algorithm, register_algorithm
 from ..core.equivalence import EquivalenceRelation
 from ..core.graph import Graph
 from ..core.key import KeySet
@@ -40,22 +42,50 @@ class VertexCentricEntityMatcher:
     max_fanout: Optional[int] = None
     prioritize: bool = False
 
-    def __init__(self, graph: Graph, keys: KeySet, processors: int = 4) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        keys: KeySet,
+        processors: int = 4,
+        *,
+        artifacts: Optional[object] = None,
+        observer: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
         self.graph = graph
         self.keys = keys
         self.processors = processors
+        #: session artifact cache (``repro.api.session.SessionArtifacts``) or None
+        self.artifacts = artifacts
+        self.observer = observer
+
+    def _notify(self, stage: str, **fields: object) -> None:
+        notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
 
     def _build_candidates(self) -> CandidateSet:
         # the product graph only contains pairs that can be paired (Prop. 9);
         # neighbourhoods stay unreduced because the dependency map is built
         # from them and must over-approximate, never under-approximate.
+        if self.artifacts is not None:
+            return self.artifacts.candidates(filtered=True, reduce_neighborhoods=False)
         return build_filtered_candidates(self.graph, self.keys, reduce_neighborhoods=False)
+
+    def _build_product_graph(self, candidates: CandidateSet) -> ProductGraph:
+        if self.artifacts is not None:
+            return self.artifacts.product_graph(filtered=True, reduce_neighborhoods=False)
+        return ProductGraph(self.graph, self.keys, candidates)
+
+    def _traversal_orders(self) -> Dict[str, object]:
+        if self.artifacts is not None:
+            return self.artifacts.traversal_orders()
+        return traversal_orders(self.keys)
 
     def run(self) -> EMResult:
         """Execute the algorithm and return its result."""
         candidates = self._build_candidates()
-        product_graph = ProductGraph(self.graph, self.keys, candidates)
-        orders = traversal_orders(self.keys)
+        self._notify("candidates", pending=candidates.size)
+        product_graph = self._build_product_graph(candidates)
+        self._notify("product-graph", pending=product_graph.num_nodes)
+        orders = self._traversal_orders()
         program = EvalVCProgram(
             self.graph,
             self.keys,
@@ -83,6 +113,7 @@ class VertexCentricEntityMatcher:
 
         for pair in candidates.pairs:
             engine.post(pair, Activate(prerequisite=None))
+        self._notify("engine", pending=candidates.size)
         engine.run()
 
         eq = EquivalenceRelation(self.graph.entity_ids())
@@ -112,6 +143,7 @@ class VertexCentricEntityMatcher:
                 "tc_flags": float(program.counters.tc_flags),
             }
         )
+        self._notify("done", identified=stats.identified_pairs, pending=stats.messages_processed)
         return EMResult(
             algorithm=self.algorithm_name,
             processors=self.processors,
@@ -126,7 +158,6 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
     """``EMOptVC`` = ``EMVC`` + bounded messages + prioritized propagation."""
 
     algorithm_name = "EMOptVC"
-    prioritize = True
 
     def __init__(
         self,
@@ -134,18 +165,75 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
         keys: KeySet,
         processors: int = 4,
         fanout: int = DEFAULT_FANOUT,
+        *,
+        prioritize: bool = True,
+        artifacts: Optional[object] = None,
+        observer: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
-        super().__init__(graph, keys, processors)
+        super().__init__(graph, keys, processors, artifacts=artifacts, observer=observer)
         self.max_fanout = fanout
+        self.prioritize = prioritize
+
+
+@register_algorithm(
+    "EMVC",
+    family="vertex-centric",
+    capabilities=("parallel", "asynchronous"),
+    description="vertex-centric asynchronous algorithm over the product graph",
+)
+def _run_em_vc(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    processors: int = 4,
+    artifacts: Optional[object] = None,
+    observer: Optional[Callable[[ProgressEvent], None]] = None,
+) -> EMResult:
+    return VertexCentricEntityMatcher(
+        graph, keys, processors, artifacts=artifacts, observer=observer
+    ).run()
+
+
+@register_algorithm(
+    "EMOptVC",
+    family="vertex-centric",
+    options=(
+        OptionSpec("fanout", int, DEFAULT_FANOUT, "bounded-message fan-out budget k (Section 5.2)"),
+        OptionSpec("prioritize", bool, True, "prioritized propagation of flag messages"),
+    ),
+    capabilities=("parallel", "asynchronous", "bounded-messages", "prioritized"),
+    description="EMVC + bounded messages and prioritized propagation",
+)
+def _run_em_vc_opt(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    processors: int = 4,
+    artifacts: Optional[object] = None,
+    observer: Optional[Callable[[ProgressEvent], None]] = None,
+    fanout: int = DEFAULT_FANOUT,
+    prioritize: bool = True,
+) -> EMResult:
+    return OptimizedVertexCentricEntityMatcher(
+        graph,
+        keys,
+        processors,
+        fanout=fanout,
+        prioritize=prioritize,
+        artifacts=artifacts,
+        observer=observer,
+    ).run()
 
 
 def em_vc(graph: Graph, keys: KeySet, processors: int = 4) -> EMResult:
     """Run ``EMVC`` on *graph* with *keys* using *processors* simulated workers."""
-    return VertexCentricEntityMatcher(graph, keys, processors).run()
+    return get_algorithm("EMVC").run(graph, keys, processors=processors)
 
 
 def em_vc_opt(
     graph: Graph, keys: KeySet, processors: int = 4, fanout: int = DEFAULT_FANOUT
 ) -> EMResult:
     """Run ``EMOptVC`` (bounded messages with budget *fanout*, prioritized propagation)."""
-    return OptimizedVertexCentricEntityMatcher(graph, keys, processors, fanout=fanout).run()
+    return get_algorithm("EMOptVC").run(
+        graph, keys, processors=processors, options={"fanout": fanout}
+    )

@@ -1,0 +1,87 @@
+"""Tests of MatchConfig validation and option passthrough."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MatchConfig, match_entities
+from repro.datasets.music import music_dataset
+from repro.exceptions import ConfigError, MatchingError
+
+
+@pytest.fixture(scope="module")
+def music():
+    return music_dataset()
+
+
+class TestMatchConfigValidation:
+    def test_defaults_resolve(self):
+        spec, options = MatchConfig().resolve()
+        assert spec.name == "EMOptVC" and options == {}
+
+    @pytest.mark.parametrize("processors", [0, -1, 2.5, True])
+    def test_bad_processors_rejected(self, processors):
+        with pytest.raises(ConfigError):
+            MatchConfig(processors=processors)
+
+    def test_unknown_algorithm_rejected_on_resolve(self):
+        with pytest.raises(MatchingError):
+            MatchConfig(algorithm="EMNope").resolve()
+
+    @pytest.mark.parametrize(
+        "algorithm", ["chase", "EMMR", "EMVF2MR", "EMVC"]
+    )
+    def test_backends_without_options_reject_fanout(self, algorithm):
+        with pytest.raises(ConfigError, match="does not accept option"):
+            MatchConfig(algorithm=algorithm, options={"fanout": 2}).resolve()
+
+    def test_emoptvc_accepts_fanout_and_prioritize(self):
+        config = MatchConfig(algorithm="EMOptVC", options={"fanout": 8, "prioritize": False})
+        _, validated = config.resolve()
+        assert validated == {"fanout": 8, "prioritize": False}
+
+    def test_wrong_option_type_rejected(self):
+        with pytest.raises(ConfigError, match="expects int"):
+            MatchConfig(algorithm="EMOptVC", options={"fanout": "wide"}).resolve()
+
+    def test_emoptmr_accepts_reduce_neighborhoods(self):
+        config = MatchConfig(algorithm="EMOptMR", options={"reduce_neighborhoods": False})
+        assert config.validated() is config
+
+    def test_config_is_hashable_value_object(self):
+        first = MatchConfig(algorithm="EMOptVC", options={"fanout": 2})
+        second = MatchConfig(algorithm="EMOptVC", options={"fanout": 2})
+        assert first == second and hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_fluent_copies(self):
+        base = MatchConfig(algorithm="EMVC", processors=8)
+        tuned = base.using("EMOptVC", fanout=2).with_options(prioritize=True)
+        assert base.algorithm == "EMVC" and base.options == {}
+        assert tuned.algorithm == "EMOptVC" and tuned.processors == 8
+        assert tuned.options == {"fanout": 2, "prioritize": True}
+        assert "EMOptVC" in tuned.describe() and "fanout" in tuned.describe()
+
+
+class TestDispatcherPassthrough:
+    def test_match_entities_forwards_fanout(self, music):
+        graph, keys = music
+        generous = match_entities(graph, keys, algorithm="EMOptVC", fanout=64)
+        stingy = match_entities(graph, keys, algorithm="EMOptVC", fanout=1)
+        assert generous.pairs() == stingy.pairs()
+        # a tighter fan-out budget defers forks instead of sending immediately
+        assert stingy.cost_breakdown["deferred_forks"] >= generous.cost_breakdown["deferred_forks"]
+
+    def test_match_entities_rejects_unknown_option(self, music):
+        graph, keys = music
+        with pytest.raises(ConfigError):
+            match_entities(graph, keys, algorithm="EMMR", fanout=2)
+
+    def test_match_entities_forwards_reduce_neighborhoods(self, music):
+        graph, keys = music
+        reduced = match_entities(graph, keys, algorithm="EMOptMR")
+        unreduced = match_entities(graph, keys, algorithm="EMOptMR", reduce_neighborhoods=False)
+        assert reduced.pairs() == unreduced.pairs()
+        assert (
+            reduced.stats.neighborhood_total <= unreduced.stats.neighborhood_total
+        )

@@ -1,0 +1,103 @@
+"""Tests of the algorithm registry (registration, lookup, live view)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api.registry import (
+    ALGORITHMS,
+    REGISTRY,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    OptionSpec,
+    algorithm_specs,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.datasets.music import music_dataset
+from repro.exceptions import ConfigError, MatchingError
+
+PAPER_ALGORITHMS = {"chase", "EMMR", "EMVF2MR", "EMOptMR", "EMVC", "EMOptVC"}
+
+
+class TestBuiltinRegistrations:
+    def test_all_six_paper_algorithms_registered(self):
+        assert set(ALGORITHMS) == PAPER_ALGORITHMS
+
+    def test_families(self):
+        families = {spec.name: spec.family for spec in algorithm_specs()}
+        assert families["chase"] == "sequential"
+        assert families["EMMR"] == families["EMVF2MR"] == families["EMOptMR"] == "mapreduce"
+        assert families["EMVC"] == families["EMOptVC"] == "vertex-centric"
+
+    def test_emoptvc_declares_fanout(self):
+        spec = get_algorithm("EMOptVC")
+        assert "fanout" in spec.option_names()
+        assert spec.option("fanout").default == 4
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("emoptvc").name == "EMOptVC"
+        assert get_algorithm("CHASE").name == "chase"
+
+    def test_unknown_name_raises_matching_error(self):
+        with pytest.raises(MatchingError, match="unknown algorithm"):
+            get_algorithm("EMDoesNotExist")
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(MatchingError, match="already registered"):
+            register_algorithm("EMMR", family="test")(lambda g, k, **kw: None)
+
+    def test_duplicate_name_rejected_case_insensitively(self):
+        with pytest.raises(MatchingError, match="already registered"):
+            register_algorithm("emmr", family="test")(lambda g, k, **kw: None)
+
+    def test_register_and_unregister_through_live_view(self):
+        def runner(graph, keys, *, processors=4, artifacts=None, observer=None):
+            return repro.matching.chase_as_result(graph, keys)
+
+        register_algorithm("TestChase", family="test")(runner)
+        try:
+            assert "TestChase" in list(ALGORITHMS)
+            assert "TestChase" in list(repro.ALGORITHMS)  # same live view
+            graph, keys = music_dataset()
+            result = repro.match_entities(graph, keys, algorithm="TestChase")
+            assert result.pairs() == repro.match_entities(graph, keys, algorithm="chase").pairs()
+        finally:
+            REGISTRY.unregister("TestChase")
+        assert "TestChase" not in list(ALGORITHMS)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(MatchingError):
+            REGISTRY.unregister("NeverRegistered")
+
+    def test_isolated_registry_does_not_touch_global(self):
+        local = AlgorithmRegistry()
+        register_algorithm("Local", family="test", registry=local)(lambda g, k, **kw: None)
+        assert "Local" in local and "Local" not in REGISTRY
+
+
+class TestOptionValidation:
+    def test_unknown_option_rejected_with_accepted_list(self):
+        spec = get_algorithm("EMOptVC")
+        with pytest.raises(ConfigError, match="fanout"):
+            spec.validate_options({"bogus": 1})
+
+    def test_int_option_rejects_bool_and_str(self):
+        option = OptionSpec("fanout", int, 4)
+        assert option.validate(2) == 2
+        with pytest.raises(ConfigError):
+            option.validate(True)
+        with pytest.raises(ConfigError):
+            option.validate("four")
+
+    def test_float_option_coerces_int(self):
+        assert OptionSpec("ratio", float, 0.5).validate(1) == 1.0
+
+
+def test_algorithms_view_is_a_sequence():
+    assert len(ALGORITHMS) == len(list(ALGORITHMS))
+    assert ALGORITHMS[0] in PAPER_ALGORITHMS
+    assert "EMVC" in ALGORITHMS

@@ -1,0 +1,40 @@
+"""Tests of the dataset registry used by the CLI and harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.core.key import KeySet
+from repro.datasets import DATASETS, dataset_factory, dataset_spec, make_dataset
+from repro.exceptions import DatasetError
+
+
+def test_expected_datasets_registered():
+    assert {"synthetic", "social", "knowledge", "music"} <= set(DATASETS)
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(DatasetError, match="unknown dataset"):
+        dataset_spec("imaginary")
+
+
+@pytest.mark.parametrize("name", ["synthetic", "social", "knowledge", "music"])
+def test_make_dataset_returns_graph_and_keys(name):
+    graph, keys = make_dataset(name, scale=0.4, chain_length=1, radius=1, seed=3)
+    assert isinstance(graph, Graph) and isinstance(keys, KeySet)
+    assert graph.num_entities > 0 and keys.cardinality > 0
+
+
+def test_unaccepted_parameters_are_filtered():
+    # social_dataset has no num_keys parameter; the registry must drop it
+    graph, keys = make_dataset("social", num_keys=99, scale=0.4, seed=3)
+    assert graph.num_entities > 0
+
+
+def test_factory_is_reusable_and_deterministic():
+    factory = dataset_factory("synthetic")
+    graph1, keys1 = factory(scale=0.4, seed=5)
+    graph2, keys2 = factory(scale=0.4, seed=5)
+    assert graph1.num_triples == graph2.num_triples
+    assert keys1.cardinality == keys2.cardinality

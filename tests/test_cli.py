@@ -42,6 +42,65 @@ class TestMatchCommand:
         assert exit_code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_match_forwards_fanout(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            [
+                "match",
+                "--graph", graph_path,
+                "--keys", keys_path,
+                "--algorithm", "EMOptVC",
+                "--fanout", "1",
+            ]
+        )
+        assert exit_code == 0
+        assert "alb1 == alb2" in capsys.readouterr().out
+
+    def test_match_forwards_set_options(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            [
+                "match",
+                "--graph", graph_path,
+                "--keys", keys_path,
+                "--algorithm", "EMOptVC",
+                "--set", "prioritize=false",
+                "--set", "fanout=2",
+            ]
+        )
+        assert exit_code == 0
+        assert "art1 == art2" in capsys.readouterr().out
+
+    def test_unaccepted_option_reports_error(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            [
+                "match",
+                "--graph", graph_path,
+                "--keys", keys_path,
+                "--algorithm", "EMMR",
+                "--fanout", "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "does not accept option" in capsys.readouterr().err
+
+    def test_malformed_set_option_reports_error(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            ["match", "--graph", graph_path, "--keys", keys_path, "--set", "fanout"]
+        )
+        assert exit_code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_reserved_set_keys_report_clean_error(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            ["match", "--graph", graph_path, "--keys", keys_path, "--set", "processors=8"]
+        )
+        assert exit_code == 2
+        assert "--processors" in capsys.readouterr().err
+
 
 class TestCheckCommand:
     def test_check_reports_violations(self, music_files, capsys):
@@ -80,3 +139,14 @@ class TestBenchCommand:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "EMVC" in output and "speedup" in output
+
+
+class TestAlgorithmsCommand:
+    def test_lists_registered_algorithms_with_options(self, capsys):
+        exit_code = main(["algorithms"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("chase", "EMMR", "EMVF2MR", "EMOptMR", "EMVC", "EMOptVC"):
+            assert name in output
+        assert "vertex-centric" in output
+        assert "fanout=4" in output  # EMOptVC's accepted options are shown
