@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Parallel smoke benchmark: real executors vs the serial reference.
+
+Runs one MapReduce backend and one vertex-centric backend on the
+scalability-study synthetic workload twice — once on the ``SerialExecutor``
+and once on the requested real executor (process pool by default) — verifies
+the results are identical, and writes the measured wall-clock numbers to a
+JSON artifact (``BENCH_parallel.json``).  CI uploads the artifact on every
+run, seeding the performance trajectory of the runtime layer.
+
+The script fails (non-zero exit) only on *correctness* violations: identical
+pairs and statistics are a hard requirement, measured speedup is reported but
+hardware-dependent (a single-core runner cannot show any).
+
+Run with:  python benchmarks/bench_parallel_smoke.py --executor process --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Dict
+
+from repro.api.session import MatchSession
+from repro.datasets.synthetic import synthetic_dataset
+
+#: One backend per engine family, as the acceptance criteria require.
+SMOKE_ALGORITHMS = ("EMOptMR", "EMOptVC")
+
+
+def run_smoke(executor: str, workers: int, processors: int, scale: float) -> Dict:
+    dataset = synthetic_dataset(
+        num_keys=10, chain_length=2, radius=2, entities_per_type=6, scale=scale, seed=7
+    )
+    session = MatchSession(dataset.graph).with_keys(dataset.keys)
+    report: Dict = {
+        "executor": executor,
+        "workers": workers,
+        "processors": processors,
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "algorithms": {},
+        "ok": True,
+    }
+    for algorithm in SMOKE_ALGORITHMS:
+        serial = session.run(algorithm, processors=processors, executor="serial", workers=workers)
+        parallel = session.run(algorithm, processors=processors, executor=executor, workers=workers)
+        identical = (
+            serial.pairs() == parallel.pairs()
+            and serial.stats.as_dict() == parallel.stats.as_dict()
+        )
+        speedup = (
+            serial.wall_seconds / parallel.wall_seconds if parallel.wall_seconds > 0 else 0.0
+        )
+        report["algorithms"][algorithm] = {
+            "identified_pairs": serial.num_identified,
+            "simulated_seconds": round(serial.simulated_seconds, 3),
+            "serial_wall_seconds": round(serial.wall_seconds, 4),
+            f"{executor}_wall_seconds": round(parallel.wall_seconds, 4),
+            "measured_speedup": round(speedup, 3),
+            "results_identical": identical,
+        }
+        report["ok"] = report["ok"] and identical
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--executor", choices=["thread", "process"], default="process")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    report = run_smoke(args.executor, args.workers, args.processors, args.scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    if not report["ok"]:
+        print("FAIL: parallel results diverge from the serial reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,19 @@ def main() -> None:
     print(f"EMOptVC with fanout=1: {tight.stats.messages_sent} messages sent")
     print()
 
+    # Real parallelism: executor="process" runs the task batches on a process
+    # pool of `workers` real workers (the CLI equivalent is
+    # `repro-keys match ... --executor process --workers 2`).  `processors`
+    # stays the paper's *simulated* cluster size; results are bit-identical
+    # to the serial run, only the measured wall clock changes.
+    pooled = session.run("EMOptMR", processors=4, executor="process", workers=2)
+    print(
+        f"EMOptMR on a 2-worker process pool: identified {pooled.num_identified} "
+        f"pairs in {pooled.wall_seconds:.3f}s wall "
+        f"({pooled.simulated_seconds:.2f}s simulated on 4 workers)"
+    )
+    print()
+
     # Provenance: why were these entities identified?
     outcome = chase(graph, keys)
     proof = proof_from_chase(outcome)

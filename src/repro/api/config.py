@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..exceptions import ConfigError
+from ..runtime import EXECUTOR_KINDS
 from .registry import AlgorithmRegistry, AlgorithmSpec, REGISTRY
 
 #: Default algorithm of the public API (the paper's best performer).
@@ -26,23 +27,54 @@ DEFAULT_PROCESSORS = 4
 
 @dataclass(frozen=True)
 class MatchConfig:
-    """The full configuration of one entity-matching run."""
+    """The full configuration of one entity-matching run.
+
+    ``processors`` is the *simulated* cluster size ``p`` observed by the cost
+    models; ``executor`` / ``workers`` select the *real* execution runtime
+    (``"serial"`` / ``"thread"`` / ``"process"`` pools of ``workers`` real
+    workers; ``None`` keeps the classic in-process execution).  Executor
+    support is validated per backend at :meth:`resolve` time against the
+    ``"executors"`` capability of the chosen
+    :class:`~repro.api.registry.AlgorithmSpec`.
+    """
 
     algorithm: str = DEFAULT_ALGORITHM
     processors: int = DEFAULT_PROCESSORS
     options: Mapping[str, object] = field(default_factory=dict)
+    executor: Optional[str] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.processors, int) or isinstance(self.processors, bool):
             raise ConfigError(f"processors must be an int, got {self.processors!r}")
         if self.processors < 1:
             raise ConfigError(f"processors must be >= 1, got {self.processors}")
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {', '.join(EXECUTOR_KINDS)}"
+            )
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+                raise ConfigError(f"workers must be an int, got {self.workers!r}")
+            if self.workers < 1:
+                raise ConfigError(f"workers must be >= 1, got {self.workers}")
+            if self.executor is None:
+                raise ConfigError("workers requires an executor (e.g. executor='process')")
         # freeze the options mapping into a plain dict we own
         object.__setattr__(self, "options", dict(self.options))
 
     def __hash__(self) -> int:
         # the generated frozen-dataclass hash would choke on the options dict
-        return hash((self.algorithm, self.processors, tuple(sorted(self.options.items()))))
+        return hash(
+            (
+                self.algorithm,
+                self.processors,
+                self.executor,
+                self.workers,
+                tuple(sorted(self.options.items())),
+            )
+        )
 
     def with_options(self, **options: object) -> "MatchConfig":
         """A copy of this config with *options* merged in."""
@@ -61,10 +93,16 @@ class MatchConfig:
 
         Raises :class:`~repro.exceptions.MatchingError` for unknown algorithm
         names and :class:`~repro.exceptions.ConfigError` for options the
-        backend does not accept (or of the wrong type).
+        backend does not accept (or of the wrong type), or when an executor
+        is requested from a backend without the ``"executors"`` capability.
         """
         # explicit None-check: an empty registry is falsy (it has __len__)
         spec = (REGISTRY if registry is None else registry).get(self.algorithm)
+        if self.executor is not None and "executors" not in spec.capabilities:
+            raise ConfigError(
+                f"algorithm {spec.name!r} does not support executor selection "
+                f"(requested executor={self.executor!r})"
+            )
         return spec, spec.validate_options(self.options)
 
     def validated(self, registry: Optional[AlgorithmRegistry] = None) -> "MatchConfig":
@@ -74,6 +112,10 @@ class MatchConfig:
 
     def describe(self) -> str:
         """Human-readable one-liner, e.g. for provenance logs."""
-        options = ", ".join(f"{k}={v!r}" for k, v in sorted(self.options.items()))
-        suffix = f", {options}" if options else ""
-        return f"{self.algorithm}(p={self.processors}{suffix})"
+        parts = [f"p={self.processors}"]
+        if self.executor is not None:
+            parts.append(f"executor={self.executor}")
+            if self.workers is not None:
+                parts.append(f"workers={self.workers}")
+        parts.extend(f"{k}={v!r}" for k, v in sorted(self.options.items()))
+        return f"{self.algorithm}({', '.join(parts)})"

@@ -100,15 +100,37 @@ class AlgorithmSpec:
         options: Optional[Mapping[str, object]] = None,
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[object], None]] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> object:
-        """Validate *options* against this spec and invoke the runner."""
+        """Validate *options* against this spec and invoke the runner.
+
+        ``executor`` / ``workers`` select the real execution runtime; they are
+        forwarded only to backends declaring the ``"executors"`` capability
+        (requesting them from any other backend raises ``ConfigError``).
+        """
         validated = self.validate_options(options or {})
+        runtime_kwargs: Dict[str, object] = {}
+        if workers is not None and executor is None:
+            raise ConfigError(
+                f"algorithm {self.name!r}: workers requires an executor "
+                f"(e.g. executor='process')"
+            )
+        if executor is not None:
+            if "executors" not in self.capabilities:
+                raise ConfigError(
+                    f"algorithm {self.name!r} does not support executor selection "
+                    f"(requested executor={executor!r})"
+                )
+            runtime_kwargs["executor"] = executor
+            runtime_kwargs["workers"] = workers
         return self.runner(
             graph,
             keys,
             processors=processors,
             artifacts=artifacts,
             observer=observer,
+            **runtime_kwargs,
             **validated,
         )
 

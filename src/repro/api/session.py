@@ -42,7 +42,7 @@ from ..matching.result import EMResult
 from ..matching.traversal_order import traversal_orders
 from .config import MatchConfig
 from .events import ProgressEvent, ProgressObserver
-from .registry import ALGORITHMS
+from .registry import ALGORITHMS, get_algorithm
 
 
 @dataclass(frozen=True)
@@ -219,11 +219,32 @@ class MatchSession:
         self._artifacts = None
         return self
 
-    def using(self, algorithm: str, *, processors: Optional[int] = None, **options: object) -> "MatchSession":
-        """Choose the default algorithm (and its options) for :meth:`run`."""
+    def using(
+        self,
+        algorithm: str,
+        *,
+        processors: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        **options: object,
+    ) -> "MatchSession":
+        """Choose the default algorithm (and its options) for :meth:`run`.
+
+        ``executor`` / ``workers`` select the real execution runtime for the
+        chosen backend (``None`` keeps the session default / classic path).
+        The session default is inherited only by backends that support
+        executors — the same gate :meth:`run` applies — so
+        ``using("chase").run()`` and ``run("chase")`` behave identically.
+        """
+        if executor is None and self._config.executor is not None:
+            if self._supports_executors(algorithm):
+                executor = self._config.executor
+                workers = self._config.workers if workers is None else workers
         self._config = MatchConfig(
             algorithm=algorithm,
             processors=self._config.processors if processors is None else processors,
+            executor=executor,
+            workers=workers,
             options=options,
         )
         return self
@@ -271,28 +292,44 @@ class MatchSession:
         algorithm: Optional[str] = None,
         *,
         processors: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         **options: object,
     ) -> EMResult:
         """Run one matching algorithm, reusing the session's cached artifacts.
 
         With no arguments, runs the configuration set via :meth:`using`.
         Passing *algorithm* (and options) runs that backend instead without
-        changing the session default.
+        changing the session default.  ``executor`` / ``workers`` (inherited
+        from the session default when omitted) select the real execution
+        runtime; support is validated per backend.
         """
         if self._keys is None:
             raise MatchingError("MatchSession has no keys; call with_keys(...) first")
         if algorithm is None:
             config = self._config
-            if processors is not None or options:
+            if processors is not None or executor is not None or workers is not None or options:
                 config = MatchConfig(
                     algorithm=config.algorithm,
                     processors=config.processors if processors is None else processors,
+                    executor=config.executor if executor is None else executor,
+                    workers=config.workers if workers is None else workers,
                     options={**config.options, **options},
                 )
         else:
+            # The session-wide executor default is inherited only by backends
+            # that support executors (an explicit executor= argument is still
+            # validated strictly), so e.g. run_all() over a session configured
+            # with a process pool quietly runs "chase" on the classic path.
+            if executor is None and self._config.executor is not None:
+                if self._supports_executors(algorithm):
+                    executor = self._config.executor
+                    workers = self._config.workers if workers is None else workers
             config = MatchConfig(
                 algorithm=algorithm,
                 processors=self._config.processors if processors is None else processors,
+                executor=executor,
+                workers=workers,
                 options=options,
             )
         spec, validated = config.resolve()
@@ -304,6 +341,8 @@ class MatchSession:
             options=validated,
             artifacts=artifacts,
             observer=self._dispatch_event if self._observers else None,
+            executor=config.executor,
+            workers=config.workers,
         )
         self._history.append((config, result))
         return result
@@ -313,16 +352,38 @@ class MatchSession:
         algorithms: Optional[Sequence[str]] = None,
         *,
         processors: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> Dict[str, EMResult]:
-        """Run several algorithms on the shared artifacts; name → result."""
+        """Run several algorithms on the shared artifacts; name → result.
+
+        An ``executor`` requested here applies to every backend that supports
+        executors; the others (the sequential chase) run on the classic path.
+        """
         names = list(algorithms) if algorithms is not None else list(ALGORITHMS)
-        return {name: self.run(name, processors=processors) for name in names}
+        return {
+            name: self.run(
+                name,
+                processors=processors,
+                executor=executor if self._supports_executors(name) else None,
+                workers=workers if self._supports_executors(name) else None,
+            )
+            for name in names
+        }
 
     def rematch(self) -> EMResult:
         """Re-run the session's current configuration (e.g. after mutations)."""
         return self.run()
 
     # -- internals --------------------------------------------------------- #
+
+    @staticmethod
+    def _supports_executors(algorithm: str) -> bool:
+        try:
+            spec = get_algorithm(algorithm)
+        except MatchingError:
+            return False  # unknown name: let resolve() raise the real error
+        return "executors" in spec.capabilities
 
     def _refresh_artifacts(self) -> SessionArtifacts:
         if self._artifacts is None:

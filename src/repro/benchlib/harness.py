@@ -38,13 +38,21 @@ class ExperimentSpec:
     fixed: Dict[str, object] = field(default_factory=dict)
     #: per-algorithm backend options, e.g. {"EMOptVC": {"fanout": 8}}.
     algorithm_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: real execution runtime for every run of the sweep (None: classic path).
+    executor: Optional[str] = None
+    workers: Optional[int] = None
 
     def describe(self) -> str:
         fixed = ", ".join(f"{k}={v}" for k, v in sorted(self.fixed.items()))
+        runtime = ""
+        if self.executor is not None:
+            workers = self.workers if self.workers is not None else "auto"
+            runtime = f" [executor={self.executor}, workers={workers}]"
         return (
             f"{self.experiment_id}: {self.dataset_name}, varying {self.parameter} "
             f"over {list(self.values)}"
             + (f" ({fixed})" if fixed else "")
+            + runtime
         )
 
 
@@ -58,6 +66,10 @@ class SweepPoint:
     def seconds(self, algorithm: str) -> float:
         return self.results[algorithm].simulated_seconds
 
+    def wall_seconds(self, algorithm: str) -> float:
+        """Measured wall-clock seconds of one algorithm at this point."""
+        return self.results[algorithm].wall_seconds
+
 
 @dataclass
 class ExperimentResult:
@@ -69,6 +81,17 @@ class ExperimentResult:
     def series(self, algorithm: str) -> List[Tuple[object, float]]:
         """(value, simulated seconds) pairs for one algorithm."""
         return [(point.value, point.seconds(algorithm)) for point in self.points]
+
+    def wall_series(self, algorithm: str) -> List[Tuple[object, float]]:
+        """(value, measured wall-clock seconds) pairs for one algorithm."""
+        return [(point.value, point.wall_seconds(algorithm)) for point in self.points]
+
+    def measured_speedup(self, algorithm: str) -> float:
+        """Last-over-first wall-clock ratio of the series (measured, not simulated)."""
+        series = self.wall_series(algorithm)
+        if len(series) < 2 or series[-1][1] == 0:
+            return 1.0
+        return series[0][1] / series[-1][1]
 
     def speedup(self, algorithm: str) -> float:
         """Last-over-first ratio of the series (e.g. the p=4 → p=20 speedup)."""
@@ -110,7 +133,11 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
             # a per-algorithm "processors" entry overrides the sweep default
             point_processors = int(options.pop("processors", processors))
             point.results[algorithm] = session.run(
-                algorithm, processors=point_processors, **options
+                algorithm,
+                processors=point_processors,
+                executor=spec.executor,
+                workers=spec.workers,
+                **options,
             )
         outcome.points.append(point)
     return outcome
@@ -122,6 +149,8 @@ def processors_sweep(
     dataset_factory: DatasetFactory,
     processors: Sequence[int] = (4, 8, 12, 16, 20),
     algorithms: Sequence[str] = FIGURE8_ALGORITHMS,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     **fixed: object,
 ) -> ExperimentSpec:
     """Exp-1 (Fig. 8 a/e/i): vary the number of processors."""
@@ -133,6 +162,8 @@ def processors_sweep(
         dataset_factory=dataset_factory,
         algorithms=tuple(algorithms),
         fixed=dict(fixed),
+        executor=executor,
+        workers=workers,
     )
 
 
@@ -142,6 +173,8 @@ def scale_sweep(
     dataset_factory: DatasetFactory,
     scales: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
     algorithms: Sequence[str] = FIGURE8_ALGORITHMS,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     **fixed: object,
 ) -> ExperimentSpec:
     """Exp-2 (Fig. 8 b/f/j): vary the graph scale factor."""
@@ -153,6 +186,8 @@ def scale_sweep(
         dataset_factory=dataset_factory,
         algorithms=tuple(algorithms),
         fixed=dict(fixed),
+        executor=executor,
+        workers=workers,
     )
 
 
@@ -162,6 +197,8 @@ def chain_sweep(
     dataset_factory: DatasetFactory,
     chains: Sequence[int] = (1, 2, 3, 4, 5),
     algorithms: Sequence[str] = FIGURE8_ALGORITHMS,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     **fixed: object,
 ) -> ExperimentSpec:
     """Exp-3 (Fig. 8 c/g/k): vary the dependency-chain length ``c``."""
@@ -173,6 +210,8 @@ def chain_sweep(
         dataset_factory=dataset_factory,
         algorithms=tuple(algorithms),
         fixed=dict(fixed),
+        executor=executor,
+        workers=workers,
     )
 
 
@@ -182,6 +221,8 @@ def radius_sweep(
     dataset_factory: DatasetFactory,
     radii: Sequence[int] = (1, 2, 3, 4, 5),
     algorithms: Sequence[str] = FIGURE8_ALGORITHMS,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     **fixed: object,
 ) -> ExperimentSpec:
     """Exp-3 (Fig. 8 d/h/l): vary the key radius ``d``."""
@@ -193,4 +234,6 @@ def radius_sweep(
         dataset_factory=dataset_factory,
         algorithms=tuple(algorithms),
         fixed=dict(fixed),
+        executor=executor,
+        workers=workers,
     )

@@ -32,26 +32,47 @@ def format_table(
     return "\n".join(lines)
 
 
-def figure_table(result: ExperimentResult, unit: str = "sim s") -> str:
-    """A Fig. 8-style table: one row per sweep value, one column per algorithm."""
+def figure_table(
+    result: ExperimentResult, unit: str = "sim s", include_wall: bool = False
+) -> str:
+    """A Fig. 8-style table: one row per sweep value, one column per algorithm.
+
+    With ``include_wall=True`` every algorithm gets a second column with the
+    *measured* wall-clock seconds of the run next to the simulated cluster
+    seconds — the column that turns a Figure-8 sweep over a real executor
+    into an actual speedup curve.
+    """
     spec = result.spec
-    headers = [spec.parameter] + [f"{algo} ({unit})" for algo in spec.algorithms]
+    headers: List[str] = [spec.parameter]
+    for algo in spec.algorithms:
+        headers.append(f"{algo} ({unit})")
+        if include_wall:
+            headers.append(f"{algo} (wall s)")
     rows: List[List[object]] = []
     for point in result.points:
         row: List[object] = [point.value]
         for algorithm in spec.algorithms:
             row.append(f"{point.seconds(algorithm):.2f}")
+            if include_wall:
+                row.append(f"{point.wall_seconds(algorithm):.3f}")
         rows.append(row)
     return format_table(headers, rows, title=spec.describe())
 
 
 def speedup_summary(result: ExperimentResult) -> str:
-    """Speedups over the sweep (e.g. "4.8x faster from p=4 to p=20")."""
+    """Speedups over the sweep (e.g. "4.8x faster from p=4 to p=20").
+
+    When the sweep ran on a real executor, each simulated speedup is followed
+    by the measured wall-clock ratio of the same series.
+    """
     spec = result.spec
-    parts = [
-        f"{algorithm}: {result.speedup(algorithm):.1f}x"
-        for algorithm in spec.algorithms
-    ]
+    measured = spec.executor is not None
+    parts = []
+    for algorithm in spec.algorithms:
+        entry = f"{algorithm}: {result.speedup(algorithm):.1f}x"
+        if measured:
+            entry += f" (wall {result.measured_speedup(algorithm):.1f}x)"
+        parts.append(entry)
     return (
         f"{spec.experiment_id} speedup from {spec.parameter}={result.points[0].value} "
         f"to {spec.parameter}={result.points[-1].value}: " + ", ".join(parts)

@@ -75,6 +75,10 @@ class ProofError(ReproError):
     """A proof graph failed verification."""
 
 
+class ExecutorError(ReproError):
+    """Errors raised by the shared execution runtime (executors, partitioners)."""
+
+
 class MapReduceError(ReproError):
     """Errors raised by the simulated MapReduce substrate."""
 

@@ -25,6 +25,7 @@ from .runtime import (
     MapReduceDriver,
     MapReduceJob,
     TaskContext,
+    TaskOutcome,
 )
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "RoundCost",
     "SHUFFLE_RECORD_SECONDS",
     "TaskContext",
+    "TaskOutcome",
     "WORK_UNIT_SECONDS",
     "WorkerCache",
     "spread_evenly",

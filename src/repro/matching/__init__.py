@@ -94,6 +94,8 @@ def match_entities(
     keys: KeySet,
     algorithm: str = "EMOptVC",
     processors: int = 4,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     **options: object,
 ) -> EMResult:
     """Compute ``chase(G, Σ)`` with the requested algorithm.
@@ -101,14 +103,23 @@ def match_entities(
     A thin compatibility wrapper over the algorithm registry: the name is
     resolved case-insensitively and any extra keyword arguments are forwarded
     to the backend as options (validated against its
-    :class:`~repro.api.registry.AlgorithmSpec`).  Raises
+    :class:`~repro.api.registry.AlgorithmSpec`).  ``executor`` / ``workers``
+    select the real execution runtime (``"serial"`` / ``"thread"`` /
+    ``"process"``) for backends that support it.  Raises
     :class:`~repro.exceptions.MatchingError` for unknown algorithm names and
     :class:`~repro.exceptions.ConfigError` for options the backend does not
     accept.  For repeated runs on the same graph, prefer
     :class:`repro.MatchSession`, which caches the shared indexes.
     """
     spec = get_algorithm(algorithm)
-    return spec.run(graph, keys, processors=processors, options=options)
+    return spec.run(
+        graph,
+        keys,
+        processors=processors,
+        options=options,
+        executor=executor,
+        workers=workers,
+    )
 
 
 __all__ = [

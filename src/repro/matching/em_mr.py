@@ -20,14 +20,17 @@ enumeration (no early termination); ``EMOptMR`` (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+import time
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple, Type
 
 from ..api.events import ProgressEvent, notify
 from ..api.registry import get_algorithm, register_algorithm
 from ..core.equivalence import EquivalenceRelation, Pair, canonical_pair
 from ..core.graph import Graph
 from ..core.key import Key, KeySet
+from ..core.neighborhood import NeighborhoodIndex
 from ..mapreduce.runtime import MapReduceDriver, TaskContext
+from ..runtime import create_executor
 from .candidates import CandidateSet, build_candidates
 from .checkers import EnumerationChecker, GuidedChecker, PairChecker
 from .result import EMResult, EMStatistics
@@ -37,24 +40,37 @@ PairRecord = Tuple[str, str, bool]
 
 
 class _MapEM:
-    """The ``MapEM`` function of Fig. 4 for one round."""
+    """The ``MapEM`` function of Fig. 4 for one round.
+
+    The mapper is a *picklable task payload*: it carries only the small
+    per-round state (the ``Eq`` snapshot and the incremental-checking set) and
+    reads the heavy invariants — the graph and the d-neighbourhoods — from the
+    Haloop-style worker cache, which the executor ships to each worker once
+    per run rather than once per task.  Per-worker helpers (the checker) live
+    in the task context's scratch space, and statistics flow back through
+    ``context.count`` so the mapper object itself stays read-only.
+    """
 
     def __init__(
         self,
-        graph: Graph,
         keys_by_type: Dict[str, List[Key]],
-        candidates: CandidateSet,
         eq_snapshot: EquivalenceRelation,
-        checker: PairChecker,
+        checker_class: Type[PairChecker],
         pairs_to_check: Optional[Set[Pair]],
     ) -> None:
-        self._graph = graph
         self._keys_by_type = keys_by_type
-        self._candidates = candidates
         self._eq = eq_snapshot
-        self._checker = checker
+        self._checker_class = checker_class
         self._pairs_to_check = pairs_to_check
-        self.checks = 0
+
+    def _tools(self, context: TaskContext) -> Tuple[Graph, NeighborhoodIndex, PairChecker]:
+        tools = context.scratch.get("em_mr_tools")
+        if tools is None:
+            graph = context.cached("graph")
+            neighborhoods = context.cached("neighborhoods")
+            tools = (graph, neighborhoods, self._checker_class(graph))
+            context.scratch["em_mr_tools"] = tools
+        return tools  # type: ignore[return-value]
 
     def map(self, key: Hashable, value: object, context: TaskContext) -> None:
         e1, e2 = key  # type: ignore[misc]
@@ -68,11 +84,12 @@ class _MapEM:
             # expensive isomorphism check is skipped this round.
             context.emit(e1, (e1, e2, False))
             return
-        keys = self._keys_by_type.get(self._graph.entity_type(e1), [])
-        nbhd1 = self._candidates.neighborhoods.nodes(e1)
-        nbhd2 = self._candidates.neighborhoods.nodes(e2)
-        identified, work = self._checker.check(keys, e1, e2, self._eq, nbhd1, nbhd2)
-        self.checks += 1
+        graph, neighborhoods, checker = self._tools(context)
+        keys = self._keys_by_type.get(graph.entity_type(e1), [])
+        nbhd1 = neighborhoods.nodes(e1)
+        nbhd2 = neighborhoods.nodes(e2)
+        identified, work = checker.check(keys, e1, e2, self._eq, nbhd1, nbhd2)
+        context.count("checks")
         context.add_work(work)
         if identified:
             context.emit(e1, (e1, e2, True))
@@ -84,14 +101,19 @@ class _MapEM:
 class _ReduceEM:
     """The ``ReduceEM`` function of Fig. 4 for one round.
 
-    The global ``Eq`` is a union–find shared with the driver; merging into it
+    The global ``Eq`` is a union–find held by the driver; merging into it
     plays the role of the paper's reducer-side transitive-closure joins (the
-    join work is still charged to the cost model via ``add_work``).
+    join work is still charged to the cost model via ``add_work``).  The
+    reducer implements the runtime's replicate/absorb protocol: each reduce
+    task runs against an independent copy of ``Eq`` and returns its merge log,
+    which the driver replays in task order — the same schedule under every
+    executor, so parallel runs stay bit-identical with serial ones.
     """
 
     def __init__(self, eq: EquivalenceRelation) -> None:
         self._eq = eq
         self.newly_identified: Set[Pair] = set()
+        self._merge_log: List[Pair] = []
 
     def reduce(self, key: Hashable, values: List[object], context: TaskContext) -> None:
         unidentified: List[Pair] = []
@@ -101,12 +123,30 @@ class _ReduceEM:
             if flag:
                 if self._eq.merge(e1, e2):
                     self.newly_identified.add(pair)
+                    self._merge_log.append(pair)
                 context.add_work(1)  # transitive-closure join work
             else:
                 unidentified.append(pair)
         for pair in unidentified:
             if not self._eq.identified(*pair):
                 context.emit(pair, False)
+
+    # -- replicate/absorb protocol (see repro.mapreduce.runtime) --------- #
+
+    def replicate(self) -> "_ReduceEM":
+        """An independent copy to run one reduce task against."""
+        return _ReduceEM(self._eq.copy())
+
+    def collect(self) -> Tuple[List[Pair], Set[Pair]]:
+        """The picklable state delta of one task: (merge log, new pairs)."""
+        return (self._merge_log, self.newly_identified)
+
+    def absorb(self, state: Tuple[List[Pair], Set[Pair]]) -> None:
+        """Replay a task's merge log into the driver-side ``Eq``."""
+        merges, newly = state
+        for e1, e2 in merges:
+            self._eq.merge(e1, e2)
+        self.newly_identified |= newly
 
 
 class MapReduceEntityMatcher:
@@ -120,12 +160,18 @@ class MapReduceEntityMatcher:
         keys: KeySet,
         processors: int = 4,
         *,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
         self.graph = graph
         self.keys = keys
         self.processors = processors
+        #: executor kind ("serial" / "thread" / "process") or None for serial
+        self.executor = executor
+        #: real worker count of the executor pool (None: processors, capped)
+        self.workers = workers
         #: session artifact cache (``repro.api.session.SessionArtifacts``) or None
         self.artifacts = artifacts
         self.observer = observer
@@ -140,8 +186,8 @@ class MapReduceEntityMatcher:
             return self.artifacts.candidates(filtered=False, reduce_neighborhoods=False)
         return build_candidates(self.graph, self.keys)
 
-    def _make_checker(self) -> PairChecker:
-        return GuidedChecker(self.graph)
+    def _checker_class(self) -> Type[PairChecker]:
+        return GuidedChecker
 
     def _pairs_to_check(
         self,
@@ -162,19 +208,33 @@ class MapReduceEntityMatcher:
 
     def run(self) -> EMResult:
         """Execute the algorithm and return its result."""
-        driver = MapReduceDriver(self.processors)
+        started = time.perf_counter()
+        executor = create_executor(self.executor, self.workers, processors=self.processors)
+        try:
+            result = self._run_with_executor(executor)
+        finally:
+            executor.close()
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _run_with_executor(self, executor) -> EMResult:
+        driver = MapReduceDriver(self.processors, executor=executor)
         candidates = self._build_candidates()
-        checker = self._make_checker()
+        checker_class = self._checker_class()
         keys_by_type = {
             etype: self.keys.keys_for_type(etype) for etype in self.keys.target_types()
         }
 
         # Driver-side preprocessing: candidate pairs + d-neighbourhood BFS,
         # cached on the workers (Haloop-style) so rounds do not re-ship them.
+        # The graph itself is charged at zero records: it already lives on
+        # HDFS in the paper's setting, the cache entry only makes it reachable
+        # from executor worker processes.
         neighborhood_total = candidates.neighborhoods.total_size()
         driver.charge_setup(candidates.unfiltered_size + neighborhood_total)
         driver.cache.put("neighborhoods", candidates.neighborhoods, records=neighborhood_total)
         driver.cache.put("keys", self.keys, records=self.keys.size)
+        driver.cache.put("graph", self.graph, records=0)
 
         eq = EquivalenceRelation(self.graph.entity_ids())
         driver.hdfs.overwrite("eq", [])
@@ -196,13 +256,11 @@ class MapReduceEntityMatcher:
             to_check = self._pairs_to_check(
                 rounds, [pair for pair, _ in pending], newly_identified, candidates
             )
-            mapper = _MapEM(
-                self.graph, keys_by_type, candidates, eq_snapshot, checker, to_check
-            )
+            mapper = _MapEM(keys_by_type, eq_snapshot, checker_class, to_check)
             reducer = _ReduceEM(eq)
             job = driver.run_job(mapper, reducer, pending)
             driver.hdfs.overwrite("eq", sorted(eq.pairs()))
-            stats.checks += mapper.checks
+            stats.checks += job.counters.get("checks", 0)
             stats.shuffled_records += job.map_emitted
             newly_identified = set(reducer.newly_identified)
             # pairs that joined Eq purely through transitivity also count as
@@ -245,14 +303,14 @@ class VF2MapReduceEntityMatcher(MapReduceEntityMatcher):
 
     algorithm_name = "EMVF2MR"
 
-    def _make_checker(self) -> PairChecker:
-        return EnumerationChecker(self.graph)
+    def _checker_class(self) -> Type[PairChecker]:
+        return EnumerationChecker
 
 
 @register_algorithm(
     "EMMR",
     family="mapreduce",
-    capabilities=("parallel", "rounds", "incremental-eq"),
+    capabilities=("parallel", "rounds", "incremental-eq", "executors"),
     description="MapReduce algorithm with the guided EvalMR check (Fig. 4)",
 )
 def _run_em_mr(
@@ -260,18 +318,26 @@ def _run_em_mr(
     keys: KeySet,
     *,
     processors: int = 4,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> EMResult:
     return MapReduceEntityMatcher(
-        graph, keys, processors, artifacts=artifacts, observer=observer
+        graph,
+        keys,
+        processors,
+        executor=executor,
+        workers=workers,
+        artifacts=artifacts,
+        observer=observer,
     ).run()
 
 
 @register_algorithm(
     "EMVF2MR",
     family="mapreduce",
-    capabilities=("parallel", "rounds"),
+    capabilities=("parallel", "rounds", "executors"),
     description="MapReduce baseline enumerating all matches (no early exit)",
 )
 def _run_em_vf2_mr(
@@ -279,11 +345,19 @@ def _run_em_vf2_mr(
     keys: KeySet,
     *,
     processors: int = 4,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> EMResult:
     return VF2MapReduceEntityMatcher(
-        graph, keys, processors, artifacts=artifacts, observer=observer
+        graph,
+        keys,
+        processors,
+        executor=executor,
+        workers=workers,
+        artifacts=artifacts,
+        observer=observer,
     ).run()
 
 

@@ -41,10 +41,20 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
         processors: int = 4,
         *,
         reduce_neighborhoods: bool = True,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
-        super().__init__(graph, keys, processors, artifacts=artifacts, observer=observer)
+        super().__init__(
+            graph,
+            keys,
+            processors,
+            executor=executor,
+            workers=workers,
+            artifacts=artifacts,
+            observer=observer,
+        )
         self.reduce_neighborhoods = reduce_neighborhoods
         self._dependents: Optional[Dict[Pair, Set[Pair]]] = None
 
@@ -91,7 +101,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             "shrink d-neighbourhoods to pairing-supported nodes (Section 4.2)",
         ),
     ),
-    capabilities=("parallel", "rounds", "pairing-filter", "incremental-check"),
+    capabilities=("parallel", "rounds", "pairing-filter", "incremental-check", "executors"),
     description="EMMR + pairing filter, reduced neighbourhoods, incremental checking",
 )
 def _run_em_mr_opt(
@@ -99,6 +109,8 @@ def _run_em_mr_opt(
     keys: KeySet,
     *,
     processors: int = 4,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     reduce_neighborhoods: bool = True,
@@ -108,6 +120,8 @@ def _run_em_mr_opt(
         keys,
         processors,
         reduce_neighborhoods=reduce_neighborhoods,
+        executor=executor,
+        workers=workers,
         artifacts=artifacts,
         observer=observer,
     ).run()

@@ -14,6 +14,7 @@ propagation.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional
 
 from ..api.events import ProgressEvent, notify
@@ -21,6 +22,7 @@ from ..api.registry import OptionSpec, get_algorithm, register_algorithm
 from ..core.equivalence import EquivalenceRelation
 from ..core.graph import Graph
 from ..core.key import KeySet
+from ..runtime import create_executor, create_partitioner
 from ..vertexcentric.engine import VertexCentricEngine
 from .candidates import CandidateSet, build_filtered_candidates
 from .eval_vc import Activate, EvalVCProgram, PairState
@@ -48,12 +50,22 @@ class VertexCentricEntityMatcher:
         keys: KeySet,
         processors: int = 4,
         *,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        partitioner: str = "hash",
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
         self.graph = graph
         self.keys = keys
         self.processors = processors
+        #: executor kind ("serial" / "thread" / "process") or None for the
+        #: classic single-process drain
+        self.executor = executor
+        #: real worker count of the executor pool (None: processors, capped)
+        self.workers = workers
+        #: vertex partitioning strategy for partitioned execution
+        self.partitioner = partitioner
         #: session artifact cache (``repro.api.session.SessionArtifacts``) or None
         self.artifacts = artifacts
         self.observer = observer
@@ -81,6 +93,21 @@ class VertexCentricEntityMatcher:
 
     def run(self) -> EMResult:
         """Execute the algorithm and return its result."""
+        started = time.perf_counter()
+        executor = None
+        if self.executor is not None:
+            executor = create_executor(
+                self.executor, self.workers, processors=self.processors
+            )
+        try:
+            result = self._run_with_executor(executor)
+        finally:
+            if executor is not None:
+                executor.close()
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _run_with_executor(self, executor) -> EMResult:
         candidates = self._build_candidates()
         self._notify("candidates", pending=candidates.size)
         product_graph = self._build_product_graph(candidates)
@@ -94,7 +121,18 @@ class VertexCentricEntityMatcher:
             max_fanout=self.max_fanout,
             prioritize=self.prioritize,
         )
-        engine = VertexCentricEngine(program, self.processors, max_messages=MAX_MESSAGES)
+        partitioner = (
+            create_partitioner(self.partitioner, executor.workers)
+            if executor is not None
+            else None
+        )
+        engine = VertexCentricEngine(
+            program,
+            self.processors,
+            max_messages=MAX_MESSAGES,
+            executor=executor,
+            partitioner=partitioner,
+        )
         engine.cost_model.add_setup_work(product_graph.construction_work)
 
         candidate_set = set(candidates.pairs)
@@ -167,18 +205,40 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
         fanout: int = DEFAULT_FANOUT,
         *,
         prioritize: bool = True,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        partitioner: str = "hash",
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
-        super().__init__(graph, keys, processors, artifacts=artifacts, observer=observer)
+        super().__init__(
+            graph,
+            keys,
+            processors,
+            executor=executor,
+            workers=workers,
+            partitioner=partitioner,
+            artifacts=artifacts,
+            observer=observer,
+        )
         self.max_fanout = fanout
         self.prioritize = prioritize
+
+
+#: The partitioning-strategy knob shared by the vertex-centric backends.
+PARTITIONER_OPTION = OptionSpec(
+    "partitioner",
+    str,
+    "hash",
+    "vertex partitioning strategy for partitioned execution (hash/chunk/fragment)",
+)
 
 
 @register_algorithm(
     "EMVC",
     family="vertex-centric",
-    capabilities=("parallel", "asynchronous"),
+    options=(PARTITIONER_OPTION,),
+    capabilities=("parallel", "asynchronous", "executors"),
     description="vertex-centric asynchronous algorithm over the product graph",
 )
 def _run_em_vc(
@@ -186,11 +246,21 @@ def _run_em_vc(
     keys: KeySet,
     *,
     processors: int = 4,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
+    partitioner: str = "hash",
 ) -> EMResult:
     return VertexCentricEntityMatcher(
-        graph, keys, processors, artifacts=artifacts, observer=observer
+        graph,
+        keys,
+        processors,
+        executor=executor,
+        workers=workers,
+        partitioner=partitioner,
+        artifacts=artifacts,
+        observer=observer,
     ).run()
 
 
@@ -200,8 +270,9 @@ def _run_em_vc(
     options=(
         OptionSpec("fanout", int, DEFAULT_FANOUT, "bounded-message fan-out budget k (Section 5.2)"),
         OptionSpec("prioritize", bool, True, "prioritized propagation of flag messages"),
+        PARTITIONER_OPTION,
     ),
-    capabilities=("parallel", "asynchronous", "bounded-messages", "prioritized"),
+    capabilities=("parallel", "asynchronous", "bounded-messages", "prioritized", "executors"),
     description="EMVC + bounded messages and prioritized propagation",
 )
 def _run_em_vc_opt(
@@ -209,10 +280,13 @@ def _run_em_vc_opt(
     keys: KeySet,
     *,
     processors: int = 4,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     fanout: int = DEFAULT_FANOUT,
     prioritize: bool = True,
+    partitioner: str = "hash",
 ) -> EMResult:
     return OptimizedVertexCentricEntityMatcher(
         graph,
@@ -220,6 +294,9 @@ def _run_em_vc_opt(
         processors,
         fanout=fanout,
         prioritize=prioritize,
+        executor=executor,
+        workers=workers,
+        partitioner=partitioner,
         artifacts=artifacts,
         observer=observer,
     ).run()

@@ -130,6 +130,126 @@ class EvalVCProgram:
         self._pattern_node_counts = {key.name: len(list(key.pattern.nodes())) for key in keys}
         self.live_eq = EquivalenceRelation(graph.entity_ids())
         self.counters = EvalVCCounters()
+        # Replica-mode bookkeeping (partitioned execution only, see
+        # repro.vertexcentric.parallel): which vertices this replica believes
+        # are flagged, the monotone deltas recorded since the last sync, and
+        # how much of the canonical (epoch, flag list, merge list) history
+        # this replica has already applied.  All stay None/0 in the classic
+        # single-process drain.
+        self._replica_flagged: Optional[Set[ProductNode]] = None
+        self._flag_sink: Optional[List[ProductNode]] = None
+        self._merge_sink: Optional[List[Pair]] = None
+        self._replica_epoch: Optional[int] = None
+        self._replica_flag_count = 0
+        self._replica_merge_count = 0
+
+    # ------------------------------------------------------------------ #
+    # replica protocol (partitioned execution)
+    # ------------------------------------------------------------------ #
+    #
+    # Under partitioned execution every worker holds a full replica of the
+    # mutable run state: the per-vertex flags and the live equivalence
+    # relation.  Both are *monotone* (flags only rise, Eq only merges), so a
+    # replica can always be reset to the driver's canonical state and the
+    # deltas it produced can always be merged back — the CRDT-style property
+    # the superstep loop relies on.
+
+    def replica_canonical(
+        self, vertices: Dict[ProductNode, object]
+    ) -> Tuple[tuple, tuple, int]:
+        """The initial canonical state: flagged vertices, no Eq merges, epoch 0."""
+        flagged = tuple(
+            vertex for vertex, state in vertices.items() if getattr(state, "flag", False)
+        )
+        self._replica_flagged = set(flagged)
+        self._replica_epoch = 0
+        self._replica_flag_count = len(flagged)
+        self._replica_merge_count = 0
+        return (flagged, (), 0)
+
+    def replica_sync(
+        self, vertices: Dict[ProductNode, object], canonical: Tuple[tuple, tuple, int]
+    ) -> None:
+        """Reset this replica to exactly the canonical (flags, merges) state.
+
+        The canonical flag and merge lists are append-only and every task
+        delta is merged into them at the superstep barrier, so once the epoch
+        has advanced past the replica's last sync, the replica's state is a
+        *subset* of canonical and only the list tails need applying.  Within
+        one epoch (a shared-address-space site running several tasks of the
+        same superstep) the replica may hold sibling-task deltas that are not
+        canonical yet, so it is rebuilt from scratch instead.
+        """
+        flagged, merges, epoch = canonical
+        incremental = (
+            self._replica_epoch is not None
+            and epoch > self._replica_epoch
+            and self._replica_flagged is not None
+        )
+        if incremental:
+            for vertex in flagged[self._replica_flag_count :]:
+                if vertex not in self._replica_flagged:  # type: ignore[operator]
+                    vertices[vertex].flag = True  # type: ignore[attr-defined]
+                    self._replica_flagged.add(vertex)  # type: ignore[union-attr]
+            for e1, e2 in merges[self._replica_merge_count :]:
+                self.live_eq.merge(e1, e2)
+        else:
+            flagged_set = set(flagged)
+            if self._replica_flagged is None:
+                # first sync in this worker process: learn the replica's flags
+                self._replica_flagged = {
+                    vertex
+                    for vertex, state in vertices.items()
+                    if getattr(state, "flag", False)
+                }
+            for vertex in self._replica_flagged - flagged_set:
+                vertices[vertex].flag = False  # type: ignore[attr-defined]
+            for vertex in flagged_set - self._replica_flagged:
+                vertices[vertex].flag = True  # type: ignore[attr-defined]
+            self._replica_flagged = flagged_set
+            eq = EquivalenceRelation(self._graph.entity_ids())
+            for e1, e2 in merges:
+                eq.merge(e1, e2)
+            self.live_eq = eq
+        self._replica_epoch = epoch
+        self._replica_flag_count = len(flagged)
+        self._replica_merge_count = len(merges)
+        self.counters = EvalVCCounters()
+        self._flag_sink = []
+        self._merge_sink = []
+
+    def replica_delta(self) -> Tuple[tuple, tuple, EvalVCCounters]:
+        """The monotone deltas recorded since the last sync, plus counters."""
+        if self._flag_sink is None or self._merge_sink is None:
+            raise RuntimeError("replica_delta() requires a preceding replica_sync()")
+        flags, merges = tuple(self._flag_sink), tuple(self._merge_sink)
+        self._flag_sink = None
+        self._merge_sink = None
+        return flags, merges, self.counters
+
+    def replica_finalize(
+        self,
+        vertices: Dict[ProductNode, object],
+        canonical: Tuple[tuple, tuple, int],
+        counter_totals: Dict[str, int],
+    ) -> None:
+        """Land the driver-side program on the canonical final state."""
+        self.replica_sync(vertices, canonical)
+        self._flag_sink = None
+        self._merge_sink = None
+        self._replica_flagged = None
+        self._replica_epoch = None
+        for name, value in counter_totals.items():
+            setattr(self.counters, name, value)
+
+    def _record_flag(self, vertex: ProductNode) -> None:
+        if self._flag_sink is not None:
+            self._flag_sink.append(vertex)
+            self._replica_flagged.add(vertex)  # type: ignore[union-attr]
+
+    def _record_merge(self, pair: Pair) -> None:
+        if self._merge_sink is not None:
+            self._merge_sink.append(pair)
 
     # ------------------------------------------------------------------ #
     # message dispatch
@@ -328,7 +448,9 @@ class EvalVCProgram:
         if origin_state.flag:
             return
         origin_state.flag = True
-        self.live_eq.merge(origin[0], origin[1])
+        self._record_flag(origin)
+        if self.live_eq.merge(origin[0], origin[1]):
+            self._record_merge(origin)
         self.counters.confirmations += 1
         newly_flagged: List[Pair] = [origin]
 
@@ -341,6 +463,7 @@ class EvalVCProgram:
                 assert isinstance(pair_state, PairState)
                 if not pair_state.flag and self.live_eq.identified(pair[0], pair[1]):
                     pair_state.flag = True
+                    self._record_flag(pair)
                     newly_flagged.append(pair)
                     self.counters.tc_flags += 1
                     context.add_work(1)

@@ -58,6 +58,10 @@ class EMResult:
     processors: int
     eq: EquivalenceRelation
     simulated_seconds: float = 0.0
+    #: measured wall-clock seconds of the run on the real machine (0.0 when
+    #: the backend does not measure); orthogonal to ``simulated_seconds``,
+    #: which models a cluster of ``processors`` simulated workers.
+    wall_seconds: float = 0.0
     stats: EMStatistics = field(default_factory=EMStatistics)
     cost_breakdown: Dict[str, float] = field(default_factory=dict)
 
@@ -80,6 +84,7 @@ class EMResult:
             "processors": self.processors,
             "identified_pairs": self.num_identified,
             "simulated_seconds": round(self.simulated_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 4),
         }
         summary.update(self.stats.as_dict())
         return summary

@@ -1,0 +1,60 @@
+"""The shared execution runtime under both matching engines.
+
+This package is the bottom layer of the system: it knows nothing about graphs,
+keys or matching.  It provides
+
+* **executors** (:mod:`repro.runtime.executor`) — serial, thread and process
+  backends with one contract: batch order in, outcome order out, shared
+  payload shipped once;
+* **partitioners** (:mod:`repro.runtime.partition`) — deterministic hash,
+  chunk and locality-aware fragment splitting, plus :func:`stable_hash`, the
+  process-stable replacement for the salted builtin ``hash``;
+* **work accounting** (:mod:`repro.runtime.context`) — the
+  :class:`WorkAccount` base both substrates' task contexts inherit.
+
+The MapReduce driver (:mod:`repro.mapreduce.runtime`) and the vertex-centric
+engine (:mod:`repro.vertexcentric.engine`) execute on top of this layer; the
+cost models remain a *parallel-observed* simulation layer (simulated cluster
+seconds for ``p`` simulated processors) while the executors additionally
+deliver measured wall-clock parallelism on the real machine.  Only the
+substrates, ``benchlib`` and tests may import ``repro.runtime``; algorithm
+and API layers configure it through ``executor=`` / ``workers=`` options.
+"""
+
+from .context import WorkAccount
+from .executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+    default_worker_count,
+)
+from .partition import (
+    PARTITIONER_KINDS,
+    ChunkPartitioner,
+    FragmentPartitioner,
+    HashPartitioner,
+    Partitioner,
+    create_partitioner,
+    stable_hash,
+)
+
+__all__ = [
+    "ChunkPartitioner",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "FragmentPartitioner",
+    "HashPartitioner",
+    "PARTITIONER_KINDS",
+    "Partitioner",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkAccount",
+    "create_executor",
+    "create_partitioner",
+    "default_worker_count",
+    "stable_hash",
+]

@@ -1,0 +1,45 @@
+"""Shared work accounting used by both execution substrates.
+
+The MapReduce ``TaskContext`` and the vertex-centric ``VertexContext`` used to
+carry near-identical work-unit bookkeeping (a counter plus validation).  Both
+now inherit from :class:`WorkAccount`, which also adds named counters and a
+per-task scratch space:
+
+* ``add_work`` / ``work`` — the abstract work units the cost models convert
+  into simulated cluster seconds;
+* ``count`` / ``counters`` — named statistics (e.g. ``"checks"``) that user
+  code reports *through the context* instead of mutating its own attributes.
+  This matters for real parallelism: a mapper object shipped to a worker
+  process is a copy, so attribute mutations are lost — counter values returned
+  with the task outcome are not;
+* ``scratch`` — a per-task dictionary for worker-local helpers (e.g. a lazily
+  built checker), so shared task objects stay read-only and thread-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+
+class WorkAccount:
+    """Work units, named counters and scratch space of one task execution."""
+
+    #: The substrate-specific error class raised on invalid work reports.
+    error_class: Type[Exception] = ValueError
+
+    def __init__(self) -> None:
+        self.work = 0
+        self.counters: Dict[str, int] = {}
+        self.scratch: Dict[str, object] = {}
+
+    def add_work(self, units: int = 1) -> None:
+        """Report *units* of computational work to the cost model."""
+        if units < 0:
+            raise self.error_class("work units must be non-negative")
+        self.work += units
+
+    def count(self, name: str, units: int = 1) -> None:
+        """Increment the named counter *name* by *units*."""
+        if units < 0:
+            raise self.error_class("counter increments must be non-negative")
+        self.counters[name] = self.counters.get(name, 0) + units

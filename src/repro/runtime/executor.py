@@ -1,0 +1,226 @@
+"""Executors: where task batches actually run.
+
+The engines phrase their work as *task batches* — pure functions of
+``(shared, *args)`` returning a picklable outcome — and an executor decides
+where the batches run:
+
+* :class:`SerialExecutor` — in the calling thread, in order.  The reference
+  schedule; every other executor must produce identical outcomes.
+* :class:`ThreadExecutor` — a ``concurrent.futures`` thread pool.  Overlaps
+  blocking work; pure-Python compute stays GIL-bound, so it is mostly a
+  correctness stressor and a stepping stone to the process executor.
+* :class:`ProcessExecutor` — a process pool delivering real CPU parallelism.
+  Task functions and arguments must be picklable.  The ``shared`` payload
+  (graph, indexes, caches) is *not* pickled per task: it travels through the
+  pool initializer exactly once per worker process, and the pool is recreated
+  only when an engine publishes a different payload.
+
+The contract every implementation honours:
+
+* ``run_tasks(fn, batches, shared)`` returns one outcome per batch **in batch
+  order**, regardless of completion order;
+* exceptions raised by a task propagate to the caller;
+* ``shared`` is read-only from the tasks' point of view: serial and thread
+  executors pass the very object (mutations would leak), the process executor
+  hands each worker a copy — task functions that mutate shared state are bugs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ExecutorError
+
+#: The registered executor kinds, in documentation order.
+EXECUTOR_KINDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: Shared payload slot of a process-pool worker (set by fork inheritance or
+#: by the pool initializer, read by ``_invoke_with_shared``).
+_WORKER_SHARED: object = None
+
+
+def _set_worker_shared(payload: bytes) -> None:
+    """Pool initializer for spawn-based pools: unpickle the shared payload."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = pickle.loads(payload)
+
+
+def _invoke_with_shared(fn: Callable[..., object], args: Tuple[object, ...]) -> object:
+    """Run *fn* in a pool worker against the worker's shared payload."""
+    return fn(_WORKER_SHARED, *args)
+
+
+class Executor:
+    """Common surface of the executors (see the module docstring contract)."""
+
+    kind: str = "abstract"
+
+    def __init__(self, workers: int) -> None:
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ExecutorError(f"workers must be an int >= 1, got {workers!r}")
+        self.workers = workers
+
+    def run_tasks(
+        self,
+        fn: Callable[..., object],
+        batches: Sequence[Tuple[object, ...]],
+        shared: Optional[object] = None,
+    ) -> List[object]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Runs every batch in the calling thread — the reference schedule."""
+
+    kind = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+
+    def run_tasks(
+        self,
+        fn: Callable[..., object],
+        batches: Sequence[Tuple[object, ...]],
+        shared: Optional[object] = None,
+    ) -> List[object]:
+        return [fn(shared, *args) for args in batches]
+
+
+class ThreadExecutor(Executor):
+    """Runs batches on a thread pool, preserving batch order in the results."""
+
+    kind = "thread"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def run_tasks(
+        self,
+        fn: Callable[..., object],
+        batches: Sequence[Tuple[object, ...]],
+        shared: Optional[object] = None,
+    ) -> List[object]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-runtime"
+            )
+        futures: List[Future] = [
+            self._pool.submit(fn, shared, *args) for args in batches
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Runs batches on a process pool; the shared payload ships once.
+
+    The pool is created lazily on the first ``run_tasks`` call and recreated
+    whenever the ``shared`` object changes identity, so that workers hold the
+    current payload (via fork inheritance where available, else via a pickled
+    initializer argument).  Engines therefore publish their big invariant
+    state once per run and pay per-task pickling only for the small per-batch
+    arguments.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # strong reference: payload changes are detected with `is`, and the
+        # reference keeps the object alive so its identity cannot be recycled
+        self._shared: Optional[object] = None
+
+    def _ensure_pool(self, shared: Optional[object]) -> None:
+        if self._pool is not None and self._shared is shared:
+            return
+        self.close()
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = None
+        # The payload travels through the pool initializer (pickled once per
+        # worker, not per task).  Workers spawn lazily, so fork-time global
+        # inheritance would be racy; initargs are captured at construction.
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_set_worker_shared,
+            initargs=(pickle.dumps(shared),),
+        )
+        self._shared = shared
+
+    def run_tasks(
+        self,
+        fn: Callable[..., object],
+        batches: Sequence[Tuple[object, ...]],
+        shared: Optional[object] = None,
+    ) -> List[object]:
+        self._ensure_pool(shared)
+        assert self._pool is not None
+        futures: List[Future] = [
+            self._pool.submit(_invoke_with_shared, fn, tuple(args)) for args in batches
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._shared = None
+
+
+def default_worker_count(processors: int) -> int:
+    """Sensible real-worker default: simulated ``p`` capped at the machine."""
+    return max(1, min(processors, os.cpu_count() or 1))
+
+
+def create_executor(
+    kind: Optional[str],
+    workers: Optional[int] = None,
+    *,
+    processors: int = 1,
+) -> Executor:
+    """Build an executor from configuration strings.
+
+    ``kind=None`` means "no parallelism requested" and returns a single-worker
+    :class:`SerialExecutor`.  ``workers=None`` defaults to the simulated
+    processor count capped at the machine's CPU count — the *same* default
+    for every kind, so partition-count-sensitive schedules (the vertex-centric
+    supersteps) stay identical when only the executor kind changes.
+    """
+    if kind is None:
+        return SerialExecutor()
+    if workers is None:
+        workers = default_worker_count(processors)
+    if kind == "serial":
+        return SerialExecutor(workers)
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ExecutorError(
+        f"unknown executor kind {kind!r}; expected one of {', '.join(EXECUTOR_KINDS)}"
+    )

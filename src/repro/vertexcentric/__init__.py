@@ -8,6 +8,7 @@ from .cost_model import (
 )
 from .engine import EngineStats, VertexCentricEngine, VertexContext
 from .message import Message, VertexId
+from .parallel import PartitionedRun, SuperstepOutcome
 from .scheduler import AsyncScheduler, SchedulerStats
 
 __all__ = [
@@ -16,7 +17,9 @@ __all__ = [
     "EngineStats",
     "MESSAGE_SECONDS",
     "Message",
+    "PartitionedRun",
     "SchedulerStats",
+    "SuperstepOutcome",
     "VertexCentricCostModel",
     "VertexCentricEngine",
     "VertexContext",

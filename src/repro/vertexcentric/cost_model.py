@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..runtime import stable_hash
+
 
 #: Simulated seconds charged per work unit performed while processing a message.
 WORK_UNIT_SECONDS = 1.5e-3
@@ -39,8 +41,13 @@ class VertexCentricCostModel:
             self.worker_work = [0] * self.processors
 
     def worker_for(self, vertex_id: object) -> int:
-        """The worker hosting *vertex_id* (hash partitioning)."""
-        return hash(vertex_id) % self.processors
+        """The worker hosting *vertex_id* (deterministic hash partitioning).
+
+        Uses the process-stable :func:`repro.runtime.stable_hash`, not the
+        salted builtin ``hash``, so placement — and therefore the simulated
+        makespan — is identical in every process of a multiprocess run.
+        """
+        return stable_hash(vertex_id) % self.processors
 
     def add_work(self, vertex_id: object, units: int) -> None:
         """Charge *units* of work to the worker hosting *vertex_id*."""

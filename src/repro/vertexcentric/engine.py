@@ -16,22 +16,31 @@ The engine:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Tuple
 
 from ..exceptions import VertexCentricError
+from ..runtime import Executor, Partitioner, WorkAccount
 from .cost_model import VertexCentricCostModel
 from .message import Message, VertexId
 from .scheduler import AsyncScheduler
 
 
-class VertexContext:
-    """The API a vertex program sees while handling a message."""
+class VertexContext(WorkAccount):
+    """The API a vertex program sees while handling a message.
+
+    Work accounting (``add_work`` / named counters / scratch space) comes from
+    the shared :class:`repro.runtime.WorkAccount`, the same base the MapReduce
+    task context uses.
+    """
+
+    error_class = VertexCentricError
 
     def __init__(self, engine: "VertexCentricEngine", vertex_id: VertexId) -> None:
+        super().__init__()
         self._engine = engine
         self.vertex_id = vertex_id
-        self.work = 0
 
     def state(self, vertex_id: Optional[VertexId] = None) -> object:
         """The mutable state of *vertex_id* (default: the current vertex).
@@ -50,14 +59,19 @@ class VertexContext:
         """Send *payload* to *target* asynchronously."""
         self._engine._send(Message.create(target, payload, sender=self.vertex_id, priority=priority))
 
-    def add_work(self, units: int = 1) -> None:
-        """Report computational work performed while handling this message."""
-        if units < 0:
-            raise VertexCentricError("work units must be non-negative")
-        self.work += units
-
     def has_vertex(self, vertex_id: VertexId) -> bool:
         return self._engine.has_vertex(vertex_id)
+
+
+class _SuperstepContext(VertexContext):
+    """Context used under partitioned execution: sends go through the task."""
+
+    def __init__(self, engine: "VertexCentricEngine", vertex_id: VertexId, task) -> None:
+        super().__init__(engine, vertex_id)
+        self._task = task
+
+    def send(self, target: VertexId, payload: object, priority: int = 0) -> None:
+        self._task.route(target, payload, self.vertex_id, priority)
 
 
 class VertexProgram(Protocol):
@@ -85,6 +99,8 @@ class VertexCentricEngine:
         program: VertexProgram,
         processors: int,
         max_messages: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        partitioner: Optional[Partitioner] = None,
     ) -> None:
         if processors < 1:
             raise VertexCentricError(f"processors must be >= 1, got {processors}")
@@ -95,6 +111,28 @@ class VertexCentricEngine:
         self._scheduler = AsyncScheduler(processors, self.cost_model.worker_for)
         self._max_messages = max_messages
         self.stats = EngineStats()
+        # Partitioned execution (see repro.vertexcentric.parallel): an
+        # executor switches run() to the superstep schedule; ``processors``
+        # stays the *simulated* cluster size observed by the cost model, the
+        # executor's workers are the *real* parallelism.  The program must
+        # implement the replica protocol.
+        self._executor = executor
+        self._partitioner = partitioner
+        self._pending_posts: List[Tuple[int, VertexId, Optional[VertexId], object]] = []
+        self._partition_of: Dict[VertexId, int] = {}
+        self._site_lock = threading.RLock()
+
+    # Engines travel to process-pool workers as the shared payload of a
+    # partitioned run; pools and locks stay behind.
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        state["_site_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._site_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # topology
@@ -139,11 +177,35 @@ class VertexCentricEngine:
 
     def post(self, target: VertexId, payload: object, priority: int = 0) -> None:
         """Inject an initial message from outside the engine (the driver)."""
+        if self._executor is not None:
+            if target not in self._vertices:
+                self.stats.messages_dropped += 1
+                return
+            self._pending_posts.append((priority, target, None, payload))
+            self.cost_model.record_message_sent()
+            self.stats.messages_sent += 1
+            return
         self._send(Message.create(target, payload, sender=None, priority=priority))
 
     def run(self) -> None:
-        """Process messages until none are in flight."""
-        self._scheduler.run(self._handle, max_messages=self._max_messages)
+        """Process messages until none are in flight.
+
+        Without an executor this is the classic deterministic round-robin
+        drain.  With one, the run is partitioned into per-worker supersteps
+        with a cross-partition mailbox (see
+        :mod:`repro.vertexcentric.parallel`); results are identical for every
+        executor kind.
+        """
+        if self._executor is None:
+            self._scheduler.run(self._handle, max_messages=self._max_messages)
+            return
+        from .parallel import PartitionedRun
+
+        PartitionedRun(self, self._executor, self._partitioner).run()
+
+    def _superstep_context(self, vertex_id: VertexId, task) -> VertexContext:
+        """Build the message-handling context of a partitioned task."""
+        return _SuperstepContext(self, vertex_id, task)
 
     def _handle(self, message: Message) -> None:
         context = VertexContext(self, message.target)

@@ -85,3 +85,50 @@ class TestDispatcherPassthrough:
         assert (
             reduced.stats.neighborhood_total <= unreduced.stats.neighborhood_total
         )
+
+
+class TestRuntimeConfig:
+    """executor= / workers= on MatchConfig and match_entities."""
+
+    def test_executor_and_workers_accepted(self):
+        config = MatchConfig(algorithm="EMMR", executor="process", workers=4)
+        assert config.executor == "process" and config.workers == 4
+        assert "executor=process" in config.describe()
+        assert "workers=4" in config.describe()
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigError, match="unknown executor"):
+            MatchConfig(executor="gpu")
+
+    @pytest.mark.parametrize("workers", [0, -3, True, "two"])
+    def test_invalid_workers_rejected(self, workers):
+        with pytest.raises(ConfigError):
+            MatchConfig(executor="thread", workers=workers)
+
+    def test_workers_require_an_executor(self):
+        with pytest.raises(ConfigError, match="workers requires an executor"):
+            MatchConfig(workers=2)
+
+    def test_resolve_validates_executor_capability_per_backend(self):
+        MatchConfig(algorithm="EMOptVC", executor="serial").validated()
+        with pytest.raises(ConfigError, match="does not support executor"):
+            MatchConfig(algorithm="chase", executor="serial").validated()
+
+    def test_hash_includes_runtime_fields(self):
+        plain = MatchConfig(algorithm="EMMR")
+        pooled = MatchConfig(algorithm="EMMR", executor="process", workers=2)
+        assert hash(plain) != hash(pooled)
+
+    def test_match_entities_forwards_executor(self, music):
+        graph, keys = music
+        classic = match_entities(graph, keys, algorithm="EMOptMR")
+        pooled = match_entities(
+            graph, keys, algorithm="EMOptMR", executor="thread", workers=2
+        )
+        assert pooled.pairs() == classic.pairs()
+        assert pooled.wall_seconds > 0
+
+    def test_match_entities_rejects_workers_without_executor(self, music):
+        graph, keys = music
+        with pytest.raises(ConfigError, match="workers requires an executor"):
+            match_entities(graph, keys, algorithm="EMOptMR", workers=2)

@@ -1,0 +1,127 @@
+"""Tests of the shared executor layer."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.exceptions import ExecutorError
+from repro.runtime import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+    default_worker_count,
+)
+
+
+def square_task(shared, value):
+    return value * value
+
+
+def shared_plus(shared, value):
+    return shared + value
+
+
+def pid_task(shared, _index):
+    return os.getpid()
+
+
+def thread_task(shared, _index):
+    return threading.current_thread().name
+
+
+def failing_task(shared, value):
+    raise ValueError(f"boom {value}")
+
+
+EXECUTOR_FACTORIES = {
+    "serial": lambda: SerialExecutor(2),
+    "thread": lambda: ThreadExecutor(2),
+    "process": lambda: ProcessExecutor(2),
+}
+
+
+@pytest.mark.parametrize("kind", list(EXECUTOR_FACTORIES))
+class TestExecutorContract:
+    def test_results_preserve_batch_order(self, kind):
+        with EXECUTOR_FACTORIES[kind]() as executor:
+            results = executor.run_tasks(square_task, [(i,) for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_shared_payload_reaches_every_task(self, kind):
+        with EXECUTOR_FACTORIES[kind]() as executor:
+            results = executor.run_tasks(shared_plus, [(i,) for i in range(5)], shared=100)
+        assert results == [100 + i for i in range(5)]
+
+    def test_task_exceptions_propagate(self, kind):
+        with EXECUTOR_FACTORIES[kind]() as executor:
+            with pytest.raises(ValueError, match="boom"):
+                executor.run_tasks(failing_task, [(1,)])
+
+    def test_empty_batch_list(self, kind):
+        with EXECUTOR_FACTORIES[kind]() as executor:
+            assert executor.run_tasks(square_task, []) == []
+
+
+class TestProcessExecutor:
+    def test_tasks_run_in_other_processes(self):
+        with ProcessExecutor(2) as executor:
+            pids = executor.run_tasks(pid_task, [(i,) for i in range(4)])
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_pool_reused_for_same_shared_payload(self):
+        shared = {"key": "value"}
+        with ProcessExecutor(1) as executor:
+            executor.run_tasks(shared_plus_len, [(1,)], shared=shared)
+            first_pool = executor._pool
+            executor.run_tasks(shared_plus_len, [(2,)], shared=shared)
+            assert executor._pool is first_pool
+            # a different payload forces a pool rebuild (workers must re-init)
+            executor.run_tasks(shared_plus_len, [(3,)], shared={"other": 1})
+            assert executor._pool is not first_pool
+
+
+def shared_plus_len(shared, value):
+    return len(shared) + value
+
+
+class TestThreadExecutor:
+    def test_runs_on_pool_threads(self):
+        with ThreadExecutor(2) as executor:
+            names = executor.run_tasks(thread_task, [(i,) for i in range(4)])
+        assert all(name.startswith("repro-runtime") for name in names)
+
+
+class TestFactory:
+    def test_none_means_single_worker_serial(self):
+        executor = create_executor(None)
+        assert isinstance(executor, SerialExecutor)
+        assert executor.workers == 1
+
+    def test_default_workers_identical_across_kinds(self):
+        expected = default_worker_count(8)
+        serial = create_executor("serial", processors=8)
+        thread = create_executor("thread", processors=8)
+        assert serial.workers == thread.workers == expected
+        thread.close()
+
+    def test_explicit_workers_respected(self):
+        executor = create_executor("thread", 3)
+        assert executor.workers == 3
+        executor.close()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExecutorError, match="unknown executor kind"):
+            create_executor("gpu")
+
+    @pytest.mark.parametrize("workers", [0, -1, True, 1.5])
+    def test_invalid_worker_counts_rejected(self, workers):
+        with pytest.raises(ExecutorError):
+            SerialExecutor(workers)
+
+    def test_kinds_registry(self):
+        assert EXECUTOR_KINDS == ("serial", "thread", "process")

@@ -42,6 +42,39 @@ class TestMatchCommand:
         assert exit_code == 2
         assert "error" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_match_runs_on_real_executors(self, music_files, capsys, executor):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            [
+                "match",
+                "--graph", graph_path,
+                "--keys", keys_path,
+                "--algorithm", "EMOptMR",
+                "--executor", executor,
+                "--workers", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"executor       : {executor} (2 workers)" in output
+        assert "wall time" in output
+        assert "alb1 == alb2" in output
+
+    def test_match_rejects_executor_for_chase(self, music_files, capsys):
+        graph_path, keys_path = music_files
+        exit_code = main(
+            [
+                "match",
+                "--graph", graph_path,
+                "--keys", keys_path,
+                "--algorithm", "chase",
+                "--executor", "process",
+            ]
+        )
+        assert exit_code == 2
+        assert "does not support executor" in capsys.readouterr().err
+
     def test_match_forwards_fanout(self, music_files, capsys):
         graph_path, keys_path = music_files
         exit_code = main(
