@@ -112,6 +112,7 @@ from .matching import (
     em_vf2_mr,
     match_entities,
 )
+from .storage import GraphSnapshot, SnapshotNeighborhoodIndex
 
 __version__ = "1.1.0"
 
@@ -129,6 +130,7 @@ __all__ = [
     "Graph",
     "GraphError",
     "GraphPattern",
+    "GraphSnapshot",
     "GuidedPairEvaluator",
     "InvalidKeyError",
     "Key",
@@ -148,6 +150,7 @@ __all__ = [
     "ProofGraph",
     "ReproError",
     "Session",
+    "SnapshotNeighborhoodIndex",
     "Triple",
     "UnknownEntityError",
     "__version__",

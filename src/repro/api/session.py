@@ -23,6 +23,7 @@ run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,6 +41,7 @@ from ..matching.candidates import (
 from ..matching.product_graph import ProductGraph
 from ..matching.result import EMResult
 from ..matching.traversal_order import traversal_orders
+from ..storage import GraphSnapshot, SnapshotNeighborhoodIndex
 from .config import MatchConfig
 from .events import ProgressEvent, ProgressObserver
 from .registry import ALGORITHMS, get_algorithm
@@ -49,6 +51,7 @@ from .registry import ALGORITHMS, get_algorithm
 class SessionCacheInfo:
     """Build counters of a session's artifact cache (for tests and tuning)."""
 
+    snapshot_builds: int = 0
     neighborhood_index_builds: int = 0
     candidate_builds: int = 0
     product_graph_builds: int = 0
@@ -70,22 +73,35 @@ class SessionArtifacts:
         self._graph = graph
         self._keys = keys
         self._version = graph.version
-        self._index: Optional[NeighborhoodIndex] = None
+        self._snapshot: Optional[GraphSnapshot] = None
+        self._index: Optional[SnapshotNeighborhoodIndex] = None
         self._candidates: Dict[Tuple[bool, bool], CandidateSet] = {}
         self._dependency_maps: Dict[Tuple[bool, bool], Dict[Pair, set]] = {}
         self._product_graphs: Dict[Tuple[bool, bool], ProductGraph] = {}
         self._orders: Optional[Dict[str, object]] = None
         # build counters exposed through SessionCacheInfo
+        self.snapshot_builds = 0
         self.index_builds = 0
         self.candidate_builds = 0
         self.product_graph_builds = 0
         self.order_builds = 0
         self.invalidations = 0
+        #: cumulative seconds spent building each artifact kind (CLI --profile)
+        self.timings: Dict[str, float] = {}
+
+    def _timed(self, phase: str, build):
+        started = time.perf_counter()
+        result = build()
+        self.timings[phase] = self.timings.get(phase, 0.0) + (
+            time.perf_counter() - started
+        )
+        return result
 
     # -- cache lifecycle ------------------------------------------------- #
 
     def reset(self) -> None:
         """Drop every cached artifact (e.g. after a key-set change)."""
+        self._snapshot = None
         self._index = None
         self._candidates.clear()
         self._dependency_maps.clear()
@@ -98,9 +114,12 @@ class SessionArtifacts:
         """Reconcile the cache with any graph mutations since the last run.
 
         Derived artifacts (candidate sets, product graphs) are always dropped
-        on mutation — new triples can create or destroy candidate pairs — but
-        the neighbourhood index is evicted *selectively*: only entities whose
-        cached d-neighbourhood could contain a touched node are recomputed.
+        on mutation — new triples can create or destroy candidate pairs — and
+        the compiled :class:`GraphSnapshot` is recompiled (its CSR arrays are
+        immutable).  The neighbourhood index is evicted *selectively*: only
+        entities whose cached d-neighbourhood could contain a touched node
+        are recomputed; the surviving node sets are rebased onto the fresh
+        snapshot.
         """
         version = self._graph.version
         if version == self._version:
@@ -111,22 +130,40 @@ class SessionArtifacts:
         self._product_graphs.clear()
         if touched is None or self._index is None:
             self._index = None
+            self._snapshot = None
         else:
             stale = [
                 entity
                 for entity in self._index.cached_entities()
                 if entity in touched or touched & self._index.nodes(entity)
             ]
-            for entity in stale:
-                self._index.evict(entity)
+            self._snapshot = None
+            self._index = self._index.rebased(self.snapshot(), evict=stale)
         self._version = version
         self.invalidations += 1
 
     # -- artifact accessors (the backend-facing surface) ----------------- #
 
-    def neighborhood_index(self) -> NeighborhoodIndex:
+    def snapshot(self) -> GraphSnapshot:
+        """The compiled, immutable read view of the session's graph.
+
+        Built once per :attr:`Graph.version`; every read-side artifact below
+        (and every backend run through the session) shares it.
+        """
+        if self._snapshot is None:
+            self._snapshot = self._timed(
+                "snapshot_build", lambda: GraphSnapshot.build(self._graph)
+            )
+            self.snapshot_builds += 1
+        return self._snapshot
+
+    def neighborhood_index(self) -> SnapshotNeighborhoodIndex:
         if self._index is None:
-            self._index = NeighborhoodIndex(self._graph, self._keys)
+            snapshot = self.snapshot()
+            self._index = self._timed(
+                "neighborhood_index_build",
+                lambda: SnapshotNeighborhoodIndex(snapshot, self._keys),
+            )
             self.index_builds += 1
         return self._index
 
@@ -135,15 +172,25 @@ class SessionArtifacts:
         cached = self._candidates.get(flavor)
         if cached is None:
             index = self.neighborhood_index()
+            snapshot = self.snapshot()
             if filtered:
-                cached = build_filtered_candidates(
-                    self._graph,
-                    self._keys,
-                    reduce_neighborhoods=reduce_neighborhoods,
-                    index=index,
+                cached = self._timed(
+                    "candidates_build",
+                    lambda: build_filtered_candidates(
+                        self._graph,
+                        self._keys,
+                        reduce_neighborhoods=reduce_neighborhoods,
+                        index=index,
+                        snapshot=snapshot,
+                    ),
                 )
             else:
-                cached = build_candidates(self._graph, self._keys, index=index)
+                cached = self._timed(
+                    "candidates_build",
+                    lambda: build_candidates(
+                        self._graph, self._keys, index=index, snapshot=snapshot
+                    ),
+                )
             self._candidates[flavor] = cached
             self.candidate_builds += 1
         return cached
@@ -153,7 +200,7 @@ class SessionArtifacts:
         cached = self._dependency_maps.get(flavor)
         if cached is None:
             cached = dependency_map(
-                self._graph,
+                self.snapshot(),
                 self._keys,
                 self.candidates(filtered=filtered, reduce_neighborhoods=reduce_neighborhoods),
             )
@@ -164,10 +211,12 @@ class SessionArtifacts:
         flavor = (filtered, reduce_neighborhoods)
         cached = self._product_graphs.get(flavor)
         if cached is None:
-            cached = ProductGraph(
-                self._graph,
-                self._keys,
-                self.candidates(filtered=filtered, reduce_neighborhoods=reduce_neighborhoods),
+            candidates = self.candidates(
+                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+            )
+            cached = self._timed(
+                "product_graph_build",
+                lambda: ProductGraph(self.snapshot(), self._keys, candidates),
             )
             self._product_graphs[flavor] = cached
             self.product_graph_builds += 1
@@ -181,6 +230,7 @@ class SessionArtifacts:
 
     def cache_info(self) -> SessionCacheInfo:
         return SessionCacheInfo(
+            snapshot_builds=self.snapshot_builds,
             neighborhood_index_builds=self.index_builds,
             candidate_builds=self.candidate_builds,
             product_graph_builds=self.product_graph_builds,
@@ -278,6 +328,18 @@ class MatchSession:
         if self._artifacts is None:
             return SessionCacheInfo()
         return self._artifacts.cache_info()
+
+    def phase_timings(self) -> Dict[str, float]:
+        """Cumulative seconds spent building each artifact kind.
+
+        Keys: ``snapshot_build``, ``neighborhood_index_build``,
+        ``candidates_build``, ``product_graph_build`` (present once the
+        corresponding artifact has been built).  Consumed by the CLI's
+        ``--profile`` report.
+        """
+        if self._artifacts is None:
+            return {}
+        return dict(self._artifacts.timings)
 
     def invalidate(self) -> "MatchSession":
         """Manually drop every cached artifact."""

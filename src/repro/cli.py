@@ -75,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="backend option passthrough, e.g. --set prioritize=false (repeatable)",
     )
+    match_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase timings (snapshot build, candidates, product "
+        "graph) and per-round/superstep counters after the run",
+    )
 
     check_parser = subparsers.add_parser("check", help="check key satisfaction (G |= Q(x))")
     check_parser.add_argument("--graph", required=True, help="graph DSL file")
@@ -170,9 +176,43 @@ def _command_match(args: argparse.Namespace) -> int:
     print(f"identified     : {result.num_identified} pairs")
     print(f"simulated time : {result.simulated_seconds:.2f} s")
     print(f"wall time      : {result.wall_seconds:.3f} s")
+    if args.profile:
+        _print_profile(session, result)
     for e1, e2 in sorted(result.pairs()):
         print(f"  {e1} == {e2}")
     return 0
+
+
+def _print_profile(session: MatchSession, result) -> None:
+    """Per-phase timing report for ``match --profile``.
+
+    Artifact-build phases come from the session cache's timers; the solve
+    phase is the backend's measured wall clock minus the artifact builds.
+    Round/superstep counters come straight from the ``EMResult`` statistics.
+    """
+    timings = session.phase_timings()
+    print("profile:")
+    for phase in (
+        "snapshot_build",
+        "neighborhood_index_build",
+        "candidates_build",
+        "product_graph_build",
+    ):
+        if phase in timings:
+            print(f"  {phase:<24} : {timings[phase] * 1000.0:9.2f} ms")
+    solve = max(0.0, result.wall_seconds - sum(timings.values()))
+    print(f"  {'solve':<24} : {solve * 1000.0:9.2f} ms")
+    stats = result.stats
+    counters = {
+        "rounds": stats.rounds,
+        "checks": stats.checks,
+        "messages_processed": stats.messages_processed,
+        "shuffled_records": stats.shuffled_records,
+        "work_units": stats.work_units,
+    }
+    for name, value in counters.items():
+        if value:
+            print(f"  {name:<24} : {value:9d}")
 
 
 def _command_check(args: argparse.Namespace) -> int:

@@ -119,6 +119,8 @@ def chase(
     key_order: Optional[Sequence[Key]] = None,
     use_neighborhoods: bool = True,
     record_provenance: bool = True,
+    snapshot: Optional[object] = None,
+    index: Optional[NeighborhoodIndex] = None,
 ) -> ChaseResult:
     """Compute ``chase(G, Σ)`` sequentially.
 
@@ -137,19 +139,38 @@ def chase(
     record_provenance:
         When True, each directly identified pair records the key used and the
         prerequisite pairs of its witness (see :class:`ChaseStep`).
+    snapshot:
+        An optional :class:`~repro.storage.snapshot.GraphSnapshot` of *graph*
+        (e.g. the session cache's).  All reads — candidate enumeration,
+        d-neighbourhood BFS, the guided per-pair checks — then run over the
+        compiled arrays; the result is identical to the dict path.
+    index:
+        An optional prebuilt :class:`NeighborhoodIndex` (e.g. the session's
+        cached one) to reuse d-neighbourhood BFS results across runs; it is
+        extended in place with any missing entities.
     """
     if len(keys) == 0:
         return ChaseResult(eq=EquivalenceRelation(graph.entity_ids()), candidates=0)
 
-    evaluator = GuidedPairEvaluator(graph)
+    reader = snapshot if snapshot is not None else graph
+    evaluator = GuidedPairEvaluator(reader)
     eq = EquivalenceRelation(graph.entity_ids())
-    neighborhoods = NeighborhoodIndex(graph, keys) if use_neighborhoods else None
+    if not use_neighborhoods:
+        neighborhoods = None
+    elif index is not None:
+        neighborhoods = index
+    elif snapshot is not None:
+        from ..storage import SnapshotNeighborhoodIndex  # lazy: avoid import cycle
 
-    candidates = list(pair_order) if pair_order is not None else candidate_pairs(graph, keys)
+        neighborhoods = SnapshotNeighborhoodIndex(snapshot, keys)
+    else:
+        neighborhoods = NeighborhoodIndex(graph, keys)
+
+    candidates = list(pair_order) if pair_order is not None else candidate_pairs(reader, keys)
     for e1, e2 in candidates:
-        if not graph.has_entity(e1):
+        if not reader.has_entity(e1):
             raise MatchingError(f"candidate pair references unknown entity {e1!r}")
-        if not graph.has_entity(e2):
+        if not reader.has_entity(e2):
             raise MatchingError(f"candidate pair references unknown entity {e2!r}")
 
     ordered_keys = list(key_order) if key_order is not None else list(keys)
@@ -167,7 +188,7 @@ def chase(
         for e1, e2 in pending:
             if eq.identified(e1, e2):
                 continue
-            etype = graph.entity_type(e1)
+            etype = reader.entity_type(e1)
             applicable = keys_by_type.get(etype, [])
             identified_by: Optional[Key] = None
             witness = None

@@ -1,5 +1,6 @@
 """From-scratch subgraph-isomorphism machinery (VF2-style matcher)."""
 
+from .compiled import CompiledPattern, CompiledVF2
 from .state import MatchState, default_node_compatibility
 from .vf2 import (
     VF2Matcher,
@@ -10,6 +11,8 @@ from .vf2 import (
 )
 
 __all__ = [
+    "CompiledPattern",
+    "CompiledVF2",
     "MatchState",
     "VF2Matcher",
     "VF2Statistics",

@@ -15,7 +15,9 @@ from typing import Dict, Iterator, List, Optional
 
 from ..core.graph import Graph
 from ..core.triples import GraphNode
+from ..storage.snapshot import GraphSnapshot
 from .candidates import guided_candidates, next_pattern_node
+from .compiled import CompiledPattern, CompiledVF2
 from .state import MatchState, NodeCompatibility, default_node_compatibility
 
 #: A complete mapping from pattern nodes to target nodes.
@@ -58,7 +60,21 @@ class VF2Matcher:
     # ------------------------------------------------------------------ #
 
     def iter_mappings(self) -> Iterator[Mapping]:
-        """Yield every complete mapping (lazily)."""
+        """Yield every complete mapping (lazily).
+
+        When the target is a :class:`~repro.storage.snapshot.GraphSnapshot`
+        (and node compatibility is the default), the search runs on the
+        compiled integer-space path — same mappings, same order, same
+        statistics, measured several times faster (see
+        ``benchmarks/bench_snapshot_core.py``).
+        """
+        if (
+            isinstance(self._target_graph, GraphSnapshot)
+            and self._node_compatible is default_node_compatibility
+        ):
+            compiled = CompiledPattern(self._pattern_graph, self._target_graph)
+            yield from CompiledVF2(compiled, self.stats, self._anchors).iter_mappings()
+            return
         state = MatchState(
             self._pattern_graph, self._target_graph, self._node_compatible
         )

@@ -187,13 +187,24 @@ class JobResult:
         return grouped
 
 
-def _partition(key: Hashable, num_workers: int) -> int:
+def _partition(
+    key: Hashable,
+    num_workers: int,
+    placement_key: Optional[Callable[[Hashable], Hashable]] = None,
+) -> int:
     """Deterministic, process-stable hash partitioning of keys to workers.
 
     Built on :func:`repro.runtime.stable_hash`: the builtin ``hash`` is salted
     per process, so two worker processes would disagree on key placement.
+    When a *placement_key* is set (the snapshot's interning of entity ids and
+    candidate pairs), the hash runs over interned integer ids instead of the
+    key's full repr.
     """
-    return stable_hash(key) % num_workers if num_workers > 0 else 0
+    if num_workers <= 0:
+        return 0
+    if placement_key is not None:
+        key = placement_key(key)
+    return stable_hash(key) % num_workers
 
 
 class MapReduceJob:
@@ -214,6 +225,7 @@ class MapReduceJob:
         cost_model: Optional[MapReduceCostModel] = None,
         cache: Optional[WorkerCache] = None,
         executor: Optional[Executor] = None,
+        placement_key: Optional[Callable[[Hashable], Hashable]] = None,
     ) -> None:
         if num_workers < 1:
             raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
@@ -223,6 +235,7 @@ class MapReduceJob:
         self._cost_model = cost_model
         self._cache = cache
         self._executor = executor if executor is not None else SerialExecutor()
+        self._placement_key = placement_key
 
     def run(self, input_pairs: Sequence[KeyValue]) -> JobResult:
         """Execute the job on *input_pairs* and return its result."""
@@ -236,7 +249,9 @@ class MapReduceJob:
         # ---- map phase ------------------------------------------------ #
         map_splits: List[List[KeyValue]] = [[] for _ in range(self._num_workers)]
         for key, value in input_pairs:
-            map_splits[_partition(key, self._num_workers)].append((key, value))
+            map_splits[
+                _partition(key, self._num_workers, self._placement_key)
+            ].append((key, value))
 
         map_batches = [
             (worker_id, self._mapper, split) for worker_id, split in enumerate(map_splits)
@@ -261,7 +276,9 @@ class MapReduceJob:
             [] for _ in range(self._num_workers)
         ]
         for key in sorted(grouped.keys(), key=repr):
-            reduce_splits[_partition(key, self._num_workers)].append((key, grouped[key]))
+            reduce_splits[
+                _partition(key, self._num_workers, self._placement_key)
+            ].append((key, grouped[key]))
 
         output: List[KeyValue] = []
         reduce_work: List[int] = []
@@ -331,6 +348,9 @@ class MapReduceDriver:
         self.cache = WorkerCache(num_workers)
         self.cost_model = MapReduceCostModel(processors=num_workers)
         self.executor = executor
+        #: optional key interning applied before stable_hash placement (the
+        #: entity-matching drivers install the snapshot's interned-id mapping)
+        self.placement_key: Optional[Callable[[Hashable], Hashable]] = None
 
     def run_job(self, mapper: Mapper, reducer: Reducer, input_pairs: Sequence[KeyValue]) -> JobResult:
         """Run one MapReduce round with the driver's shared state."""
@@ -341,6 +361,7 @@ class MapReduceDriver:
             cost_model=self.cost_model,
             cache=self.cache,
             executor=self.executor,
+            placement_key=self.placement_key,
         )
         result = job.run(input_pairs)
         # charge the HDFS traffic performed since the previous round

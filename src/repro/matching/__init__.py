@@ -51,9 +51,14 @@ from .result import EMResult, EMStatistics
 from .traversal_order import TraversalStep, traversal_order, traversal_orders, tour_is_valid
 
 
-def chase_as_result(graph: Graph, keys: KeySet) -> EMResult:
+def chase_as_result(
+    graph: Graph,
+    keys: KeySet,
+    snapshot: Optional[object] = None,
+    index: Optional[object] = None,
+) -> EMResult:
     """Run the sequential chase and wrap it in an :class:`EMResult`."""
-    outcome = chase(graph, keys)
+    outcome = chase(graph, keys, snapshot=snapshot, index=index)
     stats = EMStatistics(
         candidate_pairs=outcome.candidates,
         processed_pairs=outcome.candidates,
@@ -86,7 +91,9 @@ def _run_chase(
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> EMResult:
-    return chase_as_result(graph, keys)
+    snapshot = artifacts.snapshot() if artifacts is not None else None
+    index = artifacts.neighborhood_index() if artifacts is not None else None
+    return chase_as_result(graph, keys, snapshot=snapshot, index=index)
 
 
 def match_entities(

@@ -18,6 +18,7 @@ from ..core.key import Key, KeySet
 from ..core.neighborhood import NeighborhoodIndex
 from ..core.pairing import pairing_relation, pairing_support_nodes
 from ..core.triples import GraphNode
+from ..storage import GraphSnapshot, SnapshotNeighborhoodIndex
 
 
 @dataclass
@@ -50,15 +51,27 @@ class CandidateSet:
 
 
 def build_candidates(
-    graph: Graph, keys: KeySet, *, index: Optional[NeighborhoodIndex] = None
+    graph: Graph,
+    keys: KeySet,
+    *,
+    index: Optional[NeighborhoodIndex] = None,
+    snapshot: Optional[GraphSnapshot] = None,
 ) -> CandidateSet:
     """The unfiltered candidate set ``L`` with full d-neighbourhoods.
 
     Pass a prebuilt *index* (e.g. a session cache) to reuse neighbourhood BFS
     results across runs; it is extended in place with any missing entities.
+    With a *snapshot*, candidate enumeration reads the compiled type buckets
+    and a fresh index extracts neighbourhoods over the CSR arrays.
     """
-    pairs = candidate_pairs(graph, keys)
-    neighborhoods = index if index is not None else NeighborhoodIndex(graph, keys)
+    reader = snapshot if snapshot is not None else graph
+    pairs = candidate_pairs(reader, keys)
+    if index is not None:
+        neighborhoods = index
+    elif snapshot is not None:
+        neighborhoods = SnapshotNeighborhoodIndex(snapshot, keys)
+    else:
+        neighborhoods = NeighborhoodIndex(graph, keys)
     involved = {e for pair in pairs for e in pair}
     neighborhoods.precompute(involved)
     total = neighborhoods.total_size()
@@ -76,6 +89,7 @@ def build_filtered_candidates(
     reduce_neighborhoods: bool = True,
     *,
     index: Optional[NeighborhoodIndex] = None,
+    snapshot: Optional[GraphSnapshot] = None,
 ) -> CandidateSet:
     """The candidate set after the pairing filter of Section 4.2.
 
@@ -83,9 +97,12 @@ def build_filtered_candidates(
     when *reduce_neighborhoods* is set, the d-neighbourhoods of surviving
     pairs are shrunk to the union of pairing-supported nodes.  A shared
     *index* is never reduced in place — the reduction happens on a clone, so
-    the caller's cache stays valid for unreduced consumers.
+    the caller's cache stays valid for unreduced consumers.  A *snapshot*
+    routes every read (type lookups, the pairing fixpoint) through the
+    compiled layer.
     """
-    base = build_candidates(graph, keys, index=index)
+    reader = snapshot if snapshot is not None else graph
+    base = build_candidates(graph, keys, index=index, snapshot=snapshot)
     neighborhoods = base.neighborhoods
     if reduce_neighborhoods and index is not None:
         neighborhoods = index.clone()
@@ -96,14 +113,14 @@ def build_filtered_candidates(
     surviving: List[Pair] = []
     kept_nodes: Dict[str, Set[GraphNode]] = {}
     for e1, e2 in base.pairs:
-        etype = graph.entity_type(e1)
+        etype = reader.entity_type(e1)
         nbhd1 = neighborhoods.nodes(e1)
         nbhd2 = neighborhoods.nodes(e2)
         side1: Set[GraphNode] = set()
         side2: Set[GraphNode] = set()
         paired = False
         for key in keys_by_type.get(etype, ()):
-            relation = pairing_relation(graph, key, e1, e2, nbhd1, nbhd2)
+            relation = pairing_relation(reader, key, e1, e2, nbhd1, nbhd2)
             if relation is None:
                 continue
             paired = True

@@ -31,6 +31,7 @@ from ..core.key import Key, KeySet
 from ..core.neighborhood import NeighborhoodIndex
 from ..mapreduce.runtime import MapReduceDriver, TaskContext
 from ..runtime import create_executor
+from ..storage import GraphSnapshot
 from .candidates import CandidateSet, build_candidates
 from .checkers import EnumerationChecker, GuidedChecker, PairChecker
 from .result import EMResult, EMStatistics
@@ -63,12 +64,14 @@ class _MapEM:
         self._checker_class = checker_class
         self._pairs_to_check = pairs_to_check
 
-    def _tools(self, context: TaskContext) -> Tuple[Graph, NeighborhoodIndex, PairChecker]:
+    def _tools(self, context: TaskContext) -> Tuple[GraphSnapshot, NeighborhoodIndex, PairChecker]:
         tools = context.scratch.get("em_mr_tools")
         if tools is None:
-            graph = context.cached("graph")
+            # the cached "snapshot" is the compiled read view of G: compact
+            # arrays shipped once per worker, decoded lazily on first use
+            snapshot = context.cached("snapshot")
             neighborhoods = context.cached("neighborhoods")
-            tools = (graph, neighborhoods, self._checker_class(graph))
+            tools = (snapshot, neighborhoods, self._checker_class(snapshot))
             context.scratch["em_mr_tools"] = tools
         return tools  # type: ignore[return-value]
 
@@ -181,10 +184,16 @@ class MapReduceEntityMatcher:
 
     # -- extension points overridden by EMVF2MR / EMOptMR ---------------- #
 
-    def _build_candidates(self) -> CandidateSet:
+    def _snapshot(self) -> GraphSnapshot:
+        """The compiled read view shared by the driver and every worker."""
+        if self.artifacts is not None:
+            return self.artifacts.snapshot()
+        return GraphSnapshot.build(self.graph)
+
+    def _build_candidates(self, snapshot: GraphSnapshot) -> CandidateSet:
         if self.artifacts is not None:
             return self.artifacts.candidates(filtered=False, reduce_neighborhoods=False)
-        return build_candidates(self.graph, self.keys)
+        return build_candidates(self.graph, self.keys, snapshot=snapshot)
 
     def _checker_class(self) -> Type[PairChecker]:
         return GuidedChecker
@@ -219,7 +228,9 @@ class MapReduceEntityMatcher:
 
     def _run_with_executor(self, executor) -> EMResult:
         driver = MapReduceDriver(self.processors, executor=executor)
-        candidates = self._build_candidates()
+        snapshot = self._snapshot()
+        driver.placement_key = snapshot.placement_key
+        candidates = self._build_candidates(snapshot)
         checker_class = self._checker_class()
         keys_by_type = {
             etype: self.keys.keys_for_type(etype) for etype in self.keys.target_types()
@@ -227,14 +238,17 @@ class MapReduceEntityMatcher:
 
         # Driver-side preprocessing: candidate pairs + d-neighbourhood BFS,
         # cached on the workers (Haloop-style) so rounds do not re-ship them.
-        # The graph itself is charged at zero records: it already lives on
-        # HDFS in the paper's setting, the cache entry only makes it reachable
-        # from executor worker processes.
+        # What ships is the compiled snapshot and the id-encoded neighbourhood
+        # entries — compact arrays, pickled once per worker — instead of the
+        # mutable graph's dict-of-dict indexes.  The snapshot is charged at
+        # zero records: the graph already lives on HDFS in the paper's
+        # setting, the cache entry only makes it reachable from executor
+        # worker processes.
         neighborhood_total = candidates.neighborhoods.total_size()
         driver.charge_setup(candidates.unfiltered_size + neighborhood_total)
         driver.cache.put("neighborhoods", candidates.neighborhoods, records=neighborhood_total)
         driver.cache.put("keys", self.keys, records=self.keys.size)
-        driver.cache.put("graph", self.graph, records=0)
+        driver.cache.put("snapshot", snapshot, records=0)
 
         eq = EquivalenceRelation(self.graph.entity_ids())
         driver.hdfs.overwrite("eq", [])

@@ -58,7 +58,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
         self.reduce_neighborhoods = reduce_neighborhoods
         self._dependents: Optional[Dict[Pair, Set[Pair]]] = None
 
-    def _build_candidates(self) -> CandidateSet:
+    def _build_candidates(self, snapshot) -> CandidateSet:
         if self.artifacts is not None:
             candidates = self.artifacts.candidates(
                 filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
@@ -68,9 +68,12 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             )
             return candidates
         candidates = build_filtered_candidates(
-            self.graph, self.keys, reduce_neighborhoods=self.reduce_neighborhoods
+            self.graph,
+            self.keys,
+            reduce_neighborhoods=self.reduce_neighborhoods,
+            snapshot=snapshot,
         )
-        self._dependents = dependency_map(self.graph, self.keys, candidates)
+        self._dependents = dependency_map(snapshot, self.keys, candidates)
         return candidates
 
     def _pairs_to_check(

@@ -23,6 +23,7 @@ from ..core.equivalence import EquivalenceRelation
 from ..core.graph import Graph
 from ..core.key import KeySet
 from ..runtime import create_executor, create_partitioner
+from ..storage import GraphSnapshot
 from ..vertexcentric.engine import VertexCentricEngine
 from .candidates import CandidateSet, build_filtered_candidates
 from .eval_vc import Activate, EvalVCProgram, PairState
@@ -73,18 +74,28 @@ class VertexCentricEntityMatcher:
     def _notify(self, stage: str, **fields: object) -> None:
         notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
 
-    def _build_candidates(self) -> CandidateSet:
+    def _snapshot(self) -> GraphSnapshot:
+        """The compiled read view shared by the driver and every replica."""
+        if self.artifacts is not None:
+            return self.artifacts.snapshot()
+        return GraphSnapshot.build(self.graph)
+
+    def _build_candidates(self, snapshot: GraphSnapshot) -> CandidateSet:
         # the product graph only contains pairs that can be paired (Prop. 9);
         # neighbourhoods stay unreduced because the dependency map is built
         # from them and must over-approximate, never under-approximate.
         if self.artifacts is not None:
             return self.artifacts.candidates(filtered=True, reduce_neighborhoods=False)
-        return build_filtered_candidates(self.graph, self.keys, reduce_neighborhoods=False)
+        return build_filtered_candidates(
+            self.graph, self.keys, reduce_neighborhoods=False, snapshot=snapshot
+        )
 
-    def _build_product_graph(self, candidates: CandidateSet) -> ProductGraph:
+    def _build_product_graph(
+        self, candidates: CandidateSet, snapshot: GraphSnapshot
+    ) -> ProductGraph:
         if self.artifacts is not None:
             return self.artifacts.product_graph(filtered=True, reduce_neighborhoods=False)
-        return ProductGraph(self.graph, self.keys, candidates)
+        return ProductGraph(snapshot, self.keys, candidates)
 
     def _traversal_orders(self) -> Dict[str, object]:
         if self.artifacts is not None:
@@ -108,13 +119,16 @@ class VertexCentricEntityMatcher:
         return result
 
     def _run_with_executor(self, executor) -> EMResult:
-        candidates = self._build_candidates()
+        snapshot = self._snapshot()
+        candidates = self._build_candidates(snapshot)
         self._notify("candidates", pending=candidates.size)
-        product_graph = self._build_product_graph(candidates)
+        product_graph = self._build_product_graph(candidates, snapshot)
         self._notify("product-graph", pending=product_graph.num_nodes)
         orders = self._traversal_orders()
+        # the vertex program reads G through the snapshot, so partitioned
+        # supersteps ship compact arrays (not graph dicts) to each replica
         program = EvalVCProgram(
-            self.graph,
+            snapshot,
             self.keys,
             product_graph,
             orders,
@@ -122,7 +136,9 @@ class VertexCentricEntityMatcher:
             prioritize=self.prioritize,
         )
         partitioner = (
-            create_partitioner(self.partitioner, executor.workers)
+            create_partitioner(
+                self.partitioner, executor.workers, key_fn=snapshot.placement_key
+            )
             if executor is not None
             else None
         )

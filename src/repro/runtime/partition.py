@@ -106,12 +106,27 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """Stable-hash placement: stateless, shuffle-compatible."""
+    """Stable-hash placement: stateless, shuffle-compatible.
+
+    ``key_fn`` optionally maps an item to the key actually hashed — the
+    matching engines install
+    :meth:`~repro.storage.snapshot.GraphSnapshot.placement_key` so vertex
+    placement hashes interned integer ids instead of node reprs.
+    """
 
     kind = "hash"
 
+    def __init__(
+        self,
+        num_partitions: int,
+        key_fn: Optional[Callable[[Hashable], Hashable]] = None,
+    ) -> None:
+        super().__init__(num_partitions)
+        self._key_fn = key_fn
+
     def assign(self, item: Hashable) -> int:
-        return stable_hash(item) % self.num_partitions
+        key = item if self._key_fn is None else self._key_fn(item)
+        return stable_hash(key) % self.num_partitions
 
     def split(self, items: Sequence[Hashable]) -> List[List[Hashable]]:
         parts: List[List[Hashable]] = [[] for _ in range(self.num_partitions)]
@@ -185,10 +200,15 @@ def create_partitioner(
     num_partitions: int,
     *,
     affinity: Optional[Callable[[Hashable], Hashable]] = None,
+    key_fn: Optional[Callable[[Hashable], Hashable]] = None,
 ) -> Partitioner:
-    """Build a partitioner from configuration strings (``None`` -> hash)."""
+    """Build a partitioner from configuration strings (``None`` -> hash).
+
+    ``key_fn`` feeds :class:`HashPartitioner` (interned-id placement);
+    ``affinity`` feeds :class:`FragmentPartitioner`.
+    """
     if kind is None or kind == "hash":
-        return HashPartitioner(num_partitions)
+        return HashPartitioner(num_partitions, key_fn=key_fn)
     if kind == "chunk":
         return ChunkPartitioner(num_partitions)
     if kind == "fragment":

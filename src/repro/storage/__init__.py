@@ -1,0 +1,16 @@
+"""Compiled, immutable read layer under the matching hot paths.
+
+The mutable :class:`~repro.core.graph.Graph` stays the single source of
+truth for writes; this package compiles it into a :class:`GraphSnapshot` —
+an interned, CSR-backed view that every read-side consumer (d-neighbourhood
+extraction, candidate generation, the VF2 feasibility layer, the product
+graph, the MR mappers and the VC supersteps) shares.  A snapshot is built
+once per :attr:`Graph.version` and cached by
+:class:`~repro.api.session.MatchSession`; the parallel runtimes pickle the
+compact arrays once per worker instead of re-shipping dict-of-dict indexes.
+"""
+
+from .neighborhoods import SnapshotNeighborhoodIndex
+from .snapshot import GraphSnapshot
+
+__all__ = ["GraphSnapshot", "SnapshotNeighborhoodIndex"]

@@ -1,0 +1,133 @@
+"""A ``NeighborhoodIndex`` that extracts d-neighbourhoods in integer space.
+
+Same contract as :class:`~repro.core.neighborhood.NeighborhoodIndex` (node
+*sets* in, node *sets* out, clone/restrict/evict semantics unchanged), but:
+
+* the BFS runs over the snapshot's CSR arrays
+  (:meth:`GraphSnapshot.neighborhood_ids`) instead of hashing node objects
+  edge by edge;
+* pickling encodes every cached node set as a sorted array of interned ids —
+  the compact payload the MR worker cache and the VC engine replicas ship
+  once per worker — and decodes entries lazily on first use in the worker;
+* :meth:`rebased` migrates still-fresh cache entries onto a rebuilt snapshot
+  after a graph mutation (the session's journal-driven selective
+  invalidation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from ..core.key import KeySet
+from ..core.neighborhood import NeighborhoodIndex, radius_per_type
+from ..core.triples import GraphNode
+from .snapshot import GraphSnapshot
+
+
+class SnapshotNeighborhoodIndex(NeighborhoodIndex):
+    """d-neighbourhood cache backed by a :class:`GraphSnapshot`."""
+
+    def __init__(self, snapshot: GraphSnapshot, keys: KeySet) -> None:
+        self._snapshot = snapshot
+        self._graph = snapshot  # read surface only; satisfies the base class
+        self._radius = radius_per_type(keys)
+        self._cache: Dict[str, Set[GraphNode]] = {}
+        # entries arriving through pickle stay id-encoded until first use
+        self._encoded: Dict[str, object] = {}
+
+    @property
+    def snapshot(self) -> GraphSnapshot:
+        return self._snapshot
+
+    # ------------------------------------------------------------------ #
+    # cache access (integer-space BFS)
+    # ------------------------------------------------------------------ #
+
+    def nodes(self, entity: str) -> Set[GraphNode]:
+        cached = self._cache.get(entity)
+        if cached is None:
+            encoded = self._encoded.pop(entity, None)
+            if encoded is not None:
+                cached = self._snapshot.decode_ids(encoded)
+            else:
+                cached = self._snapshot.neighborhood_nodes(
+                    entity, self.radius_for(entity)
+                )
+            self._cache[entity] = cached
+        return cached
+
+    def evict(self, entity: str) -> None:
+        self._cache.pop(entity, None)
+        self._encoded.pop(entity, None)
+
+    def restrict(self, entity: str, allowed: Set[GraphNode]) -> None:
+        current = self.nodes(entity)
+        self._cache[entity] = (current & allowed) | {entity}
+        self._encoded.pop(entity, None)
+
+    def clone(self) -> "SnapshotNeighborhoodIndex":
+        twin = object.__new__(SnapshotNeighborhoodIndex)
+        twin._snapshot = self._snapshot
+        twin._graph = self._snapshot
+        twin._radius = dict(self._radius)
+        twin._cache = dict(self._cache)
+        twin._encoded = dict(self._encoded)
+        return twin
+
+    def rebased(
+        self, snapshot: GraphSnapshot, evict: Iterable[str] = ()
+    ) -> "SnapshotNeighborhoodIndex":
+        """This index rebuilt over *snapshot*, dropping the *evict* entries.
+
+        Cache entries that survive are node sets, which stay valid across
+        snapshot rebuilds (only the *evicted* entities could have been staled
+        by the mutation — the session computes that set from the journal).
+        """
+        twin = self.clone()
+        twin._snapshot = snapshot
+        twin._graph = snapshot
+        for entity in evict:
+            twin.evict(entity)
+        # old-snapshot encodings cannot be decoded by the new snapshot
+        for entity in list(twin._encoded):
+            twin._cache.setdefault(entity, self._snapshot.decode_ids(twin._encoded[entity]))
+            del twin._encoded[entity]
+        return twin
+
+    # ------------------------------------------------------------------ #
+    # accounting (include still-encoded entries)
+    # ------------------------------------------------------------------ #
+
+    def total_size(self) -> int:
+        return sum(len(nodes) for nodes in self._cache.values()) + sum(
+            len(ids) for ids in self._encoded.values()
+        )
+
+    def max_size(self) -> int:
+        sizes = [len(nodes) for nodes in self._cache.values()]
+        sizes.extend(len(ids) for ids in self._encoded.values())
+        return max(sizes, default=0)
+
+    def cached_entities(self) -> Set[str]:
+        return set(self._cache.keys()) | set(self._encoded.keys())
+
+    def __len__(self) -> int:
+        return len(self.cached_entities())
+
+    # ------------------------------------------------------------------ #
+    # pickling: ship interned-id arrays, decode lazily in the worker
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self):
+        encoded = dict(self._encoded)
+        for entity, nodes in self._cache.items():
+            encoded[entity] = self._snapshot.encode_nodes(nodes)
+        return (self._snapshot, dict(self._radius), encoded)
+
+    def __setstate__(self, state) -> None:
+        snapshot, radius, encoded = state
+        self._snapshot = snapshot
+        self._graph = snapshot
+        self._radius = radius
+        self._cache = {}
+        self._encoded = encoded

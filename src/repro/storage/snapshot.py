@@ -1,0 +1,592 @@
+"""``GraphSnapshot``: an immutable, interned, CSR-backed view of a ``Graph``.
+
+The snapshot assigns every node a dense integer id:
+
+* entity ids come first, sorted by ``(type, entity id)`` — so the entities of
+  one type occupy a *contiguous id range* (the type bucket), and within a
+  bucket ids follow the sorted entity-id order that
+  :meth:`~repro.core.graph.Graph.entities_of_type` reports;
+* value nodes (:class:`~repro.core.triples.Literal`) follow, sorted by repr.
+
+Predicates are interned the same way.  Adjacency is stored in CSR form
+(offset + column arrays over node ids): forward ``(pred, obj)`` runs per
+subject, backward ``(pred, subj)`` runs per object, and a deduplicated
+undirected neighbour list per node that drives the d-neighbourhood BFS in
+pure integer space.
+
+Two API surfaces coexist:
+
+* the **read surface of Graph** (``entity_type``, ``objects``, ``subjects``,
+  ``has_triple``, ``neighbors``, ...), duck-type compatible so every existing
+  read-side consumer — the guided evaluator, the pairing fixpoint, the
+  declarative matcher, the product graph — runs on a snapshot unchanged;
+* an **integer-space surface** (``objects_ids``, ``subjects_ids``,
+  ``neighborhood_ids``, ``type_range``, ``repr_rank``) used by the compiled
+  hot paths (CSR BFS, the compiled VF2 matcher).
+
+Pickling ships only the compact arrays and interning tables; the decoded
+per-process lookup maps are rebuilt lazily on first use in each worker
+(the once-per-worker cost the PR 2 shared-payload contract amortizes).
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import itemgetter as _itemgetter
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.graph import Graph
+from ..core.triples import Entity, GraphNode, Literal, Triple, is_entity_ref
+from ..exceptions import UnknownEntityError
+
+#: Array typecode for node/predicate ids and CSR offsets.
+_ID = "q"
+
+#: The empty candidate set returned for unknown (node, predicate) lookups.
+_EMPTY_IDS: FrozenSet[int] = frozenset()
+_EMPTY_NODES: FrozenSet[GraphNode] = frozenset()
+
+
+def _csr(per_row: Sequence[Sequence[Tuple[int, int]]]) -> Tuple[array, array, array]:
+    """Pack per-row ``(a, b)`` pair lists into offset + two column arrays."""
+    firsts = array(_ID)
+    seconds = array(_ID)
+    total = 0
+    offsets = array(_ID, [0] * (len(per_row) + 1))
+    for row, pairs in enumerate(per_row):
+        total += len(pairs)
+        offsets[row + 1] = total
+        for a, b in pairs:
+            firsts.append(a)
+            seconds.append(b)
+    return offsets, firsts, seconds
+
+
+class GraphSnapshot:
+    """An immutable, array-backed compilation of one ``Graph`` version.
+
+    Build with :meth:`GraphSnapshot.build`; the snapshot records the source
+    graph's :attr:`~repro.core.graph.Graph.version` so caches can detect
+    staleness through the mutation journal.  All write methods of ``Graph``
+    are deliberately absent.
+    """
+
+    __slots__ = (
+        # --- pickled core: interning tables + CSR arrays ---------------- #
+        "version",
+        "_node_of",        # id -> node object (entities first, then literals)
+        "_id_of",          # node object -> id
+        "_num_entities",
+        "_etype_of",       # entity id -> type string
+        "_type_ranges",    # type -> (lo, hi) contiguous entity-id bucket
+        "_pred_of",        # pred id -> predicate string
+        "_pred_ids",       # predicate string -> pred id
+        "_fwd_offsets", "_fwd_preds", "_fwd_objs",
+        "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
+        "_und_offsets", "_und_targets",
+        "_num_triples",
+        # --- per-process lazy decode (never pickled) -------------------- #
+        "_obj_map",        # subject eid -> pred -> frozenset of object nodes
+        "_subj_map",       # object node -> pred -> frozenset of subject eids
+        "_neighbor_map",   # node -> frozenset of undirected neighbour nodes
+        "_out_triples_map",
+        "_in_triples_map",
+        "_int_objects",    # (subject id, pred id) -> frozenset of object ids
+        "_int_subjects",   # (object id, pred id) -> frozenset of subject ids
+        "_adjacency",      # id -> tuple of undirected neighbour ids (BFS form)
+        "_value_node_set",
+        "_repr_ranks",     # id -> rank of the node in global repr order
+    )
+
+    def __init__(self) -> None:  # pragma: no cover - use GraphSnapshot.build
+        raise TypeError("use GraphSnapshot.build(graph) to construct snapshots")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, graph: Graph) -> "GraphSnapshot":
+        """Compile *graph* into a snapshot of its current version."""
+        snap = object.__new__(cls)
+        snap.version = graph.version
+
+        entities = sorted(graph.entities(), key=lambda e: (e.etype, e.eid))
+        literals = sorted(graph.value_nodes(), key=repr)
+        node_of: List[GraphNode] = [e.eid for e in entities]
+        node_of.extend(literals)
+        snap._node_of = tuple(node_of)
+        snap._id_of = {node: index for index, node in enumerate(node_of)}
+        snap._num_entities = len(entities)
+        snap._etype_of = tuple(e.etype for e in entities)
+
+        type_ranges: Dict[str, Tuple[int, int]] = {}
+        start = 0
+        for index, entity in enumerate(entities):
+            if index == 0 or entity.etype != entities[index - 1].etype:
+                start = index
+            type_ranges[entity.etype] = (start, index + 1)
+        snap._type_ranges = type_ranges
+
+        preds = sorted(graph.predicates())
+        snap._pred_of = tuple(preds)
+        snap._pred_ids = {pred: index for index, pred in enumerate(preds)}
+
+        num_nodes = len(node_of)
+        id_of = snap._id_of
+        pred_ids = snap._pred_ids
+        fwd: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
+        bwd: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
+        und: List[Set[int]] = [set() for _ in range(num_nodes)]
+        count = 0
+        for triple in graph.triples():
+            count += 1
+            sid = id_of[triple.subject]
+            oid = id_of[triple.obj]
+            pid = pred_ids[triple.predicate]
+            fwd[sid].append((pid, oid))
+            bwd[oid].append((pid, sid))
+            und[sid].add(oid)
+            und[oid].add(sid)
+        snap._num_triples = count
+        for row in fwd:
+            row.sort()
+        for row in bwd:
+            row.sort()
+        snap._fwd_offsets, snap._fwd_preds, snap._fwd_objs = _csr(fwd)
+        snap._bwd_offsets, snap._bwd_preds, snap._bwd_subjs = _csr(bwd)
+
+        und_offsets = array(_ID, [0] * (num_nodes + 1))
+        und_targets = array(_ID)
+        total = 0
+        for node, targets in enumerate(und):
+            total += len(targets)
+            und_offsets[node + 1] = total
+            und_targets.extend(sorted(targets))
+        snap._und_offsets = und_offsets
+        snap._und_targets = und_targets
+
+        snap._reset_lazy()
+        return snap
+
+    def _reset_lazy(self) -> None:
+        self._obj_map = None
+        self._subj_map = None
+        self._neighbor_map = None
+        self._out_triples_map = None
+        self._in_triples_map = None
+        self._int_objects = None
+        self._int_subjects = None
+        self._adjacency = None
+        self._value_node_set = None
+        self._repr_ranks = None
+
+    # ------------------------------------------------------------------ #
+    # pickling: compact arrays only, decode maps rebuilt per process
+    # ------------------------------------------------------------------ #
+
+    # _id_of is deliberately absent: it is exactly {node: i for i, node in
+    # enumerate(_node_of)} and is rebuilt on unpickle, so worker payloads
+    # carry the interning table once, not twice.
+    _PICKLED = (
+        "version",
+        "_node_of",
+        "_num_entities",
+        "_etype_of",
+        "_type_ranges",
+        "_pred_of",
+        "_pred_ids",
+        "_fwd_offsets", "_fwd_preds", "_fwd_objs",
+        "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
+        "_und_offsets", "_und_targets",
+        "_num_triples",
+    )
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self._PICKLED}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self._id_of = {node: index for index, node in enumerate(self._node_of)}
+        self._reset_lazy()
+
+    def __reduce__(self):
+        return (_restore_snapshot, (self.__getstate__(),))
+
+    # ------------------------------------------------------------------ #
+    # interning surface
+    # ------------------------------------------------------------------ #
+
+    def id_of(self, node: GraphNode) -> Optional[int]:
+        """The interned id of *node*, or ``None`` when it is not in the graph."""
+        return self._id_of.get(node)
+
+    def node_at(self, node_id: int) -> GraphNode:
+        """The node object with interned id *node_id*."""
+        return self._node_of[node_id]
+
+    def pred_id(self, predicate: str) -> int:
+        """The interned predicate id (``-1`` for unknown predicates)."""
+        return self._pred_ids.get(predicate, -1)
+
+    def type_range(self, etype: str) -> Tuple[int, int]:
+        """The contiguous entity-id bucket ``[lo, hi)`` of *etype*."""
+        return self._type_ranges.get(etype, (0, 0))
+
+    @property
+    def num_interned_nodes(self) -> int:
+        """Total number of interned node ids (entities + value nodes)."""
+        return len(self._node_of)
+
+    def decode_ids(self, ids: Iterable[int]) -> Set[GraphNode]:
+        """Decode interned ids back into a set of node objects."""
+        node_of = self._node_of
+        return {node_of[i] for i in ids}
+
+    def encode_nodes(self, nodes: Iterable[GraphNode]) -> array:
+        """Encode node objects into a sorted array of interned ids."""
+        id_of = self._id_of
+        return array(_ID, sorted(id_of[node] for node in nodes))
+
+    def placement_key(self, key: object) -> object:
+        """Map shuffle/placement keys onto interned ids.
+
+        Entity ids and value nodes become their interned integer id, tuples
+        map component-wise (candidate pairs become ``(id1, id2)``); anything
+        unknown passes through unchanged.  Feeding interned ids (not bulky
+        reprs) to :func:`~repro.runtime.partition.stable_hash` keeps worker
+        placement deterministic while hashing a handful of digits.
+        """
+        if isinstance(key, tuple):
+            return tuple(self.placement_key(item) for item in key)
+        mapped = self._id_of.get(key)
+        return key if mapped is None else mapped
+
+    def repr_rank(self, node_id: int) -> int:
+        """The rank of the node in the global ``sorted(nodes, key=repr)`` order.
+
+        The compiled VF2 matcher orders candidate ids by this rank, which
+        reproduces the dict path's ``sorted(candidates, key=repr)`` branching
+        order exactly (node reprs are unique across a graph's nodes).
+        """
+        ranks = self._repr_ranks
+        if ranks is None:
+            order = sorted(range(len(self._node_of)), key=lambda i: repr(self._node_of[i]))
+            ranks = array(_ID, [0] * len(order))
+            for rank, index in enumerate(order):
+                ranks[index] = rank
+            self._repr_ranks = ranks
+        return ranks[node_id]
+
+    # ------------------------------------------------------------------ #
+    # integer-space adjacency (compiled hot paths)
+    # ------------------------------------------------------------------ #
+
+    def _ensure_int_maps(self) -> None:
+        if self._int_objects is not None:
+            return
+        int_objects: Dict[Tuple[int, int], Set[int]] = {}
+        offsets, preds, objs = self._fwd_offsets, self._fwd_preds, self._fwd_objs
+        for sid in range(len(self._node_of)):
+            for index in range(offsets[sid], offsets[sid + 1]):
+                int_objects.setdefault((sid, preds[index]), set()).add(objs[index])
+        int_subjects: Dict[Tuple[int, int], Set[int]] = {}
+        offsets, preds, subjs = self._bwd_offsets, self._bwd_preds, self._bwd_subjs
+        for oid in range(len(self._node_of)):
+            for index in range(offsets[oid], offsets[oid + 1]):
+                int_subjects.setdefault((oid, preds[index]), set()).add(subjs[index])
+        self._int_objects = {key: frozenset(val) for key, val in int_objects.items()}
+        self._int_subjects = {key: frozenset(val) for key, val in int_subjects.items()}
+
+    def objects_ids(self, subject_id: int, pred_id: int) -> FrozenSet[int]:
+        """Interned object ids with ``(subject, pred, o)`` in the graph."""
+        self._ensure_int_maps()
+        return self._int_objects.get((subject_id, pred_id), _EMPTY_IDS)
+
+    def subjects_ids(self, object_id: int, pred_id: int) -> FrozenSet[int]:
+        """Interned subject ids with ``(s, pred, object)`` in the graph."""
+        self._ensure_int_maps()
+        return self._int_subjects.get((object_id, pred_id), _EMPTY_IDS)
+
+    def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-id undirected neighbour tuples (the BFS working form).
+
+        Decoded from the CSR arrays once per process; the CSR arrays remain
+        the pickled representation.
+        """
+        adjacency = self._adjacency
+        if adjacency is None:
+            offsets, targets = self._und_offsets, self._und_targets
+            target_list = targets.tolist()
+            adjacency = tuple(
+                tuple(target_list[offsets[index] : offsets[index + 1]])
+                for index in range(len(self._node_of))
+            )
+            self._adjacency = adjacency
+        return adjacency
+
+    #: Above this node count, the BFS visited-set switches from a bytearray
+    #: (O(num_nodes) allocation per call, unbeatable per-edge cost) to an int
+    #: set (allocation proportional to the neighbourhood, not the graph).
+    FLAG_BFS_LIMIT = 1 << 16
+
+    def neighborhood_ids(self, root_id: int, radius: int) -> List[int]:
+        """The interned ids within *radius* undirected hops of *root_id*.
+
+        A pure integer BFS (ids returned in BFS order, root first) — no node
+        objects are hashed while exploring, which is where the snapshot path
+        beats the dict path.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        result = [root_id]
+        if radius == 0:
+            return result
+        adjacency = self.adjacency()
+        use_flags = len(self._node_of) <= self.FLAG_BFS_LIMIT
+        if use_flags:
+            flags = bytearray(len(self._node_of))
+            flags[root_id] = 1
+        else:
+            seen = {root_id}
+        frontier = result
+        for _ in range(radius):
+            next_frontier: List[int] = []
+            append = next_frontier.append
+            if use_flags:
+                for node in frontier:
+                    for nbr in adjacency[node]:
+                        if not flags[nbr]:
+                            flags[nbr] = 1
+                            append(nbr)
+            else:
+                for node in frontier:
+                    for nbr in adjacency[node]:
+                        if nbr not in seen:
+                            seen.add(nbr)
+                            append(nbr)
+            if not next_frontier:
+                break
+            result += next_frontier
+            frontier = next_frontier
+        return result
+
+    def neighborhood_nodes(self, entity: str, radius: int) -> Set[GraphNode]:
+        """The d-neighbourhood of *entity* as a set of node objects."""
+        root = self._id_of.get(entity)
+        if root is None or root >= self._num_entities:
+            raise UnknownEntityError(entity)
+        ids = self.neighborhood_ids(root, radius)
+        if len(ids) == 1:
+            return {self._node_of[ids[0]]}
+        return set(_itemgetter(*ids)(self._node_of))
+
+    # ------------------------------------------------------------------ #
+    # Graph read surface (duck-type compatible)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_entities(self) -> int:
+        return self._num_entities
+
+    @property
+    def num_triples(self) -> int:
+        return self._num_triples
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_of)
+
+    def __len__(self) -> int:
+        return self._num_triples
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Triple):
+            return self.has_triple(item.subject, item.predicate, item.obj)
+        if isinstance(item, str):
+            return self.has_entity(item)
+        return False
+
+    def has_entity(self, eid: str) -> bool:
+        index = self._id_of.get(eid)
+        return index is not None and index < self._num_entities
+
+    def _entity_index(self, eid: str) -> int:
+        index = self._id_of.get(eid) if isinstance(eid, str) else None
+        if index is None or index >= self._num_entities:
+            raise UnknownEntityError(str(eid))
+        return index
+
+    def entity(self, eid: str) -> Entity:
+        index = self._entity_index(eid)
+        return Entity(eid, self._etype_of[index])
+
+    def entity_type(self, eid: str) -> str:
+        return self._etype_of[self._entity_index(eid)]
+
+    def entities(self) -> Iterator[Entity]:
+        for index in range(self._num_entities):
+            yield Entity(self._node_of[index], self._etype_of[index])
+
+    def entity_ids(self) -> Iterator[str]:
+        return iter(self._node_of[: self._num_entities])
+
+    def entities_of_type(self, etype: str) -> List[str]:
+        lo, hi = self._type_ranges.get(etype, (0, 0))
+        return list(self._node_of[lo:hi])
+
+    def types(self) -> Set[str]:
+        return set(self._type_ranges.keys())
+
+    def predicates(self) -> Set[str]:
+        return set(self._pred_of)
+
+    def value_nodes(self) -> FrozenSet[Literal]:
+        if self._value_node_set is None:
+            self._value_node_set = frozenset(self._node_of[self._num_entities :])
+        return self._value_node_set
+
+    def triples(self) -> Iterator[Triple]:
+        node_of, pred_of = self._node_of, self._pred_of
+        offsets, preds, objs = self._fwd_offsets, self._fwd_preds, self._fwd_objs
+        for sid in range(self._num_entities):
+            subject = node_of[sid]
+            for index in range(offsets[sid], offsets[sid + 1]):
+                yield Triple(subject, pred_of[preds[index]], node_of[objs[index]])
+
+    # -- decoded adjacency maps (built once per process) ----------------- #
+
+    def _ensure_read_maps(self) -> None:
+        if self._obj_map is not None:
+            return
+        node_of, pred_of = self._node_of, self._pred_of
+        obj_map: Dict[str, Dict[str, frozenset]] = {}
+        offsets, preds, objs = self._fwd_offsets, self._fwd_preds, self._fwd_objs
+        for sid in range(self._num_entities):
+            lo, hi = offsets[sid], offsets[sid + 1]
+            if lo == hi:
+                continue
+            per_pred: Dict[str, set] = {}
+            for index in range(lo, hi):
+                per_pred.setdefault(pred_of[preds[index]], set()).add(node_of[objs[index]])
+            obj_map[node_of[sid]] = {
+                pred: frozenset(found) for pred, found in per_pred.items()
+            }
+        subj_map: Dict[GraphNode, Dict[str, frozenset]] = {}
+        offsets, preds, subjs = self._bwd_offsets, self._bwd_preds, self._bwd_subjs
+        for oid in range(len(node_of)):
+            lo, hi = offsets[oid], offsets[oid + 1]
+            if lo == hi:
+                continue
+            per_pred = {}
+            for index in range(lo, hi):
+                per_pred.setdefault(pred_of[preds[index]], set()).add(node_of[subjs[index]])
+            subj_map[node_of[oid]] = {
+                pred: frozenset(found) for pred, found in per_pred.items()
+            }
+        self._subj_map = subj_map
+        self._obj_map = obj_map
+
+    def objects(self, subject: str, predicate: str) -> FrozenSet[GraphNode]:
+        self._ensure_read_maps()
+        per_pred = self._obj_map.get(subject)
+        if per_pred is None:
+            return _EMPTY_NODES
+        return per_pred.get(predicate, _EMPTY_NODES)
+
+    def subjects(self, predicate: str, obj: GraphNode) -> FrozenSet[str]:
+        self._ensure_read_maps()
+        per_pred = self._subj_map.get(obj)
+        if per_pred is None:
+            return _EMPTY_NODES
+        return per_pred.get(predicate, _EMPTY_NODES)
+
+    def has_triple(self, subject: str, predicate: str, obj: GraphNode) -> bool:
+        return obj in self.objects(subject, predicate)
+
+    def neighbors(self, node: GraphNode) -> FrozenSet[GraphNode]:
+        if self._neighbor_map is None:
+            node_of = self._node_of
+            offsets, targets = self._und_offsets, self._und_targets
+            self._neighbor_map = {
+                node_of[index]: frozenset(
+                    node_of[targets[i]] for i in range(offsets[index], offsets[index + 1])
+                )
+                for index in range(len(node_of))
+                if offsets[index] != offsets[index + 1]
+            }
+        return self._neighbor_map.get(node, _EMPTY_NODES)
+
+    def degree(self, node: GraphNode) -> int:
+        index = self._id_of.get(node)
+        if index is None:
+            return 0
+        return self._und_offsets[index + 1] - self._und_offsets[index]
+
+    def out_triples(self, subject: str) -> FrozenSet[Triple]:
+        if self._out_triples_map is None:
+            per_subject: Dict[str, List[Triple]] = {}
+            for triple in self.triples():
+                per_subject.setdefault(triple.subject, []).append(triple)
+            self._out_triples_map = {
+                subj: frozenset(found) for subj, found in per_subject.items()
+            }
+        return self._out_triples_map.get(subject, _EMPTY_NODES)
+
+    def in_triples(self, obj: GraphNode) -> FrozenSet[Triple]:
+        if self._in_triples_map is None:
+            per_object: Dict[GraphNode, List[Triple]] = {}
+            for triple in self.triples():
+                per_object.setdefault(triple.obj, []).append(triple)
+            self._in_triples_map = {
+                node: frozenset(found) for node, found in per_object.items()
+            }
+        return self._in_triples_map.get(obj, _EMPTY_NODES)
+
+    def induced_subgraph(self, nodes: Iterable[GraphNode]) -> Graph:
+        """The induced subgraph as a fresh, mutable :class:`Graph`."""
+        keep = set(nodes)
+        sub = Graph()
+        for node in keep:
+            if is_entity_ref(node) and self.has_entity(node):
+                sub.add_entity(node, self.entity_type(node))
+        for node in keep:
+            if not (is_entity_ref(node) and self.has_entity(node)):
+                continue
+            for triple in self.out_triples(node):
+                if triple.obj in keep:
+                    sub.add_triple(triple)
+        return sub
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entities": self.num_entities,
+            "values": len(self._node_of) - self._num_entities,
+            "nodes": self.num_nodes,
+            "triples": self.num_triples,
+            "types": len(self._type_ranges),
+            "predicates": len(self._pred_of),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSnapshot(version={self.version}, entities={self.num_entities}, "
+            f"triples={self.num_triples}, types={len(self._type_ranges)})"
+        )
+
+
+def _restore_snapshot(state: Dict[str, object]) -> GraphSnapshot:
+    snap = object.__new__(GraphSnapshot)
+    snap.__setstate__(state)
+    return snap

@@ -1,0 +1,141 @@
+"""The compiled integer-space VF2 path must replay the dict path exactly.
+
+Same mappings, same enumeration order, same search statistics — on random
+graphs (hypothesis), on the paper's examples, with anchors and with limits.
+A custom node-compatibility predicate must bypass the compiled path (it
+encodes default compatibility only) and still work on a snapshot target.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import Graph
+from repro.core.neighborhood import d_neighborhood_nodes
+from repro.core.triples import Literal
+from repro.datasets.music import music_dataset
+from repro.datasets.synthetic import synthetic_dataset
+from repro.isomorphism.vf2 import VF2Matcher, brute_force_isomorphisms
+from repro.storage import GraphSnapshot
+
+_TYPES = ("a", "b", "c")
+_PREDS = ("p", "q", "r")
+
+
+@st.composite
+def target_graphs(draw) -> Graph:
+    graph = Graph()
+    entities = []
+    for index in range(draw(st.integers(min_value=1, max_value=7))):
+        etype = draw(st.sampled_from(_TYPES))
+        eid = f"{etype}{index}"
+        graph.add_entity(eid, etype)
+        entities.append(eid)
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        subject = draw(st.sampled_from(entities))
+        predicate = draw(st.sampled_from(_PREDS))
+        if draw(st.booleans()):
+            graph.add_edge(subject, predicate, draw(st.sampled_from(entities)))
+        else:
+            graph.add_value(subject, predicate, draw(st.integers(min_value=0, max_value=3)))
+    return graph
+
+
+def _patterns_from(graph: Graph, max_triples: int = 5):
+    for entity in graph.entity_ids():
+        pattern = graph.induced_subgraph(d_neighborhood_nodes(graph, entity, 1))
+        if 1 <= pattern.num_triples <= max_triples:
+            yield pattern
+
+
+def _assert_paths_identical(pattern: Graph, graph: Graph, snapshot: GraphSnapshot, **kwargs):
+    dict_matcher = VF2Matcher(pattern, graph, **kwargs)
+    compiled_matcher = VF2Matcher(pattern, snapshot, **kwargs)
+    dict_mappings = dict_matcher.find_all()
+    compiled_mappings = compiled_matcher.find_all()
+    assert compiled_mappings == dict_mappings  # same mappings, same order
+    assert vars(compiled_matcher.stats) == vars(dict_matcher.stats)
+
+
+@given(graph=target_graphs())
+@settings(max_examples=40, deadline=None)
+def test_compiled_path_replays_dict_path_on_random_graphs(graph):
+    snapshot = GraphSnapshot.build(graph)
+    for pattern in _patterns_from(graph):
+        _assert_paths_identical(pattern, graph, snapshot)
+
+
+def test_compiled_path_on_music_patterns_and_brute_force():
+    graph, _keys = music_dataset()
+    snapshot = GraphSnapshot.build(graph)
+    checked = 0
+    for pattern in _patterns_from(graph, max_triples=4):
+        _assert_paths_identical(pattern, graph, snapshot)
+        if pattern.num_nodes <= 4 and graph.num_nodes <= 60:
+            compiled = VF2Matcher(pattern, snapshot).find_all()
+            brute = brute_force_isomorphisms(pattern, graph)
+            assert sorted(map(sorted_items, compiled)) == sorted(map(sorted_items, brute))
+        checked += 1
+    assert checked > 0
+
+
+def sorted_items(mapping):
+    return sorted(mapping.items(), key=repr)
+
+
+def test_compiled_path_respects_anchors_and_limits():
+    dataset = synthetic_dataset(
+        num_keys=6, chain_length=2, radius=2, entities_per_type=4, seed=3
+    )
+    graph = dataset.graph
+    snapshot = GraphSnapshot.build(graph)
+    for pattern in _patterns_from(graph):
+        nodes = list(pattern.entity_ids())
+        anchor = {nodes[0]: nodes[0]}  # anchor a pattern entity to itself
+        assert VF2Matcher(pattern, snapshot, anchors=anchor).find_all() == VF2Matcher(
+            pattern, graph, anchors=anchor
+        ).find_all()
+        assert VF2Matcher(pattern, snapshot).find_all(limit=2) == VF2Matcher(
+            pattern, graph
+        ).find_all(limit=2)
+        assert VF2Matcher(pattern, snapshot).exists() == VF2Matcher(pattern, graph).exists()
+        assert VF2Matcher(pattern, snapshot).count() == VF2Matcher(pattern, graph).count()
+        break
+
+
+def test_unknown_anchor_targets_mirror_dict_path_errors():
+    """Unknown entity-ref anchors raise on both paths; unknown values don't."""
+    import pytest
+
+    from repro.exceptions import UnknownEntityError
+
+    graph, _keys = music_dataset()
+    snapshot = GraphSnapshot.build(graph)
+    pattern = next(iter(_patterns_from(graph)))
+    anchor_node = next(iter(pattern.entity_ids()))
+    for target in (graph, snapshot):
+        with pytest.raises(UnknownEntityError):
+            VF2Matcher(pattern, target, anchors={anchor_node: "no-such-entity"}).find_all()
+        with pytest.raises(UnknownEntityError):
+            VF2Matcher(pattern, target, anchors={"ghost-node": anchor_node}).find_all()
+        matcher = VF2Matcher(pattern, target, anchors={anchor_node: Literal("?!")})
+        assert matcher.find_all() == []
+
+
+def test_custom_compatibility_bypasses_compiled_path():
+    """A non-default predicate runs the generic path over the snapshot."""
+    graph, _keys = music_dataset()
+    snapshot = GraphSnapshot.build(graph)
+    pattern = next(iter(_patterns_from(graph)))
+
+    def anything_goes(pattern_graph, pattern_node, target_graph, target_node):
+        if isinstance(pattern_node, Literal) or isinstance(target_node, Literal):
+            return pattern_node == target_node
+        return True  # ignore entity types entirely
+
+    loose_snapshot = VF2Matcher(pattern, snapshot, node_compatible=anything_goes).find_all()
+    loose_dict = VF2Matcher(pattern, graph, node_compatible=anything_goes).find_all()
+    assert loose_snapshot == loose_dict
+    strict = VF2Matcher(pattern, snapshot).find_all()
+    assert len(loose_snapshot) >= len(strict)

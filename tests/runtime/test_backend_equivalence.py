@@ -49,6 +49,26 @@ def test_all_backends_agree_on_pairs_across_executors(dataset, executor_backends
             assert result.pairs() == expected, (name, kind)
 
 
+def test_snapshot_path_is_bit_identical_to_the_dict_path_chase(dataset, executor_backends):
+    """The compiled-snapshot read layer must not change chase(G, Σ).
+
+    Session runs share one GraphSnapshot (built once); the dict-path chase —
+    run on the bare graph, no session, no snapshot — is the ground truth
+    every backend and every executor must reproduce exactly.
+    """
+    from repro.core.chase import chase
+
+    dict_path = chase(dataset.graph, dataset.keys).pairs()
+    session = MatchSession(dataset.graph).with_keys(dataset.keys)
+    for name in ["chase"] + list(executor_backends):
+        assert session.run(name).pairs() == dict_path, name
+    for name in executor_backends:
+        assert (
+            session.run(name, executor="process", workers=2).pairs() == dict_path
+        ), name
+    assert session.cache_info().snapshot_builds == 1
+
+
 @pytest.mark.parametrize("algorithm", ["EMMR", "EMVF2MR", "EMOptMR", "EMVC", "EMOptVC"])
 def test_executor_results_are_bit_identical(dataset, algorithm):
     """Same stats, same simulated seconds, same pairs for every executor."""
