@@ -100,6 +100,7 @@ from .exceptions import (
     ParseError,
     ProofError,
     ReproError,
+    StoreError,
     UnknownEntityError,
 )
 from .matching import (
@@ -112,7 +113,12 @@ from .matching import (
     em_vf2_mr,
     match_entities,
 )
-from .storage import GraphSnapshot, SnapshotNeighborhoodIndex
+from .storage import (
+    GraphSnapshot,
+    SnapshotNeighborhoodIndex,
+    SnapshotStore,
+    graph_fingerprint,
+)
 
 __version__ = "1.1.0"
 
@@ -151,6 +157,8 @@ __all__ = [
     "ReproError",
     "Session",
     "SnapshotNeighborhoodIndex",
+    "SnapshotStore",
+    "StoreError",
     "Triple",
     "UnknownEntityError",
     "__version__",
@@ -168,6 +176,7 @@ __all__ = [
     "explain",
     "find_matches",
     "get_algorithm",
+    "graph_fingerprint",
     "has_match",
     "load_graph",
     "load_keys",

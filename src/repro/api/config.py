@@ -11,11 +11,13 @@ backend's ``options`` and it flows through ``MatchConfig`` untouched.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..exceptions import ConfigError
 from ..runtime import EXECUTOR_KINDS
+from ..storage.store import SnapshotStore
 from .registry import AlgorithmRegistry, AlgorithmSpec, REGISTRY
 
 #: Default algorithm of the public API (the paper's best performer).
@@ -43,6 +45,10 @@ class MatchConfig:
     options: Mapping[str, object] = field(default_factory=dict)
     executor: Optional[str] = None
     workers: Optional[int] = None
+    #: on-disk snapshot store (a directory path or a ``SnapshotStore``):
+    #: sessions consult it before compiling a ``GraphSnapshot`` and write
+    #: freshly built snapshots back; ``None`` keeps the in-memory-only path
+    snapshot_store: Union[None, str, os.PathLike, SnapshotStore] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.processors, int) or isinstance(self.processors, bool):
@@ -61,6 +67,13 @@ class MatchConfig:
                 raise ConfigError(f"workers must be >= 1, got {self.workers}")
             if self.executor is None:
                 raise ConfigError("workers requires an executor (e.g. executor='process')")
+        if self.snapshot_store is not None and not isinstance(
+            self.snapshot_store, (str, os.PathLike, SnapshotStore)
+        ):
+            raise ConfigError(
+                f"snapshot_store must be a directory path or a SnapshotStore, "
+                f"got {type(self.snapshot_store).__name__} {self.snapshot_store!r}"
+            )
         # freeze the options mapping into a plain dict we own
         object.__setattr__(self, "options", dict(self.options))
 
@@ -72,6 +85,7 @@ class MatchConfig:
                 self.processors,
                 self.executor,
                 self.workers,
+                None if self.snapshot_store is None else str(self.snapshot_store),
                 tuple(sorted(self.options.items())),
             )
         )
@@ -117,5 +131,7 @@ class MatchConfig:
             parts.append(f"executor={self.executor}")
             if self.workers is not None:
                 parts.append(f"workers={self.workers}")
+        if self.snapshot_store is not None:
+            parts.append(f"store={str(self.snapshot_store)!r}")
         parts.extend(f"{k}={v!r}" for k, v in sorted(self.options.items()))
         return f"{self.algorithm}({', '.join(parts)})"

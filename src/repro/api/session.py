@@ -24,14 +24,16 @@ run.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import os
 
 from ..core.equivalence import Pair
 from ..core.graph import Graph
 from ..core.key import KeySet
 from ..core.neighborhood import NeighborhoodIndex
-from ..exceptions import MatchingError
+from ..exceptions import MatchingError, StoreError
 from ..matching.candidates import (
     CandidateSet,
     build_candidates,
@@ -42,6 +44,7 @@ from ..matching.product_graph import ProductGraph
 from ..matching.result import EMResult
 from ..matching.traversal_order import traversal_orders
 from ..storage import GraphSnapshot, SnapshotNeighborhoodIndex
+from ..storage.store import SnapshotStore, as_snapshot_store, graph_fingerprint
 from .config import MatchConfig
 from .events import ProgressEvent, ProgressObserver
 from .registry import ALGORITHMS, get_algorithm
@@ -57,6 +60,10 @@ class SessionCacheInfo:
     product_graph_builds: int = 0
     traversal_order_builds: int = 0
     invalidations: int = 0
+    #: snapshots served from / missing in the configured on-disk store
+    #: (both stay 0 when the session has no snapshot store)
+    store_hits: int = 0
+    store_misses: int = 0
 
 
 class SessionArtifacts:
@@ -69,9 +76,16 @@ class SessionArtifacts:
     never the shared base).
     """
 
-    def __init__(self, graph: Graph, keys: KeySet) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        keys: KeySet,
+        snapshot_store: Optional[SnapshotStore] = None,
+    ) -> None:
         self._graph = graph
         self._keys = keys
+        #: optional on-disk snapshot store consulted before every build
+        self.snapshot_store = snapshot_store
         self._version = graph.version
         self._snapshot: Optional[GraphSnapshot] = None
         self._index: Optional[SnapshotNeighborhoodIndex] = None
@@ -86,6 +100,8 @@ class SessionArtifacts:
         self.product_graph_builds = 0
         self.order_builds = 0
         self.invalidations = 0
+        self.store_hits = 0
+        self.store_misses = 0
         #: cumulative seconds spent building each artifact kind (CLI --profile)
         self.timings: Dict[str, float] = {}
 
@@ -148,14 +164,49 @@ class SessionArtifacts:
         """The compiled, immutable read view of the session's graph.
 
         Built once per :attr:`Graph.version`; every read-side artifact below
-        (and every backend run through the session) shares it.
+        (and every backend run through the session) shares it.  With a
+        :attr:`snapshot_store` configured, the store is consulted first
+        (an ``mmap`` load of a warm file skips the build entirely) and a
+        freshly built snapshot is written back; *any*
+        :class:`~repro.exceptions.StoreError` — missing file, corruption,
+        format or staleness mismatch — falls back to a clean rebuild.
         """
         if self._snapshot is None:
-            self._snapshot = self._timed(
-                "snapshot_build", lambda: GraphSnapshot.build(self._graph)
-            )
-            self.snapshot_builds += 1
+            store = self.snapshot_store
+            fingerprint: Optional[str] = None
+            if store is not None:
+                # fingerprint once; load and write-back share it
+                fingerprint = self._timed(
+                    "snapshot_store_load", lambda: graph_fingerprint(self._graph)
+                )
+                loaded = self._timed(
+                    "snapshot_store_load", lambda: self._load_stored(fingerprint)
+                )
+                if loaded is not None:
+                    self._snapshot = loaded
+                    self.store_hits += 1
+                else:
+                    self.store_misses += 1
+            if self._snapshot is None:
+                self._snapshot = self._timed(
+                    "snapshot_build", lambda: GraphSnapshot.build(self._graph)
+                )
+                self.snapshot_builds += 1
+                if store is not None:
+                    try:
+                        self._timed(
+                            "snapshot_store_save",
+                            lambda: store.save(self._snapshot, fingerprint=fingerprint),
+                        )
+                    except (StoreError, OSError):
+                        pass  # an unwritable store never fails a run
         return self._snapshot
+
+    def _load_stored(self, fingerprint: str) -> Optional[GraphSnapshot]:
+        try:
+            return self.snapshot_store.load(self._graph, fingerprint=fingerprint)
+        except StoreError:
+            return None
 
     def neighborhood_index(self) -> SnapshotNeighborhoodIndex:
         if self._index is None:
@@ -236,6 +287,8 @@ class SessionArtifacts:
             product_graph_builds=self.product_graph_builds,
             traversal_order_builds=self.order_builds,
             invalidations=self.invalidations,
+            store_hits=self.store_hits,
+            store_misses=self.store_misses,
         )
 
 
@@ -247,10 +300,14 @@ class MatchSession:
         graph: Graph,
         keys: Optional[KeySet] = None,
         config: Optional[MatchConfig] = None,
+        *,
+        snapshot_store: Union[None, str, "os.PathLike", SnapshotStore] = None,
     ) -> None:
         self._graph = graph
         self._keys = keys
         self._config = config or MatchConfig()
+        if snapshot_store is not None:
+            self._config = replace(self._config, snapshot_store=snapshot_store)
         self._artifacts: Optional[SessionArtifacts] = None
         self._observers: List[ProgressObserver] = []
         self._history: List[Tuple[MatchConfig, EMResult]] = []
@@ -276,6 +333,7 @@ class MatchSession:
         processors: Optional[int] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        snapshot_store: Union[None, str, "os.PathLike", SnapshotStore] = None,
         **options: object,
     ) -> "MatchSession":
         """Choose the default algorithm (and its options) for :meth:`run`.
@@ -285,6 +343,9 @@ class MatchSession:
         The session default is inherited only by backends that support
         executors — the same gate :meth:`run` applies — so
         ``using("chase").run()`` and ``run("chase")`` behave identically.
+        ``snapshot_store`` configures (or replaces) the on-disk snapshot
+        store the session's artifact cache consults; ``None`` keeps the
+        current one.
         """
         if executor is None and self._config.executor is not None:
             if self._supports_executors(algorithm):
@@ -295,6 +356,9 @@ class MatchSession:
             processors=self._config.processors if processors is None else processors,
             executor=executor,
             workers=workers,
+            snapshot_store=(
+                self._config.snapshot_store if snapshot_store is None else snapshot_store
+            ),
             options=options,
         )
         return self
@@ -376,6 +440,7 @@ class MatchSession:
                     processors=config.processors if processors is None else processors,
                     executor=config.executor if executor is None else executor,
                     workers=config.workers if workers is None else workers,
+                    snapshot_store=config.snapshot_store,
                     options={**config.options, **options},
                 )
         else:
@@ -392,10 +457,11 @@ class MatchSession:
                 processors=self._config.processors if processors is None else processors,
                 executor=executor,
                 workers=workers,
+                snapshot_store=self._config.snapshot_store,
                 options=options,
             )
         spec, validated = config.resolve()
-        artifacts = self._refresh_artifacts()
+        artifacts = self._refresh_artifacts(config)
         result = spec.run(
             self._graph,
             self._keys,
@@ -447,10 +513,13 @@ class MatchSession:
             return False  # unknown name: let resolve() raise the real error
         return "executors" in spec.capabilities
 
-    def _refresh_artifacts(self) -> SessionArtifacts:
+    def _refresh_artifacts(self, config: Optional[MatchConfig] = None) -> SessionArtifacts:
+        store = as_snapshot_store((config or self._config).snapshot_store)
         if self._artifacts is None:
-            self._artifacts = SessionArtifacts(self._graph, self._keys)
+            self._artifacts = SessionArtifacts(self._graph, self._keys, snapshot_store=store)
         else:
+            if store is not None:
+                self._artifacts.snapshot_store = store
             self._artifacts.refresh()
         return self._artifacts
 

@@ -6,7 +6,14 @@ Sub-commands:
 * ``check``      — check ``G |= Q(x)`` for every key and report violations;
 * ``generate``   — write a synthetic dataset (graph + keys) to DSL files;
 * ``bench``      — run one of the paper's sweeps and print the series;
-* ``algorithms`` — list the registered matching backends and their options.
+* ``algorithms`` — list the registered matching backends and their options;
+* ``snapshot``   — operate on stored ``GraphSnapshot`` files
+  (``save`` / ``info`` / ``verify``).
+
+``match --snapshot-store DIR`` consults an on-disk snapshot store before
+compiling the graph (a warm file is ``mmap``-loaded, skipping the build) and
+writes freshly built snapshots back; ``--profile`` reports whether the
+snapshot was loaded or built.
 
 All matching dispatch goes through the algorithm registry: ``match`` accepts
 ``--fanout`` and generic ``--set key=value`` backend options, which are
@@ -21,6 +28,7 @@ resolved through the dataset registry (:mod:`repro.datasets.registry`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -79,7 +87,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print per-phase timings (snapshot build, candidates, product "
-        "graph) and per-round/superstep counters after the run",
+        "graph), snapshot load-vs-build provenance and per-round/superstep "
+        "counters after the run",
+    )
+    match_parser.add_argument(
+        "--snapshot-store",
+        default=None,
+        metavar="DIR",
+        help="directory cache of compiled graph snapshots: mmap-load the "
+        "snapshot when a file matching the graph is stored, write it back "
+        "after a build",
     )
 
     check_parser = subparsers.add_parser("check", help="check key satisfaction (G |= Q(x))")
@@ -126,6 +143,33 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "algorithms", help="list the registered matching algorithms and their options"
     )
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="operate on stored GraphSnapshot files"
+    )
+    snapshot_sub = snapshot_parser.add_subparsers(dest="snapshot_command", required=True)
+    save_parser = snapshot_sub.add_parser(
+        "save", help="compile a graph DSL file and write the snapshot to disk"
+    )
+    save_parser.add_argument("--graph", required=True, help="graph DSL file")
+    save_target = save_parser.add_mutually_exclusive_group(required=True)
+    save_target.add_argument(
+        "--store", metavar="DIR", help="write into a snapshot store directory"
+    )
+    save_target.add_argument("--out", metavar="FILE", help="write to an explicit file")
+    info_parser = snapshot_sub.add_parser(
+        "info", help="print the header of a stored snapshot file"
+    )
+    info_parser.add_argument("file", help="stored snapshot file")
+    verify_parser = snapshot_sub.add_parser(
+        "verify", help="fully validate a stored snapshot file (structure + checksum)"
+    )
+    verify_parser.add_argument("file", help="stored snapshot file")
+    verify_parser.add_argument(
+        "--graph",
+        default=None,
+        help="also check the fingerprint and Graph.version against this DSL file",
+    )
     return parser
 
 
@@ -160,7 +204,7 @@ def _command_match(args: argparse.Namespace) -> int:
     options = _parse_options(args.options)
     if args.fanout is not None:
         options["fanout"] = args.fanout
-    session = MatchSession(graph).with_keys(keys)
+    session = MatchSession(graph, snapshot_store=args.snapshot_store).with_keys(keys)
     result = session.run(
         args.algorithm,
         processors=args.processors,
@@ -192,8 +236,18 @@ def _print_profile(session: MatchSession, result) -> None:
     """
     timings = session.phase_timings()
     print("profile:")
+    info = session.cache_info()
+    if info.store_hits:
+        provenance = f"loaded from store ({info.store_hits} hit(s))"
+    elif info.store_misses:
+        provenance = f"built (store miss: {info.store_misses}), saved back"
+    else:
+        provenance = "built in process (no snapshot store)"
+    print(f"  {'snapshot source':<24} : {provenance}")
     for phase in (
+        "snapshot_store_load",
         "snapshot_build",
+        "snapshot_store_save",
         "neighborhood_index_build",
         "candidates_build",
         "product_graph_build",
@@ -261,6 +315,70 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_snapshot(args: argparse.Namespace) -> int:
+    from .storage import (
+        GraphSnapshot,
+        SnapshotStore,
+        graph_fingerprint,
+        snapshot_info,
+        verify_snapshot,
+        write_snapshot,
+    )
+
+    if args.snapshot_command == "save":
+        graph = load_graph(args.graph)
+        snapshot = GraphSnapshot.build(graph)
+        fingerprint = graph_fingerprint(graph)
+        if args.store is not None:
+            path = SnapshotStore(args.store).save(snapshot, fingerprint=fingerprint)
+        else:
+            path = write_snapshot(snapshot, args.out, fingerprint=fingerprint)
+        print(f"wrote        : {path}")
+        print(f"fingerprint  : {fingerprint}")
+        print(f"graph version: {snapshot.version}")
+        print(f"file size    : {os.path.getsize(path)} bytes")
+        print(
+            f"contents     : {snapshot.num_entities} entities, "
+            f"{snapshot.num_nodes - snapshot.num_entities} values, "
+            f"{snapshot.num_triples} triples"
+        )
+        return 0
+
+    if args.snapshot_command == "info":
+        info = snapshot_info(args.file)
+        print(f"file          : {info['path']} ({info['file_size']} bytes)")
+        print(f"format version: {info['format_version']}")
+        print(f"graph version : {info['graph_version']}")
+        print(f"fingerprint   : {info['fingerprint']}")
+        print(f"byte order    : {info['byteorder']}-endian")
+        print(
+            f"contents      : {info['num_entities']} entities, "
+            f"{info['num_nodes'] - info['num_entities']} values, "
+            f"{info['num_triples']} triples, "
+            f"{info['num_predicates']} predicates, {len(info['types'])} types"
+        )
+        for name, (offset, length) in sorted(info["segments"].items()):
+            print(f"  segment {name:<16} : {length:>10} bytes @ {offset}")
+        return 0
+
+    # verify
+    graph = load_graph(args.graph) if args.graph is not None else None
+    from .exceptions import StoreError
+
+    try:
+        info = verify_snapshot(args.file, graph)
+    except StoreError as error:
+        print(f"FAIL: {error}")
+        return 1
+    checked = "structure, checksum, decode"
+    if graph is not None:
+        checked += ", fingerprint, graph version"
+    print(f"OK: {args.file} ({checked})")
+    print(f"fingerprint   : {info['fingerprint']}")
+    print(f"graph version : {info['graph_version']}")
+    return 0
+
+
 def _command_algorithms(args: argparse.Namespace) -> int:
     print(f"{'name':<10} {'family':<15} {'options':<40} description")
     for spec in algorithm_specs():
@@ -281,6 +399,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "bench": _command_bench,
         "algorithms": _command_algorithms,
+        "snapshot": _command_snapshot,
     }
     try:
         return handlers[args.command](args)

@@ -75,6 +75,32 @@ class ProofError(ReproError):
     """A proof graph failed verification."""
 
 
+class StoreError(ReproError):
+    """Errors raised by the on-disk snapshot store (``repro.storage.store``).
+
+    Callers that consult the store opportunistically (``SessionArtifacts``)
+    catch this base class and fall back to a clean in-memory rebuild.
+    """
+
+
+class StoreFormatError(StoreError):
+    """A stored snapshot file is structurally unreadable: bad magic, a
+    truncated preamble/header/segment, or an unparsable header."""
+
+
+class StoreVersionError(StoreError):
+    """A stored snapshot uses a different (past or future) format version."""
+
+
+class StoreStaleError(StoreError):
+    """A stored snapshot does not describe the graph at hand: its content
+    fingerprint or recorded ``Graph.version`` no longer matches."""
+
+
+class StoreMissError(StoreError):
+    """The store holds no snapshot for the requested graph fingerprint."""
+
+
 class ExecutorError(ReproError):
     """Errors raised by the shared execution runtime (executors, partitioners)."""
 

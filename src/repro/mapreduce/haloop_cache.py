@@ -9,6 +9,7 @@ task for free, which is exactly the asymmetry the optimization exploits.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -58,6 +59,19 @@ class WorkerCache:
         if name not in self._data:
             return default
         return self.get(name)
+
+    def shipped_bytes(self) -> int:
+        """Pickled size of the cached payload — what one pool worker receives.
+
+        The cache is the MR driver's process-pool shared payload, so this is
+        the real per-worker pipe cost.  With a store-backed
+        :class:`~repro.storage.GraphSnapshot` in the cache the snapshot
+        contributes only its attach-by-path stub (a few hundred bytes, the
+        workers ``mmap`` the file); a detached snapshot contributes its full
+        arrays.  Diagnostic only — the simulated cost model keeps charging
+        the ``records`` passed to :meth:`put`.
+        """
+        return len(pickle.dumps(self._data))
 
     def __contains__(self, name: object) -> bool:
         return name in self._data

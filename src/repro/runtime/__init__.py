@@ -24,6 +24,7 @@ and API layers configure it through ``executor=`` / ``workers=`` options.
 from .context import WorkAccount
 from .executor import (
     EXECUTOR_KINDS,
+    AttachByPath,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -42,6 +43,7 @@ from .partition import (
 )
 
 __all__ = [
+    "AttachByPath",
     "ChunkPartitioner",
     "EXECUTOR_KINDS",
     "Executor",

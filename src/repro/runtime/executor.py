@@ -22,7 +22,11 @@ The contract every implementation honours:
 * exceptions raised by a task propagate to the caller;
 * ``shared`` is read-only from the tasks' point of view: serial and thread
   executors pass the very object (mutations would leak), the process executor
-  hands each worker a copy — task functions that mutate shared state are bugs.
+  hands each worker a copy — task functions that mutate shared state are bugs;
+* a published ``shared`` payload is immutable from the *caller's* side too:
+  pool reuse and the process executor's serialized-payload cache both key on
+  object identity, so mutating a payload in place between ``run_tasks`` calls
+  (even across ``close()``) ships stale state — publish a new object instead.
 """
 
 from __future__ import annotations
@@ -42,10 +46,50 @@ EXECUTOR_KINDS: Tuple[str, ...] = ("serial", "thread", "process")
 _WORKER_SHARED: object = None
 
 
+class AttachByPath:
+    """A shared payload that ships as a snapshot-store file path.
+
+    Wrap a stored snapshot's path and pass the wrapper as ``shared``: the
+    serial and thread executors resolve it in the calling process, and the
+    process executor pickles only the tiny wrapper — each worker re-attaches
+    by ``mmap``-loading the file, so a pool on one machine shares a single
+    physical copy of the arrays through the page cache instead of receiving
+    one pickled copy each.
+    """
+
+    __slots__ = ("path", "_loaded")
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._loaded: Optional[object] = None
+
+    def resolve(self) -> object:
+        """The attached snapshot, mmap-loaded once per process."""
+        if self._loaded is None:
+            from ..storage.store import read_snapshot  # runtime must not hard-depend on storage
+
+            self._loaded = read_snapshot(self.path)
+        return self._loaded
+
+    def __getstate__(self) -> str:
+        return self.path  # the loaded snapshot never travels; workers re-attach
+
+    def __setstate__(self, path: str) -> None:
+        self.path = path
+        self._loaded = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttachByPath({self.path!r})"
+
+
+def _resolve_shared(shared: Optional[object]) -> Optional[object]:
+    return shared.resolve() if isinstance(shared, AttachByPath) else shared
+
+
 def _set_worker_shared(payload: bytes) -> None:
     """Pool initializer for spawn-based pools: unpickle the shared payload."""
     global _WORKER_SHARED
-    _WORKER_SHARED = pickle.loads(payload)
+    _WORKER_SHARED = _resolve_shared(pickle.loads(payload))
 
 
 def _invoke_with_shared(fn: Callable[..., object], args: Tuple[object, ...]) -> object:
@@ -98,6 +142,7 @@ class SerialExecutor(Executor):
         batches: Sequence[Tuple[object, ...]],
         shared: Optional[object] = None,
     ) -> List[object]:
+        shared = _resolve_shared(shared)
         return [fn(shared, *args) for args in batches]
 
 
@@ -120,6 +165,7 @@ class ThreadExecutor(Executor):
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-runtime"
             )
+        shared = _resolve_shared(shared)
         futures: List[Future] = [
             self._pool.submit(fn, shared, *args) for args in batches
         ]
@@ -150,6 +196,23 @@ class ProcessExecutor(Executor):
         # strong reference: payload changes are detected with `is`, and the
         # reference keeps the object alive so its identity cannot be recycled
         self._shared: Optional[object] = None
+        # (payload, pickled bytes) of the last serialized payload — survives
+        # close(), so recreating a pool for an unchanged payload reuses the
+        # bytes instead of re-pickling the (potentially large) object
+        self._shared_bytes: Optional[Tuple[object, bytes]] = None
+        #: times a shared payload was actually pickled / served from the cache
+        self.payload_pickles = 0
+        self.payload_reuses = 0
+
+    def _serialize_shared(self, shared: Optional[object]) -> bytes:
+        cached = self._shared_bytes
+        if cached is not None and cached[0] is shared:
+            self.payload_reuses += 1
+            return cached[1]
+        payload = pickle.dumps(shared)
+        self._shared_bytes = (shared, payload)
+        self.payload_pickles += 1
+        return payload
 
     def _ensure_pool(self, shared: Optional[object]) -> None:
         if self._pool is not None and self._shared is shared:
@@ -168,7 +231,7 @@ class ProcessExecutor(Executor):
             max_workers=self.workers,
             mp_context=context,
             initializer=_set_worker_shared,
-            initargs=(pickle.dumps(shared),),
+            initargs=(self._serialize_shared(shared),),
         )
         self._shared = shared
 

@@ -8,9 +8,38 @@ graph, the MR mappers and the VC supersteps) shares.  A snapshot is built
 once per :attr:`Graph.version` and cached by
 :class:`~repro.api.session.MatchSession`; the parallel runtimes pickle the
 compact arrays once per worker instead of re-shipping dict-of-dict indexes.
+
+The persistence layer (:mod:`repro.storage.store`) adds a versioned binary
+on-disk format for snapshots and a :class:`SnapshotStore` directory cache
+keyed by graph content fingerprint: cold starts ``mmap``-load the arrays
+instead of rebuilding them, and store-backed snapshots pickle as path stubs
+so process pools ship a file path, not the arrays.
 """
 
 from .neighborhoods import SnapshotNeighborhoodIndex
 from .snapshot import GraphSnapshot
+from .store import (
+    FORMAT_VERSION,
+    SNAPSHOT_SUFFIX,
+    SnapshotStore,
+    as_snapshot_store,
+    graph_fingerprint,
+    read_snapshot,
+    snapshot_info,
+    verify_snapshot,
+    write_snapshot,
+)
 
-__all__ = ["GraphSnapshot", "SnapshotNeighborhoodIndex"]
+__all__ = [
+    "FORMAT_VERSION",
+    "SNAPSHOT_SUFFIX",
+    "GraphSnapshot",
+    "SnapshotNeighborhoodIndex",
+    "SnapshotStore",
+    "as_snapshot_store",
+    "graph_fingerprint",
+    "read_snapshot",
+    "snapshot_info",
+    "verify_snapshot",
+    "write_snapshot",
+]

@@ -106,6 +106,9 @@ class GraphSnapshot:
         "_adjacency",      # id -> tuple of undirected neighbour ids (BFS form)
         "_value_node_set",
         "_repr_ranks",     # id -> rank of the node in global repr order
+        # --- snapshot-store backing (set by repro.storage.store) -------- #
+        "_store_path",         # file this snapshot is attached to, or None
+        "_store_fingerprint",  # content fingerprint recorded in that file
     )
 
     def __init__(self) -> None:  # pragma: no cover - use GraphSnapshot.build
@@ -180,6 +183,8 @@ class GraphSnapshot:
         return snap
 
     def _reset_lazy(self) -> None:
+        self._store_path = None
+        self._store_fingerprint = None
         self._obj_map = None
         self._subj_map = None
         self._neighbor_map = None
@@ -213,7 +218,15 @@ class GraphSnapshot:
     )
 
     def __getstate__(self) -> Dict[str, object]:
-        return {name: getattr(self, name) for name in self._PICKLED}
+        state = {}
+        for name in self._PICKLED:
+            value = getattr(self, name)
+            if isinstance(value, memoryview):
+                # mmap-backed segments (snapshot-store loads) materialize
+                # into plain arrays so detached pickling keeps working
+                value = array(_ID, value)
+            state[name] = value
+        return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         for name, value in state.items():
@@ -222,7 +235,34 @@ class GraphSnapshot:
         self._reset_lazy()
 
     def __reduce__(self):
+        if self._store_path is not None:
+            # attach-by-path: ship the store file path (a few hundred bytes),
+            # not the arrays — the receiving process mmaps the same file, so
+            # every worker on a machine shares one physical copy
+            return (
+                _attach_stored_snapshot,
+                (self._store_path, self._store_fingerprint, self.version),
+            )
         return (_restore_snapshot, (self.__getstate__(),))
+
+    # ------------------------------------------------------------------ #
+    # snapshot-store backing
+    # ------------------------------------------------------------------ #
+
+    def _mark_stored(self, path: str, fingerprint: str) -> None:
+        """Attach this snapshot to its on-disk store file (see ``__reduce__``)."""
+        self._store_path = path
+        self._store_fingerprint = fingerprint
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """The snapshot-store file backing this snapshot, or ``None``."""
+        return self._store_path
+
+    @property
+    def store_fingerprint(self) -> Optional[str]:
+        """The content fingerprint recorded in the backing file, or ``None``."""
+        return self._store_fingerprint
 
     # ------------------------------------------------------------------ #
     # interning surface
@@ -590,3 +630,17 @@ def _restore_snapshot(state: Dict[str, object]) -> GraphSnapshot:
     snap = object.__new__(GraphSnapshot)
     snap.__setstate__(state)
     return snap
+
+
+def _attach_stored_snapshot(path: str, fingerprint, graph_version) -> GraphSnapshot:
+    """Unpickle hook for store-backed snapshots: re-attach by ``mmap``.
+
+    The file is re-validated against the fingerprint and ``Graph.version``
+    recorded at pickling time, so a swapped or stale file raises a typed
+    :class:`~repro.exceptions.StoreError` instead of silently diverging.
+    """
+    from .store import read_snapshot  # local import: store imports this module
+
+    return read_snapshot(
+        path, expect_fingerprint=fingerprint, expect_graph_version=graph_version
+    )

@@ -1,0 +1,692 @@
+"""On-disk persistence for :class:`~repro.storage.snapshot.GraphSnapshot`.
+
+The snapshot compiles a graph into interning tables + CSR ``int64`` arrays;
+this module gives that compilation a **versioned binary file format** and a
+**directory cache** (:class:`SnapshotStore`) keyed by a content fingerprint
+of the source graph, so cold starts skip the build entirely and a process
+pool on one machine shares one physical copy of the arrays through the page
+cache.
+
+File layout (all integers little-endian)::
+
+    offset  0   magic            b"RKGSNAPS"                       8 bytes
+    offset  8   format version   u16  (FORMAT_VERSION)             2 bytes
+    offset 10   reserved         u16  (zero)                       2 bytes
+    offset 12   header length    u32                               4 bytes
+    offset 16   header           UTF-8 JSON, `header length` bytes
+    pad to 8    segment area     raw segments, each 8-byte aligned
+
+The JSON header records the source graph's :attr:`Graph.version`, the
+content fingerprint, byte order, node/triple counts, the entity-type ranges
+and a ``{name: [offset, length]}`` segment table (offsets relative to the
+segment area).  Segments are the eight CSR arrays as raw ``int64`` bytes,
+plus three *string tables* (entity ids, predicates, literals) stored as an
+``int64`` offsets array over a concatenated UTF-8 blob; literals carry one
+tag byte each (str/int/float/bool/None inline, pickle only as a fallback
+for exotic hashable values).
+
+Loads go through :func:`read_snapshot`, which by default ``mmap``\\ s the
+file and exposes every array segment as a read-only :class:`memoryview`
+over the mapping — no bytes are copied, and concurrent readers of one file
+share physical memory.  A snapshot loaded this way (or saved through the
+store) remembers its path and **pickles as a path stub**: process-pool
+workers re-attach by ``mmap`` instead of receiving the arrays through the
+pipe (the runtime's attach-by-path mode).
+
+Every structural problem raises a typed :class:`~repro.exceptions.StoreError`
+subclass so opportunistic callers can fall back to a clean rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import pickle
+import struct
+import sys
+import tempfile
+import zlib
+from array import array
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.graph import Graph
+from ..core.triples import Literal
+from ..exceptions import (
+    StoreError,
+    StoreFormatError,
+    StoreMissError,
+    StoreStaleError,
+    StoreVersionError,
+)
+from .snapshot import _ID, GraphSnapshot
+
+#: File magic: identifies a Repro Keys Graph SNAPShot file.
+MAGIC = b"RKGSNAPS"
+
+#: Format version of files this build writes (and the only one it reads).
+FORMAT_VERSION = 1
+
+#: File suffix used by :class:`SnapshotStore` entries.
+SNAPSHOT_SUFFIX = ".snap"
+
+#: ``magic + format version + reserved + header length``.
+_PREAMBLE = struct.Struct("<8sHHI")
+
+#: The raw ``int64`` array segments, in file order.
+_ARRAY_SEGMENTS = (
+    "fwd_offsets",
+    "fwd_preds",
+    "fwd_objs",
+    "bwd_offsets",
+    "bwd_preds",
+    "bwd_subjs",
+    "und_offsets",
+    "und_targets",
+)
+
+#: The string-table segments, in file order.
+_TABLE_SEGMENTS = (
+    "entity_offsets",
+    "entity_blob",
+    "pred_offsets",
+    "pred_blob",
+    "literal_tags",
+    "literal_offsets",
+    "literal_blob",
+)
+
+_ALL_SEGMENTS = _ARRAY_SEGMENTS + _TABLE_SEGMENTS
+
+
+def _pad8(length: int) -> int:
+    return (length + 7) & ~7
+
+
+# --------------------------------------------------------------------------- #
+# content fingerprinting
+# --------------------------------------------------------------------------- #
+
+
+def _encode_literal(literal: Literal) -> Tuple[bytes, bytes]:
+    """Encode one literal as ``(tag, payload)``; text forms round-trip exactly.
+
+    ``type() is`` checks (not ``isinstance``) keep subclasses on the generic
+    pickle path, whose decode restores the exact object.
+    """
+    value = literal.value
+    if type(value) is str:
+        return b"s", value.encode("utf-8")
+    if type(value) is bool:
+        return b"b", b"1" if value else b"0"
+    if type(value) is int:
+        return b"i", str(value).encode("ascii")
+    if type(value) is float:
+        return b"f", repr(value).encode("ascii")
+    if value is None:
+        return b"n", b""
+    return b"p", pickle.dumps(value, protocol=4)
+
+
+def _decode_literal(tag: int, payload: bytes) -> Literal:
+    if tag == ord("s"):
+        return Literal(payload.decode("utf-8"))
+    if tag == ord("b"):
+        return Literal(payload == b"1")
+    if tag == ord("i"):
+        return Literal(int(payload))
+    if tag == ord("f"):
+        return Literal(float(payload))
+    if tag == ord("n"):
+        return Literal(None)
+    if tag == ord("p"):
+        return Literal(pickle.loads(payload))
+    raise StoreFormatError(f"unknown literal tag {tag!r} in snapshot file")
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    """One length-prefixed hash chunk (no separator ambiguity)."""
+    return tag + len(payload).to_bytes(4, "little") + payload
+
+
+def _fingerprint_value(value: object) -> bytes:
+    """Canonical bytes of a literal value for *fingerprinting*.
+
+    Unlike :func:`_encode_literal` (the storage codec, which may fall back
+    to pickle), this encoding is stable across processes for every
+    commonly-hashable value: containers recurse, and unordered containers
+    (frozensets) sort their element encodings, so hash randomization cannot
+    leak into the fingerprint.  Only truly exotic user types hit the pickle
+    fallback, whose cross-process stability is then up to that type.
+    """
+    kind = type(value)
+    if kind is str:
+        return b"s" + value.encode("utf-8")
+    if kind is bool:
+        return b"b1" if value else b"b0"
+    if kind is int:
+        return b"i" + str(value).encode("ascii")
+    if kind is float:
+        return b"f" + repr(value).encode("ascii")
+    if value is None:
+        return b"n"
+    if kind is bytes:
+        return b"y" + value
+    if kind is tuple:
+        return b"(" + b"".join(_chunk(b"v", _fingerprint_value(item)) for item in value) + b")"
+    if kind is frozenset:
+        parts = sorted(_chunk(b"v", _fingerprint_value(item)) for item in value)
+        return b"{" + b"".join(parts) + b"}"
+    return b"p" + pickle.dumps(value, protocol=4)
+
+
+def graph_fingerprint(graph) -> str:
+    """A content fingerprint of *graph* (hex SHA-256), stable across processes.
+
+    Hashes the sorted ``(entity id, type)`` pairs and the sorted canonical
+    triple encodings (length-prefixed, so no separator ambiguity), making
+    the fingerprint invariant under insertion order and identical for a
+    :class:`~repro.core.graph.Graph` and any :class:`GraphSnapshot` compiled
+    from it.  This is the key the :class:`SnapshotStore` files are named by.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        b"".join(
+            _chunk(b"E", eid.encode("utf-8")) + _chunk(b"t", etype.encode("utf-8"))
+            for eid, etype in sorted((e.eid, e.etype) for e in graph.entities())
+        )
+    )
+    fingerprint_value = _fingerprint_value
+    triple_keys: List[bytes] = []
+    append = triple_keys.append
+    for subject, predicate, obj in graph.triples():
+        if isinstance(obj, Literal):
+            obj_key = b"L" + fingerprint_value(obj.value)
+        else:
+            obj_key = b"N" + obj.encode("utf-8")
+        append(
+            b"\x00".join((subject.encode("utf-8"), predicate.encode("utf-8"), obj_key))
+        )
+    triple_keys.sort()
+    hasher.update(b"".join(_chunk(b"T", key) for key in triple_keys))
+    return hasher.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# writing
+# --------------------------------------------------------------------------- #
+
+
+def _string_table(strings: Sequence[str]) -> Tuple[bytes, bytes]:
+    """Pack *strings* into ``(offsets, blob)`` — int64 offsets over UTF-8."""
+    offsets = array(_ID, [0] * (len(strings) + 1))
+    parts: List[bytes] = []
+    total = 0
+    for index, text in enumerate(strings):
+        encoded = text.encode("utf-8")
+        parts.append(encoded)
+        total += len(encoded)
+        offsets[index + 1] = total
+    return offsets.tobytes(), b"".join(parts)
+
+
+def _literal_table(literals: Sequence[Literal]) -> Tuple[bytes, bytes, bytes]:
+    """Pack *literals* into ``(tags, offsets, blob)``."""
+    tags = bytearray()
+    offsets = array(_ID, [0] * (len(literals) + 1))
+    parts: List[bytes] = []
+    total = 0
+    for index, literal in enumerate(literals):
+        tag, payload = _encode_literal(literal)
+        tags += tag
+        parts.append(payload)
+        total += len(payload)
+        offsets[index + 1] = total
+    return bytes(tags), offsets.tobytes(), b"".join(parts)
+
+
+def _snapshot_segments(snapshot: GraphSnapshot) -> Dict[str, bytes]:
+    """The raw segment payloads of *snapshot*, in no particular order."""
+    segments: Dict[str, bytes] = {}
+    for name, attr in zip(
+        _ARRAY_SEGMENTS,
+        (
+            "_fwd_offsets", "_fwd_preds", "_fwd_objs",
+            "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
+            "_und_offsets", "_und_targets",
+        ),
+    ):
+        # bytes() handles both array('q') values and mmap-backed memoryviews
+        segments[name] = bytes(getattr(snapshot, attr))
+    node_of = snapshot._node_of
+    num_entities = snapshot._num_entities
+    entity_offsets, entity_blob = _string_table(node_of[:num_entities])
+    segments["entity_offsets"] = entity_offsets
+    segments["entity_blob"] = entity_blob
+    pred_offsets, pred_blob = _string_table(snapshot._pred_of)
+    segments["pred_offsets"] = pred_offsets
+    segments["pred_blob"] = pred_blob
+    tags, literal_offsets, literal_blob = _literal_table(node_of[num_entities:])
+    segments["literal_tags"] = tags
+    segments["literal_offsets"] = literal_offsets
+    segments["literal_blob"] = literal_blob
+    return segments
+
+
+def write_snapshot(
+    snapshot: GraphSnapshot,
+    path: Union[str, os.PathLike],
+    *,
+    fingerprint: str,
+    graph_version: Optional[int] = None,
+) -> Path:
+    """Serialize *snapshot* to *path* in the versioned binary format.
+
+    *fingerprint* is the content fingerprint of the source graph
+    (:func:`graph_fingerprint`); *graph_version* defaults to the version the
+    snapshot was compiled from.  The write is atomic (temp file + rename)
+    and deterministic: the same snapshot always produces identical bytes.
+    """
+    target = Path(path)
+    segments = _snapshot_segments(snapshot)
+
+    table: Dict[str, Tuple[int, int]] = {}
+    checksum = 0
+    offset = 0
+    for name in _ALL_SEGMENTS:
+        payload = segments[name]
+        table[name] = (offset, len(payload))
+        checksum = zlib.crc32(payload, checksum)
+        offset = _pad8(offset + len(payload))
+
+    header = {
+        "format_version": FORMAT_VERSION,
+        "graph_version": snapshot.version if graph_version is None else graph_version,
+        "fingerprint": fingerprint,
+        "byteorder": sys.byteorder,
+        "itemsize": 8,
+        "num_entities": snapshot._num_entities,
+        "num_nodes": len(snapshot._node_of),
+        "num_triples": snapshot._num_triples,
+        "num_predicates": len(snapshot._pred_of),
+        "types": [
+            [etype, lo, hi] for etype, (lo, hi) in sorted(snapshot._type_ranges.items())
+        ],
+        "checksum": checksum,
+        "segments": {name: list(span) for name, span in table.items()},
+    }
+    header_bytes = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    preamble = _PREAMBLE.pack(MAGIC, FORMAT_VERSION, 0, len(header_bytes))
+    data_start = _pad8(len(preamble) + len(header_bytes))
+
+    # a unique temp name per writer: concurrent saves of the same fingerprint
+    # each write their own inode and the last os.replace wins atomically, so
+    # mmap readers can never observe a torn file
+    fd, temp = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(preamble)
+            handle.write(header_bytes)
+            handle.write(b"\x00" * (data_start - len(preamble) - len(header_bytes)))
+            position = 0
+            for name in _ALL_SEGMENTS:
+                payload = segments[name]
+                handle.write(payload)
+                position += len(payload)
+                padded = _pad8(position)
+                handle.write(b"\x00" * (padded - position))
+                position = padded
+        os.chmod(temp, 0o644)  # mkstemp's 0600 would hide the file from pool users
+        os.replace(temp, target)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+# --------------------------------------------------------------------------- #
+# reading
+# --------------------------------------------------------------------------- #
+
+
+def _read_header(raw: bytes, path: Path) -> Tuple[dict, int]:
+    """Parse and validate preamble + header; returns ``(header, data_start)``."""
+    if len(raw) < _PREAMBLE.size:
+        raise StoreFormatError(f"{path}: truncated preamble ({len(raw)} bytes)")
+    magic, version, _reserved, header_len = _PREAMBLE.unpack_from(raw)
+    if magic != MAGIC:
+        raise StoreFormatError(f"{path}: bad magic {magic!r} (not a snapshot file)")
+    if version != FORMAT_VERSION:
+        raise StoreVersionError(
+            f"{path}: format version {version} is not the supported {FORMAT_VERSION}"
+        )
+    header_end = _PREAMBLE.size + header_len
+    if len(raw) < header_end:
+        raise StoreFormatError(f"{path}: truncated header ({len(raw)} of {header_end} bytes)")
+    try:
+        header = json.loads(raw[_PREAMBLE.size : header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreFormatError(f"{path}: unreadable header ({exc})") from exc
+    for field in ("format_version", "graph_version", "fingerprint", "byteorder",
+                  "segments", "types", "num_entities", "num_nodes", "num_triples",
+                  "num_predicates", "checksum"):
+        if field not in header:
+            raise StoreFormatError(f"{path}: header is missing the {field!r} field")
+    if header["byteorder"] != sys.byteorder:
+        raise StoreFormatError(
+            f"{path}: written on a {header['byteorder']}-endian machine, "
+            f"this one is {sys.byteorder}-endian"
+        )
+    return header, _pad8(header_end)
+
+
+def _check_segments(header: dict, data_start: int, file_size: int, path: Path) -> None:
+    segments = header["segments"]
+    for name in _ALL_SEGMENTS:
+        if name not in segments:
+            raise StoreFormatError(f"{path}: header is missing segment {name!r}")
+        offset, length = segments[name]
+        if offset < 0 or length < 0 or data_start + offset + length > file_size:
+            raise StoreFormatError(
+                f"{path}: segment {name!r} ({offset}+{length}) exceeds the "
+                f"file size ({file_size} bytes); the file is truncated"
+            )
+
+
+def _decode_strings(offsets_raw, blob, count: int) -> List[str]:
+    offsets = memoryview(offsets_raw).cast(_ID)
+    return [bytes(blob[offsets[i] : offsets[i + 1]]).decode("utf-8") for i in range(count)]
+
+
+def read_snapshot(
+    path: Union[str, os.PathLike],
+    *,
+    use_mmap: bool = True,
+    expect_fingerprint: Optional[str] = None,
+    expect_graph_version: Optional[int] = None,
+    attach: bool = True,
+) -> GraphSnapshot:
+    """Load a :class:`GraphSnapshot` from *path*.
+
+    With ``use_mmap=True`` (the default) the array segments become read-only
+    :class:`memoryview`\\ s over a shared file mapping — nothing is copied
+    and every process mapping the same file shares one physical copy.  The
+    optional ``expect_*`` arguments make staleness a hard error
+    (:class:`~repro.exceptions.StoreStaleError`); with ``attach=True`` the
+    returned snapshot remembers *path* and pickles as a path stub.
+    """
+    source = Path(path)
+    try:
+        handle = open(source, "rb")
+    except FileNotFoundError as exc:
+        raise StoreMissError(f"{source}: no such snapshot file") from exc
+    except OSError as exc:
+        raise StoreError(f"{source}: cannot open snapshot file ({exc})") from exc
+    with handle:
+        head = handle.read(_PREAMBLE.size + 4096)
+        if len(head) >= _PREAMBLE.size:
+            header_len = _PREAMBLE.unpack_from(head)[3]
+            if len(head) < _PREAMBLE.size + header_len:
+                head += handle.read(_PREAMBLE.size + header_len - len(head))
+        header, data_start = _read_header(head, source)
+        file_size = os.fstat(handle.fileno()).st_size
+        _check_segments(header, data_start, file_size, source)
+        if expect_fingerprint is not None and header["fingerprint"] != expect_fingerprint:
+            raise StoreStaleError(
+                f"{source}: stored fingerprint {header['fingerprint'][:12]}… does "
+                f"not match the graph's {expect_fingerprint[:12]}…"
+            )
+        if expect_graph_version is not None and header["graph_version"] != expect_graph_version:
+            raise StoreStaleError(
+                f"{source}: stored Graph.version {header['graph_version']} is stale "
+                f"(the graph is at version {expect_graph_version})"
+            )
+        if use_mmap:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            data = memoryview(mapped)  # keeps the mapping alive
+        else:
+            handle.seek(0)
+            data = memoryview(handle.read())
+
+    def segment(name: str):
+        offset, length = header["segments"][name]
+        return data[data_start + offset : data_start + offset + length]
+
+    snap = object.__new__(GraphSnapshot)
+    snap.version = header["graph_version"]
+    num_entities = header["num_entities"]
+    num_nodes = header["num_nodes"]
+
+    entity_ids = _decode_strings(segment("entity_offsets"), segment("entity_blob"), num_entities)
+    literal_tags = segment("literal_tags")
+    literal_offsets = memoryview(segment("literal_offsets")).cast(_ID)
+    literal_blob = segment("literal_blob")
+    num_literals = num_nodes - num_entities
+    if len(literal_tags) != num_literals or len(literal_offsets) != num_literals + 1:
+        raise StoreFormatError(f"{source}: literal table does not match the node counts")
+    node_of: List[object] = list(entity_ids)
+    for index in range(num_literals):
+        payload = bytes(literal_blob[literal_offsets[index] : literal_offsets[index + 1]])
+        node_of.append(_decode_literal(literal_tags[index], payload))
+    snap._node_of = tuple(node_of)
+    snap._id_of = {node: index for index, node in enumerate(node_of)}
+    snap._num_entities = num_entities
+
+    type_ranges: Dict[str, Tuple[int, int]] = {}
+    etype_of: List[str] = [""] * num_entities
+    for etype, lo, hi in header["types"]:
+        if not (0 <= lo <= hi <= num_entities):
+            raise StoreFormatError(f"{source}: type range {etype!r} [{lo}, {hi}) is invalid")
+        type_ranges[etype] = (lo, hi)
+        for index in range(lo, hi):
+            etype_of[index] = etype
+    snap._type_ranges = type_ranges
+    snap._etype_of = tuple(etype_of)
+
+    preds = _decode_strings(
+        segment("pred_offsets"), segment("pred_blob"), header["num_predicates"]
+    )
+    snap._pred_of = tuple(preds)
+    snap._pred_ids = {pred: index for index, pred in enumerate(preds)}
+
+    for name, attr in zip(
+        _ARRAY_SEGMENTS,
+        (
+            "_fwd_offsets", "_fwd_preds", "_fwd_objs",
+            "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
+            "_und_offsets", "_und_targets",
+        ),
+    ):
+        raw = segment(name)
+        if len(raw) % 8:
+            raise StoreFormatError(f"{source}: segment {name!r} is not an int64 array")
+        setattr(snap, attr, raw.cast(_ID))
+    if len(snap._fwd_offsets) != num_nodes + 1 or len(snap._und_offsets) != num_nodes + 1:
+        raise StoreFormatError(f"{source}: CSR offsets do not match the node count")
+
+    snap._num_triples = header["num_triples"]
+    snap._reset_lazy()
+    if attach:
+        snap._mark_stored(str(source), header["fingerprint"])
+    return snap
+
+
+def snapshot_info(path: Union[str, os.PathLike]) -> Dict[str, object]:
+    """The header of the snapshot file at *path*, plus its file size.
+
+    Reads only the preamble and header — never the array segments.
+    """
+    source = Path(path)
+    try:
+        with open(source, "rb") as handle:
+            head = handle.read(_PREAMBLE.size)
+            if len(head) == _PREAMBLE.size:
+                head += handle.read(_PREAMBLE.unpack_from(head)[3])
+            header, data_start = _read_header(head, source)
+            file_size = os.fstat(handle.fileno()).st_size
+    except FileNotFoundError as exc:
+        raise StoreMissError(f"{source}: no such snapshot file") from exc
+    except OSError as exc:
+        raise StoreError(f"{source}: cannot open snapshot file ({exc})") from exc
+    info = dict(header)
+    info["path"] = str(source)
+    info["file_size"] = file_size
+    info["data_start"] = data_start
+    return info
+
+
+def verify_snapshot(
+    path: Union[str, os.PathLike], graph: Optional[Graph] = None
+) -> Dict[str, object]:
+    """Fully validate the snapshot file at *path*; returns its header info.
+
+    Checks structure (magic, format version, segment bounds), the payload
+    checksum, and that the arrays decode into a well-formed snapshot.  With
+    *graph* given, also checks the content fingerprint and ``Graph.version``
+    against the live graph.  Raises a :class:`~repro.exceptions.StoreError`
+    subclass on the first failure.
+    """
+    source = Path(path)
+    info = snapshot_info(source)
+    data_start = info["data_start"]
+    with open(source, "rb") as handle:
+        raw = handle.read()
+    _check_segments(info, data_start, len(raw), source)
+    checksum = 0
+    for name in _ALL_SEGMENTS:
+        offset, length = info["segments"][name]
+        checksum = zlib.crc32(raw[data_start + offset : data_start + offset + length], checksum)
+    if checksum != info["checksum"]:
+        raise StoreFormatError(
+            f"{source}: segment checksum {checksum:#010x} does not match the "
+            f"recorded {info['checksum']:#010x}; the payload is corrupt"
+        )
+    expect_fingerprint = graph_fingerprint(graph) if graph is not None else None
+    expect_version = graph.version if graph is not None else None
+    snapshot = read_snapshot(
+        source,
+        use_mmap=False,
+        expect_fingerprint=expect_fingerprint,
+        expect_graph_version=expect_version,
+        attach=False,
+    )
+    if snapshot.num_triples != sum(
+        1 for _ in snapshot.triples()
+    ):  # pragma: no cover - structural invariant
+        raise StoreFormatError(f"{source}: triple count does not match the CSR arrays")
+    return info
+
+
+# --------------------------------------------------------------------------- #
+# the directory cache
+# --------------------------------------------------------------------------- #
+
+
+class SnapshotStore:
+    """A directory of snapshot files keyed by graph content fingerprint.
+
+    ``store.save(snapshot, graph=g)`` writes ``<root>/<fingerprint>.snap``
+    (atomically, deterministically) and marks the in-memory snapshot as
+    store-backed, so pickling it — e.g. into a process pool's shared
+    payload — ships the file path instead of the arrays.
+    ``store.load(graph)`` fingerprints the live graph, mmap-loads the
+    matching file and validates the recorded fingerprint and
+    ``Graph.version``; any mismatch raises a typed
+    :class:`~repro.exceptions.StoreError` (callers fall back to a build).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The file a snapshot with *fingerprint* is stored at."""
+        return self._root / f"{fingerprint}{SNAPSHOT_SUFFIX}"
+
+    def save(
+        self,
+        snapshot: GraphSnapshot,
+        *,
+        graph: Optional[Graph] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Path:
+        """Write *snapshot* into the store; returns the file path.
+
+        The fingerprint is computed from *graph* when given (cheaper reads),
+        else from the snapshot's own read surface — both hash the same
+        content, so the two keys are identical by construction.
+        """
+        if fingerprint is None:
+            fingerprint = graph_fingerprint(snapshot if graph is None else graph)
+        self._root.mkdir(parents=True, exist_ok=True)
+        path = write_snapshot(snapshot, self.path_for(fingerprint), fingerprint=fingerprint)
+        snapshot._mark_stored(str(path), fingerprint)
+        return path
+
+    def load(self, graph: Graph, *, fingerprint: Optional[str] = None) -> GraphSnapshot:
+        """The stored snapshot matching *graph*, mmap-attached.
+
+        Raises :class:`~repro.exceptions.StoreMissError` when no file exists
+        for the graph's fingerprint and :class:`~repro.exceptions.StoreError`
+        subclasses for unreadable or stale files.  Pass *fingerprint* when
+        the caller has already fingerprinted the graph.
+        """
+        if fingerprint is None:
+            fingerprint = graph_fingerprint(graph)
+        # Graph.version is content-deterministic (no removal API, duplicate
+        # adds don't bump it), so a fingerprint match implies a version match
+        # for any graph this package can build — the version check guards
+        # against foreign or hand-edited files, never against honest restarts.
+        return read_snapshot(
+            self.path_for(fingerprint),
+            expect_fingerprint=fingerprint,
+            expect_graph_version=graph.version,
+        )
+
+    def load_fingerprint(self, fingerprint: str) -> GraphSnapshot:
+        """Load a stored snapshot by fingerprint (no live graph to check)."""
+        return read_snapshot(self.path_for(fingerprint), expect_fingerprint=fingerprint)
+
+    def contains(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).is_file()
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return isinstance(fingerprint, str) and self.contains(fingerprint)
+
+    def fingerprints(self) -> List[str]:
+        """The fingerprints of every stored snapshot (sorted)."""
+        if not self._root.is_dir():
+            return []
+        return sorted(
+            entry.name[: -len(SNAPSHOT_SUFFIX)]
+            for entry in self._root.iterdir()
+            if entry.name.endswith(SNAPSHOT_SUFFIX)
+        )
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __str__(self) -> str:
+        return str(self._root)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SnapshotStore({str(self._root)!r}, entries={len(self)})"
+
+
+def as_snapshot_store(
+    value: Union[None, str, os.PathLike, "SnapshotStore"]
+) -> Optional["SnapshotStore"]:
+    """Coerce a configuration value (path or store) into a store, or None."""
+    if value is None or isinstance(value, SnapshotStore):
+        return value
+    return SnapshotStore(value)

@@ -135,6 +135,68 @@ class TestMatchCommand:
         assert "--processors" in capsys.readouterr().err
 
 
+class TestSnapshotCommands:
+    def test_save_info_verify_round_trip(self, music_files, tmp_path, capsys):
+        graph_path, _keys_path = music_files
+        store_dir = tmp_path / "snaps"
+        assert main(["snapshot", "save", "--graph", graph_path, "--store", str(store_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "fingerprint" in output
+        files = list(store_dir.glob("*.snap"))
+        assert len(files) == 1
+
+        assert main(["snapshot", "info", str(files[0])]) == 0
+        output = capsys.readouterr().out
+        assert "format version: 1" in output
+        assert "segment" in output
+
+        assert main(["snapshot", "verify", str(files[0]), "--graph", graph_path]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("OK:")
+        assert "fingerprint, graph version" in output
+
+    def test_save_to_explicit_file(self, music_files, tmp_path, capsys):
+        graph_path, _keys_path = music_files
+        out = tmp_path / "music.snap"
+        assert main(["snapshot", "save", "--graph", graph_path, "--out", str(out)]) == 0
+        assert out.is_file()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_verify_fails_on_corruption(self, music_files, tmp_path, capsys):
+        graph_path, _keys_path = music_files
+        out = tmp_path / "music.snap"
+        assert main(["snapshot", "save", "--graph", graph_path, "--out", str(out)]) == 0
+        capsys.readouterr()
+        out.write_bytes(b"NOTASNAP" + out.read_bytes()[8:])
+        assert main(["snapshot", "verify", str(out)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_info_on_a_non_snapshot_reports_error(self, music_files, capsys):
+        graph_path, _keys_path = music_files
+        assert main(["snapshot", "info", graph_path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_match_with_snapshot_store_reports_provenance(
+        self, music_files, tmp_path, capsys
+    ):
+        graph_path, keys_path = music_files
+        store_dir = str(tmp_path / "snaps")
+        base = [
+            "match", "--graph", graph_path, "--keys", keys_path,
+            "--snapshot-store", store_dir, "--profile",
+        ]
+        assert main(base) == 0
+        output = capsys.readouterr().out
+        assert "built (store miss: 1), saved back" in output
+        assert "alb1 == alb2" in output
+        # second invocation: warm restart, the snapshot is loaded not built
+        assert main(base) == 0
+        output = capsys.readouterr().out
+        assert "loaded from store (1 hit(s))" in output
+        assert "snapshot_store_load" in output
+        assert "alb1 == alb2" in output
+
+
 class TestCheckCommand:
     def test_check_reports_violations(self, music_files, capsys):
         graph_path, keys_path = music_files
