@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Incremental matching benchmark: journal-delta reruns vs full reruns.
+
+Primes one session per backend on the synthetic workload, then applies a
+sequence of single-edge deltas; after every delta one session re-runs *fully*
+(`rematch`) while its twin re-runs *incrementally* (`rerun`, seeding from the
+previous result and re-chasing only journal-affected pairs).  The benchmark
+fails (non-zero exit) only on a *correctness* violation: the incremental
+``Eq`` must be bit-identical to the full one after every delta.  The measured
+full-vs-incremental speedup is recorded in the JSON artifact
+(``BENCH_incremental.json``) and is hardware-dependent; enforce a floor
+locally with ``--require-speedup``.
+
+Run with:  python benchmarks/bench_incremental.py --out BENCH_incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.api.session import MatchSession
+from repro.datasets.synthetic import synthetic_dataset
+
+#: The sequential reference, the enumeration baseline and one optimized
+#: backend per engine family.  The incremental win concentrates where the
+#: solve dominates the re-run (chase, EMVF2MR); the optimized backends'
+#: full solves are already cheap, so their delta runs mostly save artifact
+#: work and hover near break-even on small graphs.
+BENCH_ALGORITHMS = ("chase", "EMVF2MR", "EMOptMR", "EMOptVC")
+
+
+def single_edge_deltas(graph, count: int):
+    """Yield *count* single-edge mutations: one extra value edge per delta.
+
+    Each delta attaches a fresh tag value to one chain entity — a minimal,
+    localized change whose affected pair set is small, the scenario the
+    incremental path is built for.
+    """
+    entities = sorted(
+        eid for eid in graph.entity_ids() if not eid.startswith("aux_")
+    )
+    for index in range(count):
+        target = entities[index % len(entities)]
+        yield lambda g, target=target, index=index: g.add_value(
+            target, f"bench_tag_{index}", f"v{index}"
+        )
+
+
+def run_benchmark(processors: int, scale: float, deltas: int) -> Dict:
+    report: Dict = {
+        "processors": processors,
+        "scale": scale,
+        "deltas": deltas,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "algorithms": {},
+        "ok": True,
+    }
+    for algorithm in BENCH_ALGORITHMS:
+        dataset = synthetic_dataset(
+            num_keys=8,
+            chain_length=2,
+            radius=2,
+            entities_per_type=8,
+            scale=scale,
+            seed=7,
+        )
+        # two sessions over two identical graphs: one full, one incremental
+        full_graph = dataset.graph
+        incr_graph = full_graph.copy()
+        full_session = MatchSession(full_graph).with_keys(dataset.keys).using(
+            algorithm, processors=processors
+        )
+        incr_session = MatchSession(incr_graph).with_keys(dataset.keys).using(
+            algorithm, processors=processors
+        )
+        full_session.run()
+        incr_session.run()
+
+        full_seconds = 0.0
+        incr_seconds = 0.0
+        identical = True
+        rechecked = skipped = 0
+        for mutate in single_edge_deltas(full_graph, deltas):
+            mutate(full_graph)
+            mutate(incr_graph)
+            started = time.perf_counter()
+            full_result = full_session.rematch()
+            full_seconds += time.perf_counter() - started
+            started = time.perf_counter()
+            incr_result = incr_session.rerun()
+            incr_seconds += time.perf_counter() - started
+            identical = identical and (
+                full_result.eq.pairs() == incr_result.eq.pairs()
+            )
+            delta = incr_session.last_delta()
+            rechecked += delta.pairs_rechecked
+            skipped += delta.pairs_skipped
+        speedup = full_seconds / incr_seconds if incr_seconds > 0 else 0.0
+        info = incr_session.cache_info()
+        report["algorithms"][algorithm] = {
+            "identified_pairs": incr_result.num_identified,
+            "full_wall_seconds": round(full_seconds, 4),
+            "incremental_wall_seconds": round(incr_seconds, 4),
+            "measured_speedup": round(speedup, 3),
+            "pairs_rechecked": rechecked,
+            "pairs_skipped": skipped,
+            "incremental_runs": info.incremental_runs,
+            "candidate_rebases": info.candidate_rebases,
+            "product_graph_rebases": info.product_graph_rebases,
+            "results_identical": identical,
+        }
+        report["ok"] = report["ok"] and identical
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--deltas", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_incremental.json")
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every backend's incremental speedup is >= X",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.processors, args.scale, args.deltas)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    if not report["ok"]:
+        print(
+            "FAIL: incremental results diverge from the full re-run",
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_speedup is not None:
+        slow = {
+            name: stats["measured_speedup"]
+            for name, stats in report["algorithms"].items()
+            if stats["measured_speedup"] < args.require_speedup
+        }
+        if slow:
+            print(
+                f"FAIL: speedup below {args.require_speedup}x: {slow}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,12 @@ from .registry import (
     register_algorithm,
 )
 
-_LAZY_SESSION_EXPORTS = ("MatchSession", "Session", "SessionCacheInfo")
+_LAZY_SESSION_EXPORTS = (
+    "DeltaProvenance",
+    "MatchSession",
+    "Session",
+    "SessionCacheInfo",
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -33,6 +38,7 @@ __all__ = [
     "AlgorithmsView",
     "DEFAULT_ALGORITHM",
     "DEFAULT_PROCESSORS",
+    "DeltaProvenance",
     "MatchConfig",
     "MatchSession",
     "OptionSpec",

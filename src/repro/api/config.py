@@ -49,8 +49,17 @@ class MatchConfig:
     #: sessions consult it before compiling a ``GraphSnapshot`` and write
     #: freshly built snapshots back; ``None`` keeps the in-memory-only path
     snapshot_store: Union[None, str, os.PathLike, SnapshotStore] = None
+    #: run incrementally by default: after graph mutations, re-chase only the
+    #: journal-affected candidate pairs seeded from the previous result
+    #: (sessions fall back to a full run when no previous result exists or
+    #: the journal window expired)
+    incremental: bool = False
 
     def __post_init__(self) -> None:
+        if not isinstance(self.incremental, bool):
+            raise ConfigError(
+                f"incremental must be a bool, got {self.incremental!r}"
+            )
         if not isinstance(self.processors, int) or isinstance(self.processors, bool):
             raise ConfigError(f"processors must be an int, got {self.processors!r}")
         if self.processors < 1:
@@ -86,6 +95,7 @@ class MatchConfig:
                 self.executor,
                 self.workers,
                 None if self.snapshot_store is None else str(self.snapshot_store),
+                self.incremental,
                 tuple(sorted(self.options.items())),
             )
         )
@@ -133,5 +143,7 @@ class MatchConfig:
                 parts.append(f"workers={self.workers}")
         if self.snapshot_store is not None:
             parts.append(f"store={str(self.snapshot_store)!r}")
+        if self.incremental:
+            parts.append("incremental")
         parts.extend(f"{k}={v!r}" for k, v in sorted(self.options.items()))
         return f"{self.algorithm}({', '.join(parts)})"

@@ -102,12 +102,17 @@ class AlgorithmSpec:
         observer: Optional[Callable[[object], None]] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        seed_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+        worklist: Optional[Sequence[Tuple[str, str]]] = None,
     ) -> object:
         """Validate *options* against this spec and invoke the runner.
 
         ``executor`` / ``workers`` select the real execution runtime; they are
         forwarded only to backends declaring the ``"executors"`` capability
         (requesting them from any other backend raises ``ConfigError``).
+        ``seed_pairs`` / ``worklist`` are the incremental re-matching inputs
+        (a previous run's surviving merges and the affected pairs to
+        re-chase); they require the ``"incremental"`` capability.
         """
         validated = self.validate_options(options or {})
         runtime_kwargs: Dict[str, object] = {}
@@ -124,6 +129,14 @@ class AlgorithmSpec:
                 )
             runtime_kwargs["executor"] = executor
             runtime_kwargs["workers"] = workers
+        if seed_pairs is not None or worklist is not None:
+            if "incremental" not in self.capabilities:
+                raise ConfigError(
+                    f"algorithm {self.name!r} does not support incremental "
+                    f"re-matching (seed_pairs/worklist)"
+                )
+            runtime_kwargs["seed_pairs"] = seed_pairs
+            runtime_kwargs["worklist"] = worklist
         return self.runner(
             graph,
             keys,

@@ -13,10 +13,15 @@ same input builds each of them exactly once instead of once per algorithm::
     mr = session.run("EMOptMR")          # reuses the neighbourhood index
 
 Sessions also support incremental re-matching: mutating the graph (e.g.
-``graph.add_value(...)``) between runs is detected via the graph's mutation
-journal, and only the neighbourhoods a mutation could have staled are evicted
-before the next run.  Observers registered with :meth:`MatchSession.on_progress`
-receive per-round :class:`~repro.api.events.ProgressEvent` notifications, and
+``graph.add_value(...)`` or ``graph.remove_edge(...)``) between runs is
+detected via the graph's mutation journal, and only the artifacts a mutation
+could have staled are evicted or rebased before the next run.  Going further,
+``session.rerun()`` (= ``run(incremental=True)``) seeds the next run from the
+previous result and re-chases only the journal-affected candidate pairs —
+bit-identical to a full run, with :meth:`MatchSession.last_delta` reporting
+the delta provenance.  Observers registered with
+:meth:`MatchSession.on_progress` receive per-round
+:class:`~repro.api.events.ProgressEvent` notifications, and
 :attr:`MatchSession.history` records the (config, result) provenance of every
 run.
 """
@@ -38,7 +43,13 @@ from ..matching.candidates import (
     CandidateSet,
     build_candidates,
     build_filtered_candidates,
-    dependency_map,
+)
+from ..matching.incremental import (
+    DependencyArtifact,
+    IncrementalState,
+    plan_delta,
+    rebase_filtered_candidates,
+    touched_entity_nodes,
 )
 from ..matching.product_graph import ProductGraph
 from ..matching.result import EMResult
@@ -64,6 +75,34 @@ class SessionCacheInfo:
     #: (both stay 0 when the session has no snapshot store)
     store_hits: int = 0
     store_misses: int = 0
+    #: filtered candidate sets / product graphs migrated onto a new graph
+    #: version by journal-delta rebasing instead of a from-scratch rebuild
+    candidate_rebases: int = 0
+    product_graph_rebases: int = 0
+    #: incremental (delta) runs actually executed — silent fallbacks to a
+    #: full run (no previous result, expired journal window) do not count
+    incremental_runs: int = 0
+    #: cumulative candidate pairs re-chased / skipped across incremental
+    #: runs; per run, rechecked + skipped == |L| of the new graph
+    pairs_rechecked: int = 0
+    pairs_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class DeltaProvenance:
+    """How the last requested incremental run was actually executed."""
+
+    #: ``"incremental"`` (delta re-chase), ``"reused"`` (delta touched
+    #: nothing: previous result returned as-is) or ``"full"`` (fallback).
+    mode: str
+    #: why an incremental request fell back to a full run (``mode="full"``).
+    reason: Optional[str] = None
+    #: journal-delta statistics (zero for full fallbacks).
+    touched_nodes: int = 0
+    pairs_rechecked: int = 0
+    pairs_skipped: int = 0
+    dropped_classes: int = 0
+    seed_merges: int = 0
 
 
 class SessionArtifacts:
@@ -90,9 +129,15 @@ class SessionArtifacts:
         self._snapshot: Optional[GraphSnapshot] = None
         self._index: Optional[SnapshotNeighborhoodIndex] = None
         self._candidates: Dict[Tuple[bool, bool], CandidateSet] = {}
-        self._dependency_maps: Dict[Tuple[bool, bool], Dict[Pair, set]] = {}
+        self._dependency_maps: Dict[Tuple[bool, bool], DependencyArtifact] = {}
         self._product_graphs: Dict[Tuple[bool, bool], ProductGraph] = {}
         self._orders: Optional[Dict[str, object]] = None
+        # journal-delta rebasing: artifacts staled by a mutation wait here
+        # (with the union of delta-affected entities) until the accessor
+        # migrates them onto the new graph version instead of rebuilding
+        self._stale_candidates: Dict[Tuple[bool, bool], Tuple[CandidateSet, set]] = {}
+        self._stale_product_graphs: Dict[Tuple[bool, bool], Tuple[ProductGraph, set]] = {}
+        self._stale_dependency_maps: Dict[Tuple[bool, bool], Tuple[DependencyArtifact, set]] = {}
         # build counters exposed through SessionCacheInfo
         self.snapshot_builds = 0
         self.index_builds = 0
@@ -102,6 +147,11 @@ class SessionArtifacts:
         self.invalidations = 0
         self.store_hits = 0
         self.store_misses = 0
+        self.candidate_rebases = 0
+        self.product_graph_rebases = 0
+        self.incremental_runs = 0
+        self.pairs_rechecked = 0
+        self.pairs_skipped = 0
         #: cumulative seconds spent building each artifact kind (CLI --profile)
         self.timings: Dict[str, float] = {}
 
@@ -116,47 +166,105 @@ class SessionArtifacts:
     # -- cache lifecycle ------------------------------------------------- #
 
     def reset(self) -> None:
-        """Drop every cached artifact (e.g. after a key-set change)."""
+        """Drop every cached artifact (e.g. after a key-set change).
+
+        The incremental-run counters are reset alongside: a manual
+        invalidation severs the delta chain (the next incremental run falls
+        back to a full one), so the per-delta accounting restarts too.
+        """
         self._snapshot = None
         self._index = None
         self._candidates.clear()
         self._dependency_maps.clear()
         self._product_graphs.clear()
+        self._stale_candidates.clear()
+        self._stale_product_graphs.clear()
+        self._stale_dependency_maps.clear()
         self._orders = None
         self._version = self._graph.version
         self.invalidations += 1
+        self.incremental_runs = 0
+        self.pairs_rechecked = 0
+        self.pairs_skipped = 0
 
-    def refresh(self) -> None:
+    def stale_entities(self, touched: set) -> set:
+        """Entities whose cached d-neighbourhood a *touched* node set stales.
+
+        An entity is stale when it was touched itself or when its cached
+        (pre-mutation) neighbourhood contains a touched node.  By the
+        locality argument in :mod:`repro.matching.incremental` this also
+        covers every entity whose *new* neighbourhood gained a touched node.
+        """
+        if self._index is None:
+            return set()
+        return {
+            entity
+            for entity in self._index.cached_entities()
+            if entity in touched or touched & self._index.nodes(entity)
+        }
+
+    def refresh(self, stale_hint: Optional[set] = None) -> None:
         """Reconcile the cache with any graph mutations since the last run.
 
-        Derived artifacts (candidate sets, product graphs) are always dropped
-        on mutation — new triples can create or destroy candidate pairs — and
-        the compiled :class:`GraphSnapshot` is recompiled (its CSR arrays are
-        immutable).  The neighbourhood index is evicted *selectively*: only
-        entities whose cached d-neighbourhood could contain a touched node
-        are recomputed; the surviving node sets are rebased onto the fresh
-        snapshot.
+        The compiled :class:`GraphSnapshot` is always recompiled (its CSR
+        arrays are immutable).  When the mutation journal still covers the
+        delta, the derived artifacts are *rebased* instead of rebuilt: the
+        neighbourhood index evicts only the entities a touched node could
+        have staled, and the filtered candidate sets / product graphs are
+        parked for :func:`~repro.matching.incremental.rebase_filtered_candidates`
+        (re-running the pairing fixpoint only for delta-affected pairs) on
+        their next access.  An expired journal window drops everything.
+
+        *stale_hint* lets a caller that already ran :meth:`stale_entities`
+        for the same journal window (the incremental planner) pass the
+        result in, skipping the second neighbourhood sweep.
         """
         version = self._graph.version
         if version == self._version:
             return
         touched = self._graph.touched_since(self._version)
-        self._candidates.clear()
-        self._dependency_maps.clear()
-        self._product_graphs.clear()
         if touched is None or self._index is None:
+            self._candidates.clear()
+            self._product_graphs.clear()
+            self._dependency_maps.clear()
+            self._stale_candidates.clear()
+            self._stale_product_graphs.clear()
+            self._stale_dependency_maps.clear()
             self._index = None
             self._snapshot = None
         else:
-            stale = [
-                entity
-                for entity in self._index.cached_entities()
-                if entity in touched or touched & self._index.nodes(entity)
-            ]
+            stale = stale_hint if stale_hint is not None else self.stale_entities(touched)
+            affected = set(stale) | touched_entity_nodes(self._graph, touched)
+            self._stash_for_rebase(affected)
             self._snapshot = None
-            self._index = self._index.rebased(self.snapshot(), evict=stale)
+            self._index = self._index.rebased(self.snapshot(), evict=sorted(stale))
         self._version = version
         self.invalidations += 1
+
+    def _stash_for_rebase(self, affected: set) -> None:
+        """Park filtered candidates / product graphs for delta rebasing.
+
+        Entries parked by an earlier delta and never re-accessed stay parked
+        with their affected set widened to the union of both windows (the
+        per-window stale computation remains sound for each delta).
+        """
+        for flavor, (artifact, previous) in list(self._stale_candidates.items()):
+            self._stale_candidates[flavor] = (artifact, previous | affected)
+        for flavor, (artifact, previous) in list(self._stale_product_graphs.items()):
+            self._stale_product_graphs[flavor] = (artifact, previous | affected)
+        for flavor, (artifact, previous) in list(self._stale_dependency_maps.items()):
+            self._stale_dependency_maps[flavor] = (artifact, previous | affected)
+        for flavor, candidates in self._candidates.items():
+            filtered, _ = flavor
+            if filtered and candidates.pair_supports is not None:
+                self._stale_candidates[flavor] = (candidates, set(affected))
+        for flavor, product_graph in self._product_graphs.items():
+            self._stale_product_graphs[flavor] = (product_graph, set(affected))
+        for flavor, dependents in self._dependency_maps.items():
+            self._stale_dependency_maps[flavor] = (dependents, set(affected))
+        self._candidates.clear()
+        self._product_graphs.clear()
+        self._dependency_maps.clear()
 
     # -- artifact accessors (the backend-facing surface) ----------------- #
 
@@ -224,7 +332,23 @@ class SessionArtifacts:
         if cached is None:
             index = self.neighborhood_index()
             snapshot = self.snapshot()
-            if filtered:
+            stale = self._stale_candidates.pop(flavor, None)
+            if stale is not None and filtered:
+                old, affected = stale
+                cached = self._timed(
+                    "candidates_rebase",
+                    lambda: rebase_filtered_candidates(
+                        old,
+                        self._graph,
+                        self._keys,
+                        snapshot=snapshot,
+                        index=index,
+                        affected_entities=affected,
+                        reduce_neighborhoods=reduce_neighborhoods,
+                    ),
+                )
+                self.candidate_rebases += 1
+            elif filtered:
                 cached = self._timed(
                     "candidates_build",
                     lambda: build_filtered_candidates(
@@ -235,6 +359,7 @@ class SessionArtifacts:
                         snapshot=snapshot,
                     ),
                 )
+                self.candidate_builds += 1
             else:
                 cached = self._timed(
                     "candidates_build",
@@ -242,21 +367,34 @@ class SessionArtifacts:
                         self._graph, self._keys, index=index, snapshot=snapshot
                     ),
                 )
+                self.candidate_builds += 1
             self._candidates[flavor] = cached
-            self.candidate_builds += 1
         return cached
 
     def dependency_map(self, *, filtered: bool, reduce_neighborhoods: bool = False):
         flavor = (filtered, reduce_neighborhoods)
         cached = self._dependency_maps.get(flavor)
         if cached is None:
-            cached = dependency_map(
-                self.snapshot(),
-                self._keys,
-                self.candidates(filtered=filtered, reduce_neighborhoods=reduce_neighborhoods),
+            candidates = self.candidates(
+                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
             )
+            stale = self._stale_dependency_maps.pop(flavor, None)
+            if stale is not None:
+                old, affected = stale
+                # reduced flavours: entities whose restriction drifted via an
+                # affected partner pair count as affected for the row rebase
+                affected = affected | (candidates.restriction_drift or set())
+                cached = self._timed(
+                    "dependency_map_rebase",
+                    lambda: old.rebased(self.snapshot(), self._keys, candidates, affected),
+                )
+            else:
+                cached = self._timed(
+                    "dependency_map_build",
+                    lambda: DependencyArtifact.build(self.snapshot(), self._keys, candidates),
+                )
             self._dependency_maps[flavor] = cached
-        return cached
+        return cached.forward
 
     def product_graph(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> ProductGraph:
         flavor = (filtered, reduce_neighborhoods)
@@ -265,12 +403,29 @@ class SessionArtifacts:
             candidates = self.candidates(
                 filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
             )
-            cached = self._timed(
-                "product_graph_build",
-                lambda: ProductGraph(self.snapshot(), self._keys, candidates),
+            dependents = self.dependency_map(
+                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
             )
+            stale = self._stale_product_graphs.pop(flavor, None)
+            if stale is not None:
+                old, affected = stale
+                affected = affected | (candidates.restriction_drift or set())
+                cached = self._timed(
+                    "product_graph_rebase",
+                    lambda: old.rebased(
+                        self.snapshot(), candidates, affected, dependents=dependents
+                    ),
+                )
+                self.product_graph_rebases += 1
+            else:
+                cached = self._timed(
+                    "product_graph_build",
+                    lambda: ProductGraph(
+                        self.snapshot(), self._keys, candidates, dependents=dependents
+                    ),
+                )
+                self.product_graph_builds += 1
             self._product_graphs[flavor] = cached
-            self.product_graph_builds += 1
         return cached
 
     def traversal_orders(self):
@@ -289,6 +444,11 @@ class SessionArtifacts:
             invalidations=self.invalidations,
             store_hits=self.store_hits,
             store_misses=self.store_misses,
+            candidate_rebases=self.candidate_rebases,
+            product_graph_rebases=self.product_graph_rebases,
+            incremental_runs=self.incremental_runs,
+            pairs_rechecked=self.pairs_rechecked,
+            pairs_skipped=self.pairs_skipped,
         )
 
 
@@ -311,6 +471,10 @@ class MatchSession:
         self._artifacts: Optional[SessionArtifacts] = None
         self._observers: List[ProgressObserver] = []
         self._history: List[Tuple[MatchConfig, EMResult]] = []
+        #: seed state for incremental re-matching (set after every run)
+        self._incremental: Optional[IncrementalState] = None
+        #: delta provenance of the last run (None for classic full runs)
+        self._last_delta: Optional[DeltaProvenance] = None
 
     # -- fluent configuration -------------------------------------------- #
 
@@ -320,10 +484,13 @@ class MatchSession:
         The caches are dropped unconditionally — even when *keys* is the same
         object — because a :class:`KeySet` can be mutated in place (e.g. via
         ``KeySet.add``) and the session cannot observe that; re-passing the
-        key set is the caller's signal that it changed.
+        key set is the caller's signal that it changed.  The incremental seed
+        state is dropped too: a previous result under different keys is not a
+        valid seed.
         """
         self._keys = keys
         self._artifacts = None
+        self._incremental = None
         return self
 
     def using(
@@ -334,6 +501,7 @@ class MatchSession:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         snapshot_store: Union[None, str, "os.PathLike", SnapshotStore] = None,
+        incremental: Optional[bool] = None,
         **options: object,
     ) -> "MatchSession":
         """Choose the default algorithm (and its options) for :meth:`run`.
@@ -345,7 +513,8 @@ class MatchSession:
         ``using("chase").run()`` and ``run("chase")`` behave identically.
         ``snapshot_store`` configures (or replaces) the on-disk snapshot
         store the session's artifact cache consults; ``None`` keeps the
-        current one.
+        current one.  ``incremental`` sets the default run mode (``None``
+        keeps the current default).
         """
         if executor is None and self._config.executor is not None:
             if self._supports_executors(algorithm):
@@ -358,6 +527,9 @@ class MatchSession:
             workers=workers,
             snapshot_store=(
                 self._config.snapshot_store if snapshot_store is None else snapshot_store
+            ),
+            incremental=(
+                self._config.incremental if incremental is None else incremental
             ),
             options=options,
         )
@@ -406,10 +578,21 @@ class MatchSession:
         return dict(self._artifacts.timings)
 
     def invalidate(self) -> "MatchSession":
-        """Manually drop every cached artifact."""
+        """Manually drop every cached artifact.
+
+        The incremental seed state and its counters are reset alongside the
+        cached artifacts, so the next ``run(incremental=True)`` falls back to
+        a full run.
+        """
         if self._artifacts is not None:
             self._artifacts.reset()
+        self._incremental = None
+        self._last_delta = None
         return self
+
+    def last_delta(self) -> Optional[DeltaProvenance]:
+        """Delta provenance of the most recent run (``None``: classic run)."""
+        return self._last_delta
 
     # -- execution --------------------------------------------------------- #
 
@@ -420,6 +603,7 @@ class MatchSession:
         processors: Optional[int] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        incremental: Optional[bool] = None,
         **options: object,
     ) -> EMResult:
         """Run one matching algorithm, reusing the session's cached artifacts.
@@ -429,18 +613,33 @@ class MatchSession:
         changing the session default.  ``executor`` / ``workers`` (inherited
         from the session default when omitted) select the real execution
         runtime; support is validated per backend.
+
+        With ``incremental=True`` (or a session default of
+        ``incremental=True``), the run seeds from the previous result and
+        re-chases only the candidate pairs the graph's mutation journal could
+        have affected — falling back to a full run when no previous result
+        exists, the journal window expired, or the backend lacks the
+        ``"incremental"`` capability.  The outcome is bit-identical to a full
+        run either way; :meth:`last_delta` reports which path executed.
         """
         if self._keys is None:
             raise MatchingError("MatchSession has no keys; call with_keys(...) first")
         if algorithm is None:
             config = self._config
-            if processors is not None or executor is not None or workers is not None or options:
+            if (
+                processors is not None
+                or executor is not None
+                or workers is not None
+                or incremental is not None
+                or options
+            ):
                 config = MatchConfig(
                     algorithm=config.algorithm,
                     processors=config.processors if processors is None else processors,
                     executor=config.executor if executor is None else executor,
                     workers=config.workers if workers is None else workers,
                     snapshot_store=config.snapshot_store,
+                    incremental=config.incremental if incremental is None else incremental,
                     options={**config.options, **options},
                 )
         else:
@@ -458,11 +657,36 @@ class MatchSession:
                 executor=executor,
                 workers=workers,
                 snapshot_store=self._config.snapshot_store,
+                incremental=(
+                    self._config.incremental if incremental is None else incremental
+                ),
                 options=options,
             )
         spec, validated = config.resolve()
+        # a failed run must never leave a stale seed (or stale provenance)
+        # behind: detach both up front, re-attach only after success
+        state = self._incremental
+        self._incremental = None
+        self._last_delta = None
+        if config.incremental and "incremental" in spec.capabilities:
+            result, delta = self._run_incremental(spec, config, validated, state)
+        elif config.incremental:
+            result = self._run_full(spec, config, validated)
+            delta = DeltaProvenance(
+                mode="full",
+                reason=f"algorithm {spec.name!r} lacks the incremental capability",
+            )
+        else:
+            result = self._run_full(spec, config, validated)
+            delta = None
+        self._last_delta = delta
+        self._record_seed_state(result, config)
+        self._history.append((config, result))
+        return result
+
+    def _run_full(self, spec, config: MatchConfig, validated: Dict[str, object]) -> EMResult:
         artifacts = self._refresh_artifacts(config)
-        result = spec.run(
+        return spec.run(
             self._graph,
             self._keys,
             processors=config.processors,
@@ -472,8 +696,106 @@ class MatchSession:
             executor=config.executor,
             workers=config.workers,
         )
-        self._history.append((config, result))
-        return result
+
+    def _run_incremental(
+        self,
+        spec,
+        config: MatchConfig,
+        validated: Dict[str, object],
+        state: Optional[IncrementalState],
+    ) -> Tuple[EMResult, DeltaProvenance]:
+        """Execute one incremental run (or fall back to a full one)."""
+        touched: Optional[set] = None
+        fallback: Optional[str] = None
+        if state is None:
+            fallback = "no previous result to seed from"
+        elif self._artifacts is None or self._artifacts._version != state.version:
+            fallback = "artifact cache out of step with the previous result"
+        else:
+            touched = self._graph.touched_since(state.version)
+            if touched is None:
+                fallback = "journal window expired"
+        if fallback is not None:
+            return self._run_full(spec, config, validated), DeltaProvenance(
+                mode="full", reason=fallback
+            )
+
+        # old-side staleness must be read off the pre-refresh index; the
+        # refresh reuses the sweep instead of recomputing it
+        old_affected = self._artifacts.stale_entities(touched)
+        artifacts = self._refresh_artifacts(config, stale_hint=old_affected)
+        candidates = artifacts.candidates(filtered=False)
+        dependents = artifacts.dependency_map(filtered=False)
+        plan = plan_delta(
+            candidate_pairs=candidates.pairs,
+            dependents=dependents,
+            touched=touched,
+            touched_entities=touched_entity_nodes(self._graph, touched),
+            old_affected_entities=old_affected,
+            state=state,
+        )
+        artifacts.incremental_runs += 1
+        artifacts.pairs_rechecked += plan.pairs_rechecked
+        artifacts.pairs_skipped += plan.pairs_skipped
+        if (
+            plan.result_reusable
+            and state.result is not None
+            and self._same_run_shape(state.config, config)
+        ):
+            # the delta implicates nothing and the exact same configuration
+            # produced the previous result: return that object as-is
+            result = state.result
+            mode = "reused"
+        else:
+            # an empty worklist still dispatches the backend (it returns the
+            # seeded closure immediately), so the result carries this run's
+            # algorithm name and statistics rather than the seeding run's
+            result = spec.run(
+                self._graph,
+                self._keys,
+                processors=config.processors,
+                options=validated,
+                artifacts=artifacts,
+                observer=self._dispatch_event if self._observers else None,
+                executor=config.executor,
+                workers=config.workers,
+                seed_pairs=plan.seed,
+                worklist=plan.worklist,
+            )
+            # backends report their own (possibly restricted) pair counts;
+            # normalize the |L| statistic so delta provenance is comparable
+            # across backends
+            result.stats.candidate_pairs = plan.candidate_count
+            mode = "incremental"
+        delta = DeltaProvenance(
+            mode=mode,
+            touched_nodes=len(touched),
+            pairs_rechecked=plan.pairs_rechecked,
+            pairs_skipped=plan.pairs_skipped,
+            dropped_classes=plan.dropped_classes,
+            seed_merges=len(plan.seed),
+        )
+        return result, delta
+
+    def _record_seed_state(self, result: EMResult, config: MatchConfig) -> None:
+        """Remember this run's fixpoint as the seed for the next delta run.
+
+        Cheap on purpose: the unfiltered candidate set is enumerated lazily
+        from the run's immutable snapshot only if an incremental run actually
+        consumes this state (unless the session already has it cached).
+        """
+        if self._artifacts is None:
+            return
+        cached = self._artifacts._candidates.get((False, False))
+        self._incremental = IncrementalState(
+            version=self._artifacts._version,
+            eq=result.eq.copy(),
+            result=result,
+            config=config,
+            snapshot=self._artifacts.snapshot(),
+            keys=self._keys,
+            candidates=frozenset(cached.pairs) if cached is not None else None,
+        )
 
     def run_all(
         self,
@@ -503,7 +825,37 @@ class MatchSession:
         """Re-run the session's current configuration (e.g. after mutations)."""
         return self.run()
 
+    def rerun(self, **options: object) -> EMResult:
+        """Incremental re-run of the current configuration after mutations.
+
+        Sugar for ``run(incremental=True)``: seeds from the previous result
+        and re-chases only the journal-affected candidate pairs (silently
+        falling back to a full run when that is impossible).  The result is
+        bit-identical to :meth:`rematch`.
+        """
+        return self.run(incremental=True, **options)
+
     # -- internals --------------------------------------------------------- #
+
+    @staticmethod
+    def _same_run_shape(previous: Optional[MatchConfig], config: MatchConfig) -> bool:
+        """Would *config* produce the same ``EMResult`` as *previous* did?
+
+        Compares the result-shaping knobs only: the ``incremental`` flag and
+        the snapshot store change how a run executes, never what it returns,
+        so a no-op delta may hand back the previous result object across
+        them.  Everything else (backend, processors, executor, options)
+        shapes the result's statistics and must match exactly.
+        """
+        if previous is None:
+            return False
+        return (
+            previous.algorithm == config.algorithm
+            and previous.processors == config.processors
+            and previous.executor == config.executor
+            and previous.workers == config.workers
+            and previous.options == config.options
+        )
 
     @staticmethod
     def _supports_executors(algorithm: str) -> bool:
@@ -513,14 +865,18 @@ class MatchSession:
             return False  # unknown name: let resolve() raise the real error
         return "executors" in spec.capabilities
 
-    def _refresh_artifacts(self, config: Optional[MatchConfig] = None) -> SessionArtifacts:
+    def _refresh_artifacts(
+        self,
+        config: Optional[MatchConfig] = None,
+        stale_hint: Optional[set] = None,
+    ) -> SessionArtifacts:
         store = as_snapshot_store((config or self._config).snapshot_store)
         if self._artifacts is None:
             self._artifacts = SessionArtifacts(self._graph, self._keys, snapshot_store=store)
         else:
             if store is not None:
                 self._artifacts.snapshot_store = store
-            self._artifacts.refresh()
+            self._artifacts.refresh(stale_hint=stale_hint)
         return self._artifacts
 
     def _dispatch_event(self, event: ProgressEvent) -> None:

@@ -84,11 +84,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backend option passthrough, e.g. --set prioritize=false (repeatable)",
     )
     match_parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="request an incremental run: seed from the session's previous "
+        "result and re-chase only journal-affected candidate pairs (a "
+        "one-shot CLI invocation has no previous result, so this falls back "
+        "to a full run; --profile reports the delta provenance)",
+    )
+    match_parser.add_argument(
         "--profile",
         action="store_true",
         help="print per-phase timings (snapshot build, candidates, product "
-        "graph), snapshot load-vs-build provenance and per-round/superstep "
-        "counters after the run",
+        "graph), snapshot load-vs-build provenance, incremental delta "
+        "provenance and per-round/superstep counters after the run",
     )
     match_parser.add_argument(
         "--snapshot-store",
@@ -210,6 +218,7 @@ def _command_match(args: argparse.Namespace) -> int:
         processors=args.processors,
         executor=args.executor,
         workers=args.workers,
+        incremental=True if args.incremental else None,
         **options,
     )
     print(f"algorithm      : {result.algorithm}")
@@ -244,13 +253,29 @@ def _print_profile(session: MatchSession, result) -> None:
     else:
         provenance = "built in process (no snapshot store)"
     print(f"  {'snapshot source':<24} : {provenance}")
+    delta = session.last_delta()
+    if delta is not None:
+        if delta.mode == "full":
+            print(f"  {'delta provenance':<24} : full run ({delta.reason})")
+        else:
+            print(
+                f"  {'delta provenance':<24} : {delta.mode} "
+                f"(touched {delta.touched_nodes} node(s), rechecked "
+                f"{delta.pairs_rechecked}, skipped {delta.pairs_skipped}, "
+                f"seeded {delta.seed_merges} merge(s), dropped "
+                f"{delta.dropped_classes} class(es))"
+            )
     for phase in (
         "snapshot_store_load",
         "snapshot_build",
         "snapshot_store_save",
         "neighborhood_index_build",
         "candidates_build",
+        "candidates_rebase",
+        "dependency_map_build",
+        "dependency_map_rebase",
         "product_graph_build",
+        "product_graph_rebase",
     ):
         if phase in timings:
             print(f"  {phase:<24} : {timings[phase] * 1000.0:9.2f} ms")

@@ -121,6 +121,7 @@ def chase(
     record_provenance: bool = True,
     snapshot: Optional[object] = None,
     index: Optional[NeighborhoodIndex] = None,
+    seed: Optional[Iterable[Pair]] = None,
 ) -> ChaseResult:
     """Compute ``chase(G, Σ)`` sequentially.
 
@@ -148,13 +149,24 @@ def chase(
         An optional prebuilt :class:`NeighborhoodIndex` (e.g. the session's
         cached one) to reuse d-neighbourhood BFS results across runs; it is
         extended in place with any missing entities.
+    seed:
+        Optional pairs merged into ``Eq`` *before* any chase step — the
+        incremental-matching entry point: a previous run's surviving
+        identifications seed the relation, and ``pair_order`` restricts the
+        worklist to the pairs a delta could have affected.  Seed merges are
+        not recorded as chase steps and do not count as checks.
     """
     if len(keys) == 0:
-        return ChaseResult(eq=EquivalenceRelation(graph.entity_ids()), candidates=0)
+        eq = EquivalenceRelation(graph.entity_ids())
+        for e1, e2 in seed or ():
+            eq.merge(e1, e2)
+        return ChaseResult(eq=eq, candidates=0)
 
     reader = snapshot if snapshot is not None else graph
     evaluator = GuidedPairEvaluator(reader)
     eq = EquivalenceRelation(graph.entity_ids())
+    for e1, e2 in seed or ():
+        eq.merge(e1, e2)
     if not use_neighborhoods:
         neighborhoods = None
     elif index is not None:
@@ -194,8 +206,10 @@ def chase(
             witness = None
             for key in applicable:
                 result.checks += 1
-                nbhd1 = neighborhoods.nodes(e1) if neighborhoods else None
-                nbhd2 = neighborhoods.nodes(e2) if neighborhoods else None
+                # "is not None", not truthiness: a fresh NeighborhoodIndex is
+                # empty (len 0 → falsy) until its first nodes() call caches
+                nbhd1 = neighborhoods.nodes(e1) if neighborhoods is not None else None
+                nbhd2 = neighborhoods.nodes(e2) if neighborhoods is not None else None
                 witness = evaluator.identify_with_witness(key, e1, e2, eq, nbhd1, nbhd2)
                 if witness is not None:
                     identified_by = key

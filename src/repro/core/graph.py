@@ -148,6 +148,88 @@ class Graph:
         literal = value if isinstance(value, Literal) else Literal(value)
         self.add_triple(Triple(subject, predicate, literal))
 
+    # ------------------------------------------------------------------ #
+    # non-monotone mutations (journalled like the additions above)
+    # ------------------------------------------------------------------ #
+
+    def remove_triple(self, triple: Triple) -> None:
+        """Remove a triple; removing an absent triple is a no-op (like re-adds).
+
+        The mutation journal records both endpoints, exactly as
+        :meth:`add_triple` does, so incremental consumers see deletions and
+        insertions through the same ``touched_since`` window.
+        """
+        if triple not in self._triples:
+            return
+        self._triples.discard(triple)
+        self._discard_index(self._out, triple.subject, triple)
+        self._discard_index(self._in, triple.obj, triple)
+        self._discard_index(self._out_by_pred, (triple.subject, triple.predicate), triple.obj)
+        self._discard_index(self._in_by_pred, (triple.obj, triple.predicate), triple.subject)
+        # a parallel triple (other predicate / direction) may still connect
+        # the two endpoints; only drop the undirected edge when none does
+        if not self._still_adjacent(triple.subject, triple.obj):
+            self._discard_index(self._undirected, triple.subject, triple.obj)
+            self._discard_index(self._undirected, triple.obj, triple.subject)
+        self._record_mutation((triple.subject, triple.obj))
+
+    @staticmethod
+    def _discard_index(index: Dict, key: object, member: object) -> None:
+        members = index.get(key)
+        if members is None:
+            return
+        members.discard(member)
+        if not members:
+            del index[key]
+
+    def _still_adjacent(self, subject: str, obj: GraphNode) -> bool:
+        for triple in self._out.get(subject, ()):
+            if triple.obj == obj:
+                return True
+        if is_entity_ref(obj):
+            for triple in self._out.get(obj, ()):
+                if triple.obj == subject:
+                    return True
+        return False
+
+    def remove_edge(self, subject: str, predicate: str, obj: str) -> None:
+        """Remove an entity-to-entity triple (absent edge: no-op)."""
+        self.remove_triple(Triple(subject, predicate, obj))
+
+    def remove_value(self, subject: str, predicate: str, value: object) -> None:
+        """Remove an entity-to-value triple (absent value: no-op)."""
+        literal = value if isinstance(value, Literal) else Literal(value)
+        self.remove_triple(Triple(subject, predicate, literal))
+
+    def set_value(self, subject: str, predicate: str, value: object) -> None:
+        """Replace every value of ``(subject, predicate)`` with *value*.
+
+        The "literal edit" mutation: existing value triples under the
+        predicate are removed and the single new value is added, all through
+        the journalled mutation primitives.
+        """
+        literal = value if isinstance(value, Literal) else Literal(value)
+        for existing in list(self.objects(subject, predicate)):
+            if isinstance(existing, Literal) and existing != literal:
+                self.remove_triple(Triple(subject, predicate, existing))
+        self.add_triple(Triple(subject, predicate, literal))
+
+    def retype_entity(self, eid: str, etype: str) -> Entity:
+        """Change the type of entity *eid* to *etype* (same type: no-op).
+
+        Incident triples are kept — only the type (and the type index)
+        changes.  The journal records the entity as touched.
+        """
+        existing = self.entity(eid)
+        if existing.etype == etype:
+            return existing
+        self._discard_index(self._by_type, existing.etype, eid)
+        entity = Entity(eid, etype)
+        self._entities[eid] = entity
+        self._by_type[etype].add(eid)
+        self._record_mutation((eid,))
+        return entity
+
     @classmethod
     def from_triples(
         cls, entities: Mapping[str, str], triples: Iterable[Triple]

@@ -46,6 +46,13 @@ from .em_vc import (
     em_vc_opt,
 )
 from .eval_vc import EvalVCProgram, PairState
+from .incremental import (
+    DeltaPlan,
+    DependencyArtifact,
+    DependencyWorklist,
+    IncrementalState,
+    plan_delta,
+)
 from .product_graph import ProductGraph
 from .result import EMResult, EMStatistics
 from .traversal_order import TraversalStep, traversal_order, traversal_orders, tour_is_valid
@@ -56,9 +63,23 @@ def chase_as_result(
     keys: KeySet,
     snapshot: Optional[object] = None,
     index: Optional[object] = None,
+    seed_pairs: Optional[object] = None,
+    worklist: Optional[object] = None,
 ) -> EMResult:
-    """Run the sequential chase and wrap it in an :class:`EMResult`."""
-    outcome = chase(graph, keys, snapshot=snapshot, index=index)
+    """Run the sequential chase and wrap it in an :class:`EMResult`.
+
+    ``seed_pairs`` / ``worklist`` are the incremental re-matching hooks: the
+    seed is merged into ``Eq`` before any chase step and the worklist (when
+    given) replaces the full candidate enumeration as the pending pair list.
+    """
+    outcome = chase(
+        graph,
+        keys,
+        snapshot=snapshot,
+        index=index,
+        seed=seed_pairs,
+        pair_order=worklist,
+    )
     stats = EMStatistics(
         candidate_pairs=outcome.candidates,
         processed_pairs=outcome.candidates,
@@ -80,7 +101,7 @@ def chase_as_result(
 @register_algorithm(
     "chase",
     family="sequential",
-    capabilities=("reference",),
+    capabilities=("reference", "incremental"),
     description="sequential chase, the reference implementation (Section 3)",
 )
 def _run_chase(
@@ -90,10 +111,19 @@ def _run_chase(
     processors: int = 1,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
+    seed_pairs: Optional[object] = None,
+    worklist: Optional[object] = None,
 ) -> EMResult:
     snapshot = artifacts.snapshot() if artifacts is not None else None
     index = artifacts.neighborhood_index() if artifacts is not None else None
-    return chase_as_result(graph, keys, snapshot=snapshot, index=index)
+    return chase_as_result(
+        graph,
+        keys,
+        snapshot=snapshot,
+        index=index,
+        seed_pairs=seed_pairs,
+        worklist=worklist,
+    )
 
 
 def match_entities(
@@ -133,9 +163,13 @@ __all__ = [
     "ALGORITHMS",
     "CandidateSet",
     "DEFAULT_FANOUT",
+    "DeltaPlan",
+    "DependencyArtifact",
+    "DependencyWorklist",
     "EMResult",
     "EMStatistics",
     "EvalVCProgram",
+    "IncrementalState",
     "MapReduceEntityMatcher",
     "OptimizedMapReduceEntityMatcher",
     "OptimizedVertexCentricEntityMatcher",
@@ -154,6 +188,7 @@ __all__ = [
     "em_vc_opt",
     "em_vf2_mr",
     "match_entities",
+    "plan_delta",
     "tour_is_valid",
     "traversal_order",
     "traversal_orders",

@@ -31,6 +31,21 @@ class CandidateSet:
     unfiltered_size: int = 0
     #: total neighbourhood size before reduction (nodes).
     unreduced_neighborhood_total: int = 0
+    #: pairing provenance of *filtered* sets: surviving pair -> the two
+    #: pairing-support node sets (``None`` on unfiltered sets).  Incremental
+    #: rebasing (``repro.matching.incremental``) reuses these to skip the
+    #: pairing fixpoint for pairs a journal delta cannot have affected.
+    pair_supports: Optional[Dict[Pair, Tuple[Set[GraphNode], Set[GraphNode]]]] = None
+    #: pairs the pairing filter rejected (``None`` on unfiltered sets).
+    rejected_pairs: Optional[Set[Pair]] = None
+    #: entities whose *reduced* neighbourhood changed in a rebase although
+    #: they were not delta-affected themselves: pairing supports are a joint
+    #: simulation, so a mutation entirely on the partner's side of a pair
+    #: can grow/shrink this side's support union.  Consumers keyed on
+    #: restricted neighbourhoods (the reduce-flavour dependency map) must
+    #: treat these entities as affected too.  ``None`` on built (non-rebased)
+    #: or unreduced sets.
+    restriction_drift: Optional[Set[str]] = None
 
     @property
     def size(self) -> int:
@@ -111,7 +126,8 @@ def build_filtered_candidates(
     }
 
     surviving: List[Pair] = []
-    kept_nodes: Dict[str, Set[GraphNode]] = {}
+    supports: Dict[Pair, Tuple[Set[GraphNode], Set[GraphNode]]] = {}
+    rejected: Set[Pair] = set()
     for e1, e2 in base.pairs:
         etype = reader.entity_type(e1)
         nbhd1 = neighborhoods.nodes(e1)
@@ -128,22 +144,83 @@ def build_filtered_candidates(
             side1 |= support1
             side2 |= support2
         if not paired:
+            rejected.add((e1, e2))
             continue
         surviving.append((e1, e2))
-        if reduce_neighborhoods:
-            kept_nodes.setdefault(e1, set()).update(side1 | {e1})
-            kept_nodes.setdefault(e2, set()).update(side2 | {e2})
+        supports[(e1, e2)] = (side1, side2)
 
     if reduce_neighborhoods:
-        for entity, allowed in kept_nodes.items():
-            neighborhoods.restrict(entity, allowed)
+        apply_support_restrictions(neighborhoods, supports)
 
     return CandidateSet(
         pairs=surviving,
         neighborhoods=neighborhoods,
         unfiltered_size=base.unfiltered_size,
         unreduced_neighborhood_total=base.unreduced_neighborhood_total,
+        pair_supports=supports,
+        rejected_pairs=rejected,
     )
+
+
+def apply_support_restrictions(
+    neighborhoods: NeighborhoodIndex,
+    supports: Dict[Pair, Tuple[Set[GraphNode], Set[GraphNode]]],
+) -> None:
+    """Shrink *neighborhoods* to the pairing-supported nodes of *supports*.
+
+    Each entity keeps the union of the support nodes over every surviving
+    pair it participates in (plus itself) — the Section 4.2 reduction,
+    factored out so the incremental rebase can re-apply it from cached
+    supports without re-running the pairing fixpoint.
+    """
+    kept_nodes: Dict[str, Set[GraphNode]] = {}
+    for (e1, e2), (side1, side2) in supports.items():
+        kept_nodes.setdefault(e1, set()).update(side1 | {e1})
+        kept_nodes.setdefault(e2, set()).update(side2 | {e2})
+    for entity, allowed in kept_nodes.items():
+        neighborhoods.restrict(entity, allowed)
+
+
+def depends_on_types_by_target(keys: KeySet) -> Dict[str, Set[str]]:
+    """Per keyed type, the entity-variable types its keys recurse into."""
+    depends_on_types: Dict[str, Set[str]] = {}
+    for etype in keys.target_types():
+        types: Set[str] = set()
+        for key in keys.keys_for_type(etype):
+            types |= key.depends_on_types()
+        depends_on_types[etype] = types
+    return depends_on_types
+
+
+def candidate_pairs_by_type(graph: Graph, pairs: List[Pair]) -> Dict[str, List[Pair]]:
+    """Candidate pairs bucketed by entity type, preserving pair order."""
+    candidate_index: Dict[str, List[Pair]] = {}
+    for pair in pairs:
+        etype = graph.entity_type(pair[0])
+        candidate_index.setdefault(etype, []).append(pair)
+    return candidate_index
+
+
+def pair_prerequisites(
+    dependent: Pair,
+    wanted_types: Set[str],
+    candidate_index: Dict[str, List[Pair]],
+    neighborhoods: NeighborhoodIndex,
+) -> Set[Pair]:
+    """The candidate pairs *dependent* depends on (its ``dep`` in-edges)."""
+    if not wanted_types:
+        return set()
+    e1, e2 = dependent
+    nbhd = neighborhoods.nodes(e1) | neighborhoods.nodes(e2)
+    prerequisites: Set[Pair] = set()
+    for wanted in wanted_types:
+        for prerequisite in candidate_index.get(wanted, ()):
+            if prerequisite == dependent:
+                continue
+            p1, p2 = prerequisite
+            if p1 in nbhd or p2 in nbhd:
+                prerequisites.add(prerequisite)
+    return prerequisites
 
 
 def dependency_map(
@@ -159,30 +236,14 @@ def dependency_map(
     prerequisite pair to its dependents, which is the direction the
     notifications flow in (``dep`` edges of the product graph).
     """
-    depends_on_types: Dict[str, Set[str]] = {}
-    for etype in keys.target_types():
-        types: Set[str] = set()
-        for key in keys.keys_for_type(etype):
-            types |= key.depends_on_types()
-        depends_on_types[etype] = types
+    depends_on_types = depends_on_types_by_target(keys)
+    candidate_index = candidate_pairs_by_type(graph, candidates.pairs)
 
     by_pair: Dict[Pair, Set[Pair]] = {pair: set() for pair in candidates.pairs}
-    candidate_index: Dict[str, List[Pair]] = {}
-    for pair in candidates.pairs:
-        etype = graph.entity_type(pair[0])
-        candidate_index.setdefault(etype, []).append(pair)
-
     for dependent in candidates.pairs:
-        e1, e2 = dependent
-        wanted_types = depends_on_types.get(graph.entity_type(e1), set())
-        if not wanted_types:
-            continue
-        nbhd = candidates.neighborhoods.nodes(e1) | candidates.neighborhoods.nodes(e2)
-        for wanted in wanted_types:
-            for prerequisite in candidate_index.get(wanted, ()):
-                if prerequisite == dependent:
-                    continue
-                p1, p2 = prerequisite
-                if p1 in nbhd or p2 in nbhd:
-                    by_pair.setdefault(prerequisite, set()).add(dependent)
+        wanted_types = depends_on_types.get(graph.entity_type(dependent[0]), set())
+        for prerequisite in pair_prerequisites(
+            dependent, wanted_types, candidate_index, candidates.neighborhoods
+        ):
+            by_pair.setdefault(prerequisite, set()).add(dependent)
     return by_pair

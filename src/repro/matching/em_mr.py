@@ -167,6 +167,8 @@ class MapReduceEntityMatcher:
         workers: Optional[int] = None,
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
+        seed_pairs: Optional[Sequence[Pair]] = None,
+        worklist: Optional[Sequence[Pair]] = None,
     ) -> None:
         self.graph = graph
         self.keys = keys
@@ -178,6 +180,11 @@ class MapReduceEntityMatcher:
         #: session artifact cache (``repro.api.session.SessionArtifacts``) or None
         self.artifacts = artifacts
         self.observer = observer
+        #: incremental re-matching: pairs merged into ``Eq`` before round 1
+        #: (a previous run's surviving identifications) ...
+        self.seed_pairs = seed_pairs
+        #: ... and the candidate pairs to actually re-check (None: all)
+        self.worklist = worklist
 
     def _notify(self, stage: str, **fields: object) -> None:
         notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
@@ -251,17 +258,26 @@ class MapReduceEntityMatcher:
         driver.cache.put("snapshot", snapshot, records=0)
 
         eq = EquivalenceRelation(self.graph.entity_ids())
+        for e1, e2 in self.seed_pairs or ():
+            eq.merge(e1, e2)
+        seed_merges = eq.merge_count
         driver.hdfs.overwrite("eq", [])
+
+        if self.worklist is None:
+            worklist_pairs = list(candidates.pairs)
+        else:
+            members = set(self.worklist)
+            worklist_pairs = [pair for pair in candidates.pairs if pair in members]
 
         stats = EMStatistics(
             candidate_pairs=candidates.unfiltered_size,
-            processed_pairs=candidates.size,
+            processed_pairs=len(worklist_pairs),
             neighborhood_total=neighborhood_total,
             neighborhood_max=candidates.neighborhoods.max_size(),
         )
 
-        self._notify("candidates", pending=candidates.size)
-        pending: List[Tuple[Pair, bool]] = [(pair, False) for pair in candidates.pairs]
+        self._notify("candidates", pending=len(worklist_pairs))
+        pending: List[Tuple[Pair, bool]] = [(pair, False) for pair in worklist_pairs]
         newly_identified: Set[Pair] = set()
         rounds = 0
         while pending:
@@ -297,7 +313,7 @@ class MapReduceEntityMatcher:
             ]
 
         stats.rounds = rounds
-        stats.directly_identified = eq.merge_count
+        stats.directly_identified = eq.merge_count - seed_merges
         stats.identified_pairs = len(eq.pairs())
         stats.work_units = driver.cost_model.total_work
 
@@ -324,7 +340,7 @@ class VF2MapReduceEntityMatcher(MapReduceEntityMatcher):
 @register_algorithm(
     "EMMR",
     family="mapreduce",
-    capabilities=("parallel", "rounds", "incremental-eq", "executors"),
+    capabilities=("parallel", "rounds", "incremental-eq", "executors", "incremental"),
     description="MapReduce algorithm with the guided EvalMR check (Fig. 4)",
 )
 def _run_em_mr(
@@ -336,6 +352,8 @@ def _run_em_mr(
     workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
+    seed_pairs: Optional[Sequence[Pair]] = None,
+    worklist: Optional[Sequence[Pair]] = None,
 ) -> EMResult:
     return MapReduceEntityMatcher(
         graph,
@@ -345,13 +363,15 @@ def _run_em_mr(
         workers=workers,
         artifacts=artifacts,
         observer=observer,
+        seed_pairs=seed_pairs,
+        worklist=worklist,
     ).run()
 
 
 @register_algorithm(
     "EMVF2MR",
     family="mapreduce",
-    capabilities=("parallel", "rounds", "executors"),
+    capabilities=("parallel", "rounds", "executors", "incremental"),
     description="MapReduce baseline enumerating all matches (no early exit)",
 )
 def _run_em_vf2_mr(
@@ -363,6 +383,8 @@ def _run_em_vf2_mr(
     workers: Optional[int] = None,
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
+    seed_pairs: Optional[Sequence[Pair]] = None,
+    worklist: Optional[Sequence[Pair]] = None,
 ) -> EMResult:
     return VF2MapReduceEntityMatcher(
         graph,
@@ -372,6 +394,8 @@ def _run_em_vf2_mr(
         workers=workers,
         artifacts=artifacts,
         observer=observer,
+        seed_pairs=seed_pairs,
+        worklist=worklist,
     ).run()
 
 

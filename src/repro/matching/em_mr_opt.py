@@ -16,7 +16,7 @@ Three optimizations on top of :class:`~repro.matching.em_mr.MapReduceEntityMatch
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Set
+from typing import Callable, Optional, Sequence, Set
 
 from ..api.events import ProgressEvent
 from ..api.registry import OptionSpec, get_algorithm, register_algorithm
@@ -25,6 +25,7 @@ from ..core.graph import Graph
 from ..core.key import KeySet
 from .candidates import CandidateSet, build_filtered_candidates, dependency_map
 from .em_mr import MapReduceEntityMatcher
+from .incremental import DependencyWorklist
 from .result import EMResult
 
 
@@ -45,6 +46,8 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
         workers: Optional[int] = None,
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
+        seed_pairs: Optional[Sequence[Pair]] = None,
+        worklist: Optional[Sequence[Pair]] = None,
     ) -> None:
         super().__init__(
             graph,
@@ -54,18 +57,21 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             workers=workers,
             artifacts=artifacts,
             observer=observer,
+            seed_pairs=seed_pairs,
+            worklist=worklist,
         )
         self.reduce_neighborhoods = reduce_neighborhoods
-        self._dependents: Optional[Dict[Pair, Set[Pair]]] = None
+        self._dependents: Optional[DependencyWorklist] = None
 
     def _build_candidates(self, snapshot) -> CandidateSet:
         if self.artifacts is not None:
             candidates = self.artifacts.candidates(
                 filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
             )
-            self._dependents = self.artifacts.dependency_map(
+            dependents = self.artifacts.dependency_map(
                 filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
             )
+            self._dependents = DependencyWorklist(dependents)
             return candidates
         candidates = build_filtered_candidates(
             self.graph,
@@ -73,7 +79,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             reduce_neighborhoods=self.reduce_neighborhoods,
             snapshot=snapshot,
         )
-        self._dependents = dependency_map(snapshot, self.keys, candidates)
+        self._dependents = DependencyWorklist(dependency_map(snapshot, self.keys, candidates))
         return candidates
 
     def _pairs_to_check(
@@ -87,10 +93,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             return None  # first round: every surviving candidate is checked once
         if not newly_identified or self._dependents is None:
             return set()  # nothing changed: no pair can newly succeed
-        to_check: Set[Pair] = set()
-        for identified_pair in newly_identified:
-            to_check |= self._dependents.get(identified_pair, set())
-        return to_check
+        return self._dependents.affected_by(newly_identified)
 
 
 @register_algorithm(
@@ -104,7 +107,14 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             "shrink d-neighbourhoods to pairing-supported nodes (Section 4.2)",
         ),
     ),
-    capabilities=("parallel", "rounds", "pairing-filter", "incremental-check", "executors"),
+    capabilities=(
+        "parallel",
+        "rounds",
+        "pairing-filter",
+        "incremental-check",
+        "executors",
+        "incremental",
+    ),
     description="EMMR + pairing filter, reduced neighbourhoods, incremental checking",
 )
 def _run_em_mr_opt(
@@ -117,6 +127,8 @@ def _run_em_mr_opt(
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     reduce_neighborhoods: bool = True,
+    seed_pairs: Optional[Sequence[Pair]] = None,
+    worklist: Optional[Sequence[Pair]] = None,
 ) -> EMResult:
     return OptimizedMapReduceEntityMatcher(
         graph,
@@ -127,6 +139,8 @@ def _run_em_mr_opt(
         workers=workers,
         artifacts=artifacts,
         observer=observer,
+        seed_pairs=seed_pairs,
+        worklist=worklist,
     ).run()
 
 

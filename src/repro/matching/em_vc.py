@@ -15,11 +15,11 @@ propagation.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from ..api.events import ProgressEvent, notify
 from ..api.registry import OptionSpec, get_algorithm, register_algorithm
-from ..core.equivalence import EquivalenceRelation
+from ..core.equivalence import EquivalenceRelation, Pair
 from ..core.graph import Graph
 from ..core.key import KeySet
 from ..runtime import create_executor, create_partitioner
@@ -56,6 +56,8 @@ class VertexCentricEntityMatcher:
         partitioner: str = "hash",
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
+        seed_pairs: Optional[Sequence[Pair]] = None,
+        worklist: Optional[Sequence[Pair]] = None,
     ) -> None:
         self.graph = graph
         self.keys = keys
@@ -70,6 +72,12 @@ class VertexCentricEntityMatcher:
         #: session artifact cache (``repro.api.session.SessionArtifacts``) or None
         self.artifacts = artifacts
         self.observer = observer
+        #: incremental re-matching: merges seeding ``live_eq`` (and flagging
+        #: the corresponding product-graph vertices) before the engine drains
+        self.seed_pairs = seed_pairs
+        #: ... and the candidate pairs that receive an initial activation
+        #: (None: every candidate pair)
+        self.worklist = worklist
 
     def _notify(self, stage: str, **fields: object) -> None:
         notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
@@ -134,6 +142,7 @@ class VertexCentricEntityMatcher:
             orders,
             max_fanout=self.max_fanout,
             prioritize=self.prioritize,
+            seed_pairs=self.seed_pairs,
         )
         partitioner = (
             create_partitioner(
@@ -158,16 +167,25 @@ class VertexCentricEntityMatcher:
             etype = None
             if is_candidate:
                 etype = self.graph.entity_type(str(n1))
-            # identity pairs and equal-value pairs are trivially identified
+            # identity pairs and equal-value pairs are trivially identified;
+            # seeded candidate pairs (incremental re-matching) start flagged
             trivially_equal = n1 == n2
+            flag = trivially_equal or (
+                is_candidate and program.live_eq.identified(str(n1), str(n2))
+            )
             engine.add_vertex(
                 node,
-                PairState(flag=trivially_equal, is_candidate=is_candidate, etype=etype),
+                PairState(flag=flag, is_candidate=is_candidate, etype=etype),
             )
 
-        for pair in candidates.pairs:
+        if self.worklist is None:
+            activations = list(candidates.pairs)
+        else:
+            members = set(self.worklist)
+            activations = [pair for pair in candidates.pairs if pair in members]
+        for pair in activations:
             engine.post(pair, Activate(prerequisite=None))
-        self._notify("engine", pending=candidates.size)
+        self._notify("engine", pending=len(activations))
         engine.run()
 
         eq = EquivalenceRelation(self.graph.entity_ids())
@@ -176,7 +194,7 @@ class VertexCentricEntityMatcher:
 
         stats = EMStatistics(
             candidate_pairs=candidates.unfiltered_size,
-            processed_pairs=candidates.size,
+            processed_pairs=len(activations),
             directly_identified=program.counters.confirmations,
             identified_pairs=len(eq.pairs()),
             checks=program.counters.eval_messages,
@@ -226,6 +244,8 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
         partitioner: str = "hash",
         artifacts: Optional[object] = None,
         observer: Optional[Callable[[ProgressEvent], None]] = None,
+        seed_pairs: Optional[Sequence[Pair]] = None,
+        worklist: Optional[Sequence[Pair]] = None,
     ) -> None:
         super().__init__(
             graph,
@@ -236,6 +256,8 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
             partitioner=partitioner,
             artifacts=artifacts,
             observer=observer,
+            seed_pairs=seed_pairs,
+            worklist=worklist,
         )
         self.max_fanout = fanout
         self.prioritize = prioritize
@@ -254,7 +276,7 @@ PARTITIONER_OPTION = OptionSpec(
     "EMVC",
     family="vertex-centric",
     options=(PARTITIONER_OPTION,),
-    capabilities=("parallel", "asynchronous", "executors"),
+    capabilities=("parallel", "asynchronous", "executors", "incremental"),
     description="vertex-centric asynchronous algorithm over the product graph",
 )
 def _run_em_vc(
@@ -267,6 +289,8 @@ def _run_em_vc(
     artifacts: Optional[object] = None,
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     partitioner: str = "hash",
+    seed_pairs: Optional[Sequence[Pair]] = None,
+    worklist: Optional[Sequence[Pair]] = None,
 ) -> EMResult:
     return VertexCentricEntityMatcher(
         graph,
@@ -277,6 +301,8 @@ def _run_em_vc(
         partitioner=partitioner,
         artifacts=artifacts,
         observer=observer,
+        seed_pairs=seed_pairs,
+        worklist=worklist,
     ).run()
 
 
@@ -288,7 +314,14 @@ def _run_em_vc(
         OptionSpec("prioritize", bool, True, "prioritized propagation of flag messages"),
         PARTITIONER_OPTION,
     ),
-    capabilities=("parallel", "asynchronous", "bounded-messages", "prioritized", "executors"),
+    capabilities=(
+        "parallel",
+        "asynchronous",
+        "bounded-messages",
+        "prioritized",
+        "executors",
+        "incremental",
+    ),
     description="EMVC + bounded messages and prioritized propagation",
 )
 def _run_em_vc_opt(
@@ -303,6 +336,8 @@ def _run_em_vc_opt(
     fanout: int = DEFAULT_FANOUT,
     prioritize: bool = True,
     partitioner: str = "hash",
+    seed_pairs: Optional[Sequence[Pair]] = None,
+    worklist: Optional[Sequence[Pair]] = None,
 ) -> EMResult:
     return OptimizedVertexCentricEntityMatcher(
         graph,
@@ -315,6 +350,8 @@ def _run_em_vc_opt(
         partitioner=partitioner,
         artifacts=artifacts,
         observer=observer,
+        seed_pairs=seed_pairs,
+        worklist=worklist,
     ).run()
 
 

@@ -115,6 +115,7 @@ class EvalVCProgram:
         orders: Dict[str, List[TraversalStep]],
         max_fanout: Optional[int] = None,
         prioritize: bool = False,
+        seed_pairs: Optional[Sequence[Pair]] = None,
     ) -> None:
         if max_fanout is not None and max_fanout < 1:
             raise ValueError(f"max_fanout must be >= 1 or None, got {max_fanout}")
@@ -129,6 +130,12 @@ class EvalVCProgram:
         }
         self._pattern_node_counts = {key.name: len(list(key.pattern.nodes())) for key in keys}
         self.live_eq = EquivalenceRelation(graph.entity_ids())
+        #: incremental re-matching: a previous run's surviving merges, applied
+        #: to ``live_eq`` up front and prepended to the canonical merge
+        #: history so partitioned replicas reconstruct the same seeded state
+        self._seed_merges: Tuple[Pair, ...] = tuple(seed_pairs or ())
+        for e1, e2 in self._seed_merges:
+            self.live_eq.merge(e1, e2)
         self.counters = EvalVCCounters()
         # Replica-mode bookkeeping (partitioned execution only, see
         # repro.vertexcentric.parallel): which vertices this replica believes
@@ -157,15 +164,15 @@ class EvalVCProgram:
     def replica_canonical(
         self, vertices: Dict[ProductNode, object]
     ) -> Tuple[tuple, tuple, int]:
-        """The initial canonical state: flagged vertices, no Eq merges, epoch 0."""
+        """The initial canonical state: flagged vertices, seed merges, epoch 0."""
         flagged = tuple(
             vertex for vertex, state in vertices.items() if getattr(state, "flag", False)
         )
         self._replica_flagged = set(flagged)
         self._replica_epoch = 0
         self._replica_flag_count = len(flagged)
-        self._replica_merge_count = 0
-        return (flagged, (), 0)
+        self._replica_merge_count = len(self._seed_merges)
+        return (flagged, self._seed_merges, 0)
 
     def replica_sync(
         self, vertices: Dict[ProductNode, object], canonical: Tuple[tuple, tuple, int]

@@ -1,0 +1,472 @@
+"""Incremental entity matching on journal deltas: the shared worklist layer.
+
+The fixpoint ``chase(G, Σ)`` is *local*: whether a candidate pair ``(e1, e2)``
+is directly identifiable depends only on the pair's d-neighbourhoods and on
+the identification status of the pairs located inside them (the dependency
+relation of Section 4.2 that ``EMOptMR`` already exploits *within* a run for
+round-2 incremental checking).  This module lifts that machinery *across*
+runs: given the graph's mutation journal (:meth:`Graph.touched_since`), it
+computes which candidate pairs a delta could possibly have affected, closes
+that set under the dependency map, and splits the previous result into
+
+* a **seed** — the equivalence classes no affected pair touches, which are
+  provably still part of the new fixpoint and are merged into ``Eq`` before
+  any check runs, and
+* a **worklist** — the affected pairs plus the members of every dropped
+  class, which are re-chased from scratch.
+
+Soundness sketch (the invariant the differential mutation-fuzz suite checks
+empirically): a pair outside the affected closure has (a) untouched
+d-neighbourhoods in both the old and the new graph, and (b) only
+prerequisites outside the closure — so its direct-derivability is unchanged
+by the delta.  Classes built exclusively from such pairs survive verbatim;
+every other previously identified pair is re-derived or dropped.  Notably the
+*new*-graph neighbourhood test is subsumed by the old one: the first touched
+node on any new path from an untouched entity is reached through edges that
+already existed before the delta (a new edge would have touched its
+endpoints), so the old neighbourhood already intersected the touched set.
+
+All six backends consume the same plan through their ``seed_pairs`` /
+``worklist`` entry points; :class:`~repro.api.session.MatchSession` owns the
+orchestration (fallback to a full run when the journal window expired or no
+previous result exists).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.equivalence import EquivalenceRelation, Pair
+from ..core.key import Key, KeySet
+from ..core.neighborhood import NeighborhoodIndex
+from ..core.pairing import pairing_relation, pairing_support_nodes
+from ..core.triples import GraphNode, is_entity_ref
+from .candidates import (
+    CandidateSet,
+    apply_support_restrictions,
+    build_candidates,
+    candidate_pairs_by_type,
+    depends_on_types_by_target,
+    pair_prerequisites,
+)
+
+
+class DependencyWorklist:
+    """Prerequisite → dependents lookup over a dependency map.
+
+    This is the worklist machinery ``EMOptMR`` uses for its round-2
+    incremental checking (re-check a pending pair only when a pair it depends
+    on was newly identified), shared here so the cross-run delta planner can
+    close affected sets under the same edges.
+    """
+
+    def __init__(self, dependents: Mapping[Pair, Set[Pair]]) -> None:
+        self._dependents = dependents
+
+    def dependents_of(self, pair: Pair) -> Set[Pair]:
+        return self._dependents.get(pair, set())
+
+    def affected_by(self, newly_identified: Iterable[Pair]) -> Set[Pair]:
+        """Pairs that must be re-checked after *newly_identified* flipped."""
+        to_check: Set[Pair] = set()
+        for pair in newly_identified:
+            to_check |= self._dependents.get(pair, set())
+        return to_check
+
+    def close(self, pairs: Iterable[Pair]) -> Set[Pair]:
+        """The transitive closure of *pairs* under the dependents edges."""
+        closed: Set[Pair] = set(pairs)
+        frontier: List[Pair] = list(closed)
+        while frontier:
+            pair = frontier.pop()
+            for dependent in self._dependents.get(pair, ()):
+                if dependent not in closed:
+                    closed.add(dependent)
+                    frontier.append(dependent)
+        return closed
+
+
+class IncrementalState:
+    """What a finished run leaves behind to seed the next delta run.
+
+    ``candidates`` (the unfiltered candidate set ``L`` at ``version``) is
+    enumerated lazily from the run's immutable snapshot, so recording the
+    state after every run costs only an ``Eq`` copy — sessions that never
+    go incremental never pay the ``O(|L|)`` enumeration.
+    """
+
+    __slots__ = ("version", "eq", "result", "config", "_snapshot", "_keys", "_candidates")
+
+    def __init__(
+        self,
+        version: int,
+        eq: EquivalenceRelation,
+        result: Optional[object],
+        config: Optional[object],
+        snapshot,
+        keys: KeySet,
+        candidates: Optional[FrozenSet[Pair]] = None,
+    ) -> None:
+        #: :attr:`Graph.version` the result corresponds to.
+        self.version = version
+        #: the computed fixpoint (an independent copy, never mutated).
+        self.eq = eq
+        #: the previous run's result, returned as-is when a delta touches
+        #: nothing and the requested config matches (``EMResult``).
+        self.result = result
+        #: the ``MatchConfig`` that produced ``result``.
+        self.config = config
+        self._snapshot = snapshot
+        self._keys = keys
+        self._candidates = candidates
+
+    @property
+    def candidates(self) -> FrozenSet[Pair]:
+        """The unfiltered candidate set ``L`` at :attr:`version`."""
+        if self._candidates is None:
+            from ..core.chase import candidate_pairs  # lazy: avoid import cycle
+
+            self._candidates = frozenset(candidate_pairs(self._snapshot, self._keys))
+        return self._candidates
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """The affected-pair computation for one incremental run."""
+
+    #: pairs to re-chase, in deterministic candidate order.
+    worklist: Tuple[Pair, ...]
+    #: merges seeding ``Eq`` (spanning edges of every surviving class).
+    seed: Tuple[Pair, ...]
+    #: previous equivalence classes dropped for re-derivation.
+    dropped_classes: int
+    #: |L| of the new graph (the invariant denominators).
+    candidate_count: int
+
+    @property
+    def pairs_rechecked(self) -> int:
+        return len(self.worklist)
+
+    @property
+    def pairs_skipped(self) -> int:
+        return self.candidate_count - len(self.worklist)
+
+    @property
+    def result_reusable(self) -> bool:
+        """Nothing to re-chase and no class dropped: the old result stands."""
+        return not self.worklist and self.dropped_classes == 0
+
+
+def plan_delta(
+    *,
+    candidate_pairs: Sequence[Pair],
+    dependents: Mapping[Pair, Set[Pair]],
+    touched: Set[GraphNode],
+    touched_entities: Set[str],
+    old_affected_entities: Set[str],
+    state: IncrementalState,
+) -> DeltaPlan:
+    """Compute the seed/worklist split for a journal delta.
+
+    Parameters
+    ----------
+    candidate_pairs:
+        The unfiltered candidate set of the *new* graph, in the deterministic
+        order the backends iterate it.
+    dependents:
+        The dependency map over *candidate_pairs* (prerequisite → dependents),
+        built on the new graph with full (unreduced) neighbourhoods.
+    touched / touched_entities:
+        The journal's touched node set since ``state.version`` and its
+        entity-node subset.
+    old_affected_entities:
+        Entities whose *old* cached d-neighbourhood contained a touched node
+        (computed from the pre-refresh session index).  By the locality
+        argument in the module docstring this also covers every entity whose
+        *new* neighbourhood gained a touched node.
+    state:
+        The previous run's :class:`IncrementalState`.
+    """
+    affected: Set[Pair] = set()
+    for pair in candidate_pairs:
+        e1, e2 = pair
+        if (
+            pair not in state.candidates
+            or e1 in touched
+            or e2 in touched
+            or e1 in old_affected_entities
+            or e2 in old_affected_entities
+        ):
+            affected.add(pair)
+    affected = DependencyWorklist(dependents).close(affected)
+
+    # every entity the delta implicates: members of affected pairs plus every
+    # touched entity (covers candidate pairs that *vanished*, e.g. a retype)
+    implicated: Set[str] = {entity for pair in affected for entity in pair}
+    implicated |= touched_entities
+
+    seed: List[Pair] = []
+    dropped_pairs: Set[Pair] = set()
+    dropped_classes = 0
+    for cls in state.eq.nontrivial_classes():
+        members = sorted(cls)
+        if implicated.intersection(cls):
+            dropped_classes += 1
+            dropped_pairs.update(itertools.combinations(members, 2))
+        else:
+            anchor = members[0]
+            seed.extend((anchor, other) for other in members[1:])
+
+    worklist = tuple(
+        pair for pair in candidate_pairs if pair in affected or pair in dropped_pairs
+    )
+    return DeltaPlan(
+        worklist=worklist,
+        seed=tuple(seed),
+        dropped_classes=dropped_classes,
+        candidate_count=len(candidate_pairs),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# artifact rebasing: candidates and product-graph entries under a delta
+# --------------------------------------------------------------------------- #
+
+
+def rebase_filtered_candidates(
+    old: CandidateSet,
+    graph,
+    keys: KeySet,
+    *,
+    snapshot,
+    index: NeighborhoodIndex,
+    affected_entities: Set[str],
+    reduce_neighborhoods: bool,
+) -> CandidateSet:
+    """Rebuild a pairing-filtered :class:`CandidateSet` after a journal delta,
+    re-running the pairing fixpoint only for pairs the delta could have
+    affected.
+
+    A pair's pairing outcome (and its support nodes) depends only on its two
+    d-neighbourhoods, so pairs whose entities are outside *affected_entities*
+    keep the cached verdict from *old* (``pair_supports`` / ``rejected_pairs``).
+    The result is bit-identical to :func:`build_filtered_candidates` on the
+    new graph — the equivalence the mutation-fuzz suite enforces.
+    """
+    reader = snapshot if snapshot is not None else graph
+    base = build_candidates(graph, keys, index=index, snapshot=snapshot)
+    neighborhoods = base.neighborhoods
+    if reduce_neighborhoods:
+        neighborhoods = index.clone()
+    keys_by_type: Dict[str, List[Key]] = {
+        etype: keys.keys_for_type(etype) for etype in keys.target_types()
+    }
+    old_supports = old.pair_supports or {}
+    old_rejected = old.rejected_pairs or set()
+
+    surviving: List[Pair] = []
+    supports: Dict[Pair, Tuple[Set[GraphNode], Set[GraphNode]]] = {}
+    rejected: Set[Pair] = set()
+    recomputed_entities: Set[str] = set()
+    for pair in base.pairs:
+        e1, e2 = pair
+        fresh = (
+            e1 in affected_entities
+            or e2 in affected_entities
+            or (pair not in old_supports and pair not in old_rejected)
+        )
+        if not fresh:
+            if pair in old_rejected:
+                rejected.add(pair)
+            else:
+                supports[pair] = old_supports[pair]
+                surviving.append(pair)
+            continue
+        recomputed_entities.update(pair)
+        side1: Set[GraphNode] = set()
+        side2: Set[GraphNode] = set()
+        paired = False
+        nbhd1 = neighborhoods.nodes(e1)
+        nbhd2 = neighborhoods.nodes(e2)
+        for key in keys_by_type.get(reader.entity_type(e1), ()):
+            relation = pairing_relation(reader, key, e1, e2, nbhd1, nbhd2)
+            if relation is None:
+                continue
+            paired = True
+            support1, support2 = pairing_support_nodes(relation)
+            side1 |= support1
+            side2 |= support2
+        if paired:
+            surviving.append(pair)
+            supports[pair] = (side1, side2)
+        else:
+            rejected.add(pair)
+
+    drift: Optional[Set[str]] = None
+    if reduce_neighborhoods:
+        apply_support_restrictions(neighborhoods, supports)
+        # pairing is a joint simulation: an unaffected entity's restriction
+        # can still change when a pair it shares with an affected partner
+        # had its support recomputed (or vanished); detect it so consumers
+        # of restricted neighbourhoods widen their affected sets
+        new_pair_set = {pair for pair in base.pairs}
+        for pair in old_supports:
+            if pair not in new_pair_set:
+                recomputed_entities.update(pair)
+        drift = {
+            entity
+            for entity in recomputed_entities
+            if entity not in affected_entities
+            and neighborhoods.nodes(entity) != old.neighborhoods.nodes(entity)
+        }
+
+    return CandidateSet(
+        pairs=surviving,
+        neighborhoods=neighborhoods,
+        unfiltered_size=base.unfiltered_size,
+        unreduced_neighborhood_total=base.unreduced_neighborhood_total,
+        pair_supports=supports,
+        rejected_pairs=rejected,
+        restriction_drift=drift,
+    )
+
+
+class DependencyArtifact:
+    """Both directions of a dependency map, rebased copy-on-write.
+
+    ``forward`` is the consumer-facing prerequisite → dependents mapping
+    (exactly :func:`~repro.matching.candidates.dependency_map`); ``rows`` is
+    its inverse (dependent → prerequisites), kept so :meth:`rebased` can
+    patch only delta-affected rows instead of re-deriving every edge.  Set
+    objects are shared between generations and privatized on first write, so
+    a rebase costs work proportional to the delta, not to ``|L|``.
+    """
+
+    __slots__ = ("forward", "rows")
+
+    def __init__(
+        self, forward: Dict[Pair, Set[Pair]], rows: Dict[Pair, Set[Pair]]
+    ) -> None:
+        self.forward = forward
+        self.rows = rows
+
+    @classmethod
+    def build(cls, graph, keys: KeySet, candidates: CandidateSet) -> "DependencyArtifact":
+        from .candidates import dependency_map  # local: avoid confusing reexport
+
+        forward = dependency_map(graph, keys, candidates)
+        rows: Dict[Pair, Set[Pair]] = {pair: set() for pair in forward}
+        for prerequisite, dependents in forward.items():
+            for dependent in dependents:
+                rows[dependent].add(prerequisite)
+        return cls(forward, rows)
+
+    def rebased(
+        self,
+        graph,
+        keys: KeySet,
+        candidates: CandidateSet,
+        affected_entities: Set[str],
+    ) -> "DependencyArtifact":
+        """This artifact migrated onto the new graph version after a delta.
+
+        Rows are recomputed only for dependents with an entity in
+        *affected_entities* (which covers every pair new since the old
+        build); removed pairs are unlinked edge by edge; pairs new as
+        *prerequisites* are probed against the unaffected dependents whose
+        keys recurse into their type.  ``forward`` is bit-identical (as a
+        mapping of sets) to a from-scratch build on the new graph.
+        """
+        depends_on_types = depends_on_types_by_target(keys)
+        new_pairs = candidates.pairs
+        new_set = set(new_pairs)
+        old_forward, old_rows = self.forward, self.rows
+        forward: Dict[Pair, Set[Pair]] = dict(old_forward)
+        rows: Dict[Pair, Set[Pair]] = dict(old_rows)
+        owned_forward: Set[Pair] = set()
+        owned_rows: Set[Pair] = set()
+
+        def own_forward(pair: Pair) -> Set[Pair]:
+            if pair not in owned_forward:
+                forward[pair] = set(forward.get(pair, ()))
+                owned_forward.add(pair)
+            return forward[pair]
+
+        def own_row(pair: Pair) -> Set[Pair]:
+            if pair not in owned_rows:
+                rows[pair] = set(rows.get(pair, ()))
+                owned_rows.add(pair)
+            return rows[pair]
+
+        # 1) unlink pairs that stopped being candidates
+        removed = [pair for pair in old_forward if pair not in new_set]
+        for pair in removed:
+            for prerequisite in old_rows.get(pair, ()):
+                if prerequisite in new_set:
+                    own_forward(prerequisite).discard(pair)
+            for dependent in old_forward.get(pair, ()):
+                if dependent in new_set:
+                    own_row(dependent).discard(pair)
+            forward.pop(pair, None)
+            rows.pop(pair, None)
+            owned_forward.discard(pair)
+            owned_rows.discard(pair)
+
+        # 2) recompute the rows of affected dependents (covers new pairs too)
+        affected_dependents = [
+            pair
+            for pair in new_pairs
+            if pair[0] in affected_entities or pair[1] in affected_entities
+        ]
+        fresh = [pair for pair in new_pairs if pair not in old_forward]
+        candidate_index = (
+            candidate_pairs_by_type(graph, list(new_pairs))
+            if affected_dependents
+            else {}
+        )
+        for dependent in affected_dependents:
+            wanted = depends_on_types.get(graph.entity_type(dependent[0]), set())
+            new_row = pair_prerequisites(
+                dependent, wanted, candidate_index, candidates.neighborhoods
+            )
+            old_row = rows.get(dependent, set())
+            for prerequisite in old_row - new_row:
+                own_forward(prerequisite).discard(dependent)
+            for prerequisite in new_row - old_row:
+                own_forward(prerequisite).add(dependent)
+            rows[dependent] = new_row
+            owned_rows.add(dependent)
+
+        # 3) probe fresh pairs as prerequisites of *unaffected* dependents
+        if fresh:
+            fresh_by_type = candidate_pairs_by_type(graph, fresh)
+            fresh_types = set(fresh_by_type)
+            recomputed = set(affected_dependents)
+            for dependent in new_pairs:
+                if dependent in recomputed:
+                    continue
+                wanted = depends_on_types.get(graph.entity_type(dependent[0]), set())
+                if not wanted & fresh_types:
+                    continue
+                added = pair_prerequisites(
+                    dependent, wanted, fresh_by_type, candidates.neighborhoods
+                )
+                if added:
+                    own_row(dependent).update(added)
+                    for prerequisite in added:
+                        own_forward(prerequisite).add(dependent)
+
+        # every candidate pair is a forward/rows key, exactly like build()
+        for pair in fresh:
+            forward.setdefault(pair, set())
+            rows.setdefault(pair, set())
+        return DependencyArtifact(forward, rows)
+
+
+def touched_entity_nodes(graph, touched: Set[GraphNode]) -> Set[str]:
+    """The touched nodes that are (still) entities of *graph*."""
+    return {
+        node for node in touched if is_entity_ref(node) and graph.has_entity(node)
+    }

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.equivalence import Pair
 from ..core.graph import Graph
-from ..core.key import Key, KeySet
+from ..core.key import KeySet
 from ..core.pairing import pairing_relation
 from ..core.triples import GraphNode, is_entity_ref
 from .candidates import CandidateSet, dependency_map
@@ -32,14 +32,27 @@ ProductNode = Tuple[GraphNode, GraphNode]
 class ProductGraph:
     """``Gp``: pair nodes, pair adjacency, ``dep`` edges and ``tc`` indexes."""
 
-    def __init__(self, graph: Graph, keys: KeySet, candidates: CandidateSet) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        keys: KeySet,
+        candidates: CandidateSet,
+        dependents: Optional[Dict[Pair, Set[Pair]]] = None,
+    ) -> None:
         self._graph = graph
         self._keys = keys
         self._candidates = candidates
+        #: optional precomputed dependency map (e.g. the session cache's);
+        #: must equal ``dependency_map(graph, keys, candidates)``
+        self._prebuilt_dependents = dependents
         self._nodes: Set[ProductNode] = set()
         self._candidate_nodes: List[Pair] = list(candidates.pairs)
         self._dependents: Dict[Pair, Set[Pair]] = {}
         self._pairs_by_entity: Dict[str, Set[Pair]] = defaultdict(set)
+        #: per-candidate-pair contributed nodes (the pair itself plus its
+        #: pairing-relation nodes); :meth:`rebased` reuses the entries of
+        #: pairs a journal delta cannot have affected.
+        self._nodes_by_pair: Dict[Pair, Set[ProductNode]] = {}
         #: work units spent building the product graph (charged as setup cost)
         self.construction_work = 0
         self._build()
@@ -48,29 +61,80 @@ class ProductGraph:
     # construction
     # ------------------------------------------------------------------ #
 
-    def _build(self) -> None:
-        graph = self._graph
+    def _pair_nodes(self, pair: Pair) -> Set[ProductNode]:
+        """The product nodes contributed by one candidate pair (Prop. 9)."""
+        e1, e2 = pair
         neighborhoods = self._candidates.neighborhoods
-        keys_by_type: Dict[str, List[Key]] = {
-            etype: self._keys.keys_for_type(etype) for etype in self._keys.target_types()
-        }
-        for e1, e2 in self._candidates.pairs:
-            pair = (e1, e2)
-            self._nodes.add(pair)
-            self._pairs_by_entity[e1].add(pair)
-            self._pairs_by_entity[e2].add(pair)
-            nbhd1 = neighborhoods.nodes(e1)
-            nbhd2 = neighborhoods.nodes(e2)
-            for key in keys_by_type.get(graph.entity_type(e1), ()):
-                relation = pairing_relation(graph, key, e1, e2, nbhd1, nbhd2)
-                self.construction_work += key.size * max(1, len(nbhd1))
-                if relation is None:
-                    continue
-                for pairs in relation.values():
-                    for node in pairs:
-                        self._nodes.add(node)
-        self._dependents = dependency_map(graph, self._keys, self._candidates)
+        nbhd1 = neighborhoods.nodes(e1)
+        nbhd2 = neighborhoods.nodes(e2)
+        contributed: Set[ProductNode] = {pair}
+        for key in self._keys.keys_for_type(self._graph.entity_type(e1)):
+            relation = pairing_relation(self._graph, key, e1, e2, nbhd1, nbhd2)
+            self.construction_work += key.size * max(1, len(nbhd1))
+            if relation is None:
+                continue
+            for pairs in relation.values():
+                contributed.update(pairs)
+        return contributed
+
+    def _register_pair(self, pair: Pair, contributed: Set[ProductNode]) -> None:
+        self._nodes_by_pair[pair] = contributed
+        self._nodes |= contributed
+        self._pairs_by_entity[pair[0]].add(pair)
+        self._pairs_by_entity[pair[1]].add(pair)
+
+    def _build(self) -> None:
+        for pair in self._candidates.pairs:
+            self._register_pair(pair, self._pair_nodes(pair))
+        self._dependents = (
+            self._prebuilt_dependents
+            if self._prebuilt_dependents is not None
+            else dependency_map(self._graph, self._keys, self._candidates)
+        )
+        self._prebuilt_dependents = None
         self.construction_work += len(self._nodes)
+
+    def rebased(
+        self,
+        graph: Graph,
+        candidates: CandidateSet,
+        affected_entities: Set[str],
+        dependents: Optional[Dict[Pair, Set[Pair]]] = None,
+    ) -> "ProductGraph":
+        """This product graph rebuilt over *graph* after a journal delta.
+
+        Pairing relations are recomputed only for candidate pairs with an
+        entity in *affected_entities* (or pairs new since the old build);
+        every other pair's contributed nodes are carried over unchanged —
+        sound because a pairing relation only reads the pair's two
+        d-neighbourhoods.  The ``dep`` edges are recomputed from the new
+        candidates.  The result is bit-identical to ``ProductGraph(graph,
+        keys, candidates)``.
+        """
+        twin = object.__new__(ProductGraph)
+        twin._graph = graph
+        twin._keys = self._keys
+        twin._candidates = candidates
+        twin._nodes = set()
+        twin._candidate_nodes = list(candidates.pairs)
+        twin._dependents = {}
+        twin._pairs_by_entity = defaultdict(set)
+        twin._nodes_by_pair = {}
+        twin._prebuilt_dependents = None
+        twin.construction_work = 0
+        for pair in candidates.pairs:
+            cached = self._nodes_by_pair.get(pair)
+            if cached is not None and not affected_entities.intersection(pair):
+                twin._register_pair(pair, cached)
+            else:
+                twin._register_pair(pair, twin._pair_nodes(pair))
+        twin._dependents = (
+            dependents
+            if dependents is not None
+            else dependency_map(graph, twin._keys, candidates)
+        )
+        twin.construction_work += len(twin._nodes)
+        return twin
 
     # ------------------------------------------------------------------ #
     # structure queries

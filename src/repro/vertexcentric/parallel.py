@@ -198,13 +198,18 @@ class PartitionedRun:
         # canonical run state, kept on the driver and re-broadcast per task;
         # the epoch (superstep number) lets replicas apply list tails
         # incrementally once their own deltas are known to be absorbed
-        flags, _, _ = program.replica_canonical(engine._vertices)
+        flags, seed_merges, _ = program.replica_canonical(engine._vertices)
         flag_list: List[object] = list(flags)
         flag_set = set(flags)
-        merge_list: List[Tuple[str, str]] = []
+        # the canonical merge history starts with the program's seed merges
+        # (incremental re-matching), so every replica reconstructs the same
+        # seeded equivalence relation from the history alone
+        merge_list: List[Tuple[str, str]] = list(seed_merges)
         from ..core.equivalence import EquivalenceRelation
 
         novelty_eq = EquivalenceRelation()
+        for e1, e2 in seed_merges:
+            novelty_eq.merge(e1, e2)
         counter_totals: Dict[str, int] = {}
         total_processed = 0
 

@@ -142,3 +142,84 @@ class TestStructure:
     def test_empty_graph_is_trivially_tree_and_connected(self):
         assert Graph().is_tree()
         assert Graph().is_connected()
+
+
+class TestNonMonotoneMutations:
+    """remove_triple / remove_edge / remove_value / set_value / retype_entity."""
+
+    def test_remove_triple_updates_every_index(self, graph: Graph):
+        graph.remove_edge("a", "recorded_by", "r")
+        assert not graph.has_triple("a", "recorded_by", "r")
+        assert graph.num_triples == 2
+        assert graph.objects("a", "recorded_by") == set()
+        assert graph.subjects("recorded_by", "r") == set()
+        assert "r" not in graph.neighbors("a")
+        assert "a" not in graph.neighbors("r")
+
+    def test_remove_keeps_undirected_edge_with_parallel_triple(self, graph: Graph):
+        graph.add_edge("a", "produced_by", "r")  # parallel edge a—r
+        graph.remove_edge("a", "recorded_by", "r")
+        assert "r" in graph.neighbors("a")
+        graph.remove_edge("a", "produced_by", "r")
+        assert "r" not in graph.neighbors("a")
+
+    def test_remove_keeps_undirected_edge_with_reverse_triple(self, graph: Graph):
+        graph.add_edge("r", "performs_on", "a")
+        graph.remove_edge("a", "recorded_by", "r")
+        assert "r" in graph.neighbors("a") and "a" in graph.neighbors("r")
+
+    def test_remove_value_shares_value_nodes_correctly(self, graph: Graph):
+        graph.remove_value("a", "name_of", "X")
+        # "b" still holds the shared value node
+        assert graph.has_triple("b", "name_of", Literal("X"))
+        assert Literal("X") in graph.value_nodes()
+        assert "a" not in graph.subjects("name_of", Literal("X"))
+
+    def test_removal_is_journalled(self, graph: Graph):
+        version = graph.version
+        graph.remove_edge("a", "recorded_by", "r")
+        assert graph.version > version
+        touched = graph.touched_since(version)
+        assert touched == {"a", "r"}
+
+    def test_absent_removal_is_a_noop(self, graph: Graph):
+        version = graph.version
+        graph.remove_edge("a", "never_there", "r")
+        assert graph.version == version
+
+    def test_set_value_replaces_and_journals(self, graph: Graph):
+        version = graph.version
+        graph.set_value("a", "name_of", "Y")
+        assert graph.objects("a", "name_of") == {Literal("Y")}
+        touched = graph.touched_since(version)
+        assert "a" in touched and Literal("X") in touched and Literal("Y") in touched
+
+    def test_set_value_same_value_is_a_noop(self, graph: Graph):
+        version = graph.version
+        graph.set_value("a", "name_of", "X")
+        assert graph.version == version
+
+    def test_retype_entity_moves_type_buckets(self, graph: Graph):
+        version = graph.version
+        graph.retype_entity("a", "bootleg")
+        assert graph.entity_type("a") == "bootleg"
+        assert graph.entities_of_type("album") == ["b"]
+        assert graph.entities_of_type("bootleg") == ["a"]
+        assert graph.touched_since(version) == {"a"}
+        # incident triples survive a retype
+        assert graph.has_triple("a", "recorded_by", "r")
+
+    def test_retype_to_same_type_is_a_noop(self, graph: Graph):
+        version = graph.version
+        graph.retype_entity("a", "album")
+        assert graph.version == version
+
+    def test_retype_unknown_entity_raises(self, graph: Graph):
+        with pytest.raises(UnknownEntityError):
+            graph.retype_entity("ghost", "album")
+
+    def test_copy_equality_after_removals(self, graph: Graph):
+        graph.remove_edge("a", "recorded_by", "r")
+        clone = graph.copy()
+        assert clone == graph
+        assert clone.neighbors("a") == graph.neighbors("a")

@@ -35,6 +35,20 @@ class TestMatchCommand:
         assert main(["match", "--graph", graph_path, "--keys", keys_path, "--algorithm", "chase"]) == 0
         assert "identified" in capsys.readouterr().out
 
+    def test_match_incremental_falls_back_with_provenance(self, music_files, capsys):
+        # a one-shot CLI run has no previous result: --incremental silently
+        # falls back to a full run and --profile says so
+        graph_path, keys_path = music_files
+        exit_code = main(
+            ["match", "--graph", graph_path, "--keys", keys_path,
+             "--algorithm", "chase", "--incremental", "--profile"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "alb1 == alb2" in output
+        assert "delta provenance" in output
+        assert "no previous result" in output
+
     def test_missing_file_reports_error(self, tmp_path, capsys):
         exit_code = main(
             ["match", "--graph", str(tmp_path / "nope.graph"), "--keys", str(tmp_path / "nope.keys")]
