@@ -11,7 +11,7 @@ session module lazily on first attribute access (PEP 562).
 from __future__ import annotations
 
 from .config import DEFAULT_ALGORITHM, DEFAULT_PROCESSORS, MatchConfig
-from .events import ProgressEvent, ProgressObserver
+from .events import EventStream, ProgressEvent, ProgressObserver
 from .registry import (
     ALGORITHMS,
     REGISTRY,
@@ -39,6 +39,7 @@ __all__ = [
     "DEFAULT_ALGORITHM",
     "DEFAULT_PROCESSORS",
     "DeltaProvenance",
+    "EventStream",
     "MatchConfig",
     "MatchSession",
     "OptionSpec",

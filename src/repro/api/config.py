@@ -100,6 +100,56 @@ class MatchConfig:
             )
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable wire form (the service's request schema).
+
+        The snapshot store travels as its directory path (``str``) — a live
+        :class:`SnapshotStore` handle is a per-process object.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "processors": self.processors,
+            "executor": self.executor,
+            "workers": self.workers,
+            "snapshot_store": (
+                None if self.snapshot_store is None else str(self.snapshot_store)
+            ),
+            "incremental": self.incremental,
+            "options": dict(self.options),
+        }
+
+    #: the keys :meth:`from_dict` accepts — anything else is a client error
+    _WIRE_FIELDS = frozenset(
+        ("algorithm", "processors", "executor", "workers",
+         "snapshot_store", "incremental", "options")
+    )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MatchConfig":
+        """Build a config from a wire mapping, rejecting unknown keys.
+
+        Raises :class:`~repro.exceptions.ConfigError` on unknown keys or
+        ill-typed values (the same validation the constructor applies), so a
+        service front end can turn any bad request into a clean 400.
+        """
+        unknown = sorted(set(payload) - cls._WIRE_FIELDS)
+        if unknown:
+            raise ConfigError(
+                f"unknown config field(s): {', '.join(unknown)} "
+                f"(accepted: {', '.join(sorted(cls._WIRE_FIELDS))})"
+            )
+        options = payload.get("options", {})
+        if not isinstance(options, Mapping):
+            raise ConfigError(f"options must be a mapping, got {options!r}")
+        kwargs: Dict[str, object] = {"options": dict(options)}
+        for name in ("algorithm", "processors", "executor", "workers",
+                     "snapshot_store", "incremental"):
+            if name in payload and payload[name] is not None:
+                kwargs[name] = payload[name]
+        if "algorithm" in kwargs and not isinstance(kwargs["algorithm"], str):
+            raise ConfigError(f"algorithm must be a string, got {kwargs['algorithm']!r}")
+        return cls(**kwargs)  # type: ignore[arg-type]
+
     def with_options(self, **options: object) -> "MatchConfig":
         """A copy of this config with *options* merged in."""
         merged = dict(self.options)

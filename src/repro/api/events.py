@@ -6,12 +6,31 @@ vertex-centric family emits stage events around product-graph construction and
 the engine drain, and every backend emits a final ``"done"`` event.  Observers
 are registered on a :class:`~repro.api.session.MatchSession` via
 ``on_progress`` (or passed directly to a runner as ``observer=``).
+
+Observer failures never fail a run: :func:`notify` (the helper every backend
+delivers through) isolates a raising observer, records the failure on the
+``repro.events`` logger, and carries on.  The session's fan-out dispatcher
+applies the same isolation *per observer*, so one broken observer cannot
+starve its siblings of events either.
+
+For pull-style consumers — ``MatchSession.run_async()`` callers, the service
+layer's request streams — :class:`EventStream` adapts the push callback into
+a **bounded-queue iterator**: it subscribes like any observer, buffers up to
+``maxsize`` events, drops the oldest when the consumer falls behind (a slow
+reader must never block or abort a matching run), and ends iteration when
+closed.
 """
 
 from __future__ import annotations
 
+import logging
+import queue
+import threading
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, List, Optional
+
+
+_LOGGER = logging.getLogger("repro.events")
 
 
 @dataclass(frozen=True)
@@ -29,12 +48,166 @@ class ProgressEvent:
     pending: int = 0
     detail: str = ""
 
+    def as_dict(self) -> dict:
+        """Plain-JSON form (the service layer's wire representation)."""
+        return {
+            "algorithm": self.algorithm,
+            "stage": self.stage,
+            "round": self.round,
+            "identified": self.identified,
+            "pending": self.pending,
+            "detail": self.detail,
+        }
+
 
 #: An observer is any callable accepting a :class:`ProgressEvent`.
 ProgressObserver = Callable[[ProgressEvent], None]
 
 
 def notify(observer, event: ProgressEvent) -> None:
-    """Deliver *event* to *observer* when one is set (helper for backends)."""
-    if observer is not None:
+    """Deliver *event* to *observer* when one is set (helper for backends).
+
+    A raising observer is isolated: the exception is recorded on the
+    ``repro.events`` logger and swallowed, so a broken progress callback can
+    never abort the matching run it is watching.
+    """
+    if observer is None:
+        return
+    try:
         observer(event)
+    except Exception:
+        _LOGGER.exception(
+            "progress observer %r raised on %r; event dropped", observer, event
+        )
+
+
+class EventStream:
+    """A bounded-queue, iterator-style subscription to progress events.
+
+    Created by :meth:`MatchSession.events`; usable directly as an observer
+    callback anywhere a :data:`ProgressObserver` is accepted.  The producer
+    side never blocks: when the queue is full the *oldest* buffered event is
+    dropped (and counted in :attr:`dropped`) to make room, so a stalled
+    consumer degrades to sampled progress instead of stalling the run.
+
+    Iteration yields events as they arrive and ends once the stream is
+    :meth:`close`\\ d and drained.  ``EventStream`` is also a context
+    manager (``with session.events() as stream: ...``) that closes — and
+    detaches from its session — on exit.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize)
+        self._lock = threading.Lock()
+        self._closed = False
+        #: events evicted because the consumer fell behind the producer
+        self.dropped = 0
+        #: total events delivered into the stream (before any eviction)
+        self.received = 0
+        # set by MatchSession.events(): unsubscribes the stream on close()
+        self._detach: Optional[Callable[[], None]] = None
+
+    # -- producer side (observer protocol) -------------------------------- #
+
+    def __call__(self, event: ProgressEvent) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self.received += 1
+            self._put_evicting(event)
+
+    def _put_evicting(self, item: object) -> None:
+        """Enqueue *item*, evicting the oldest entries when full (lock held)."""
+        while True:
+            try:
+                self._queue.put_nowait(item)
+                return
+            except queue.Full:
+                try:
+                    evicted = self._queue.get_nowait()
+                    if evicted is not self._CLOSE:
+                        self.dropped += 1
+                except queue.Empty:
+                    pass  # a consumer raced the eviction; retry the put
+
+    def close(self) -> None:
+        """Stop accepting events and end iteration once drained."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            detach, self._detach = self._detach, None
+            self._put_evicting(self._CLOSE)
+        if detach is not None:
+            try:
+                detach()
+            except ValueError:
+                pass  # already unsubscribed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- consumer side ----------------------------------------------------- #
+
+    @property
+    def pending(self) -> int:
+        """Approximate number of buffered, not-yet-consumed events."""
+        return self._queue.qsize()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[ProgressEvent]:
+        """The next event, or ``None`` when closed-and-drained or timed out."""
+        deadline_poll = 0.05 if timeout is None else min(0.05, max(timeout, 0.0))
+        remaining = timeout
+        while True:
+            try:
+                item = self._queue.get(timeout=deadline_poll)
+            except queue.Empty:
+                if self._closed:
+                    return None
+                if remaining is not None:
+                    remaining -= deadline_poll
+                    if remaining <= 0:
+                        return None
+                continue
+            if item is self._CLOSE:
+                return None
+            return item  # type: ignore[return-value]
+
+    def drain(self) -> List[ProgressEvent]:
+        """All currently buffered events, without blocking."""
+        drained: List[ProgressEvent] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            if item is not self._CLOSE:
+                drained.append(item)  # type: ignore[arg-type]
+
+    def __iter__(self):
+        while True:
+            event = self.get()
+            if event is None:
+                if self._closed and self._queue.empty():
+                    return
+                continue
+            yield event
+
+    def __enter__(self) -> "EventStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"EventStream({state}, pending={self.pending}, "
+            f"received={self.received}, dropped={self.dropped})"
+        )

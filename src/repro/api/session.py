@@ -28,7 +28,9 @@ run.
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -55,9 +57,10 @@ from ..matching.product_graph import ProductGraph
 from ..matching.result import EMResult
 from ..matching.traversal_order import traversal_orders
 from ..storage import GraphSnapshot, SnapshotNeighborhoodIndex
-from ..storage.store import SnapshotStore, as_snapshot_store, graph_fingerprint
+from ..storage.store import SnapshotStore, as_snapshot_store
 from .config import MatchConfig
-from .events import ProgressEvent, ProgressObserver
+from .events import _LOGGER as _EVENT_LOGGER
+from .events import EventStream, ProgressEvent, ProgressObserver
 from .registry import ALGORITHMS, get_algorithm
 
 
@@ -113,6 +116,14 @@ class SessionArtifacts:
     are keyed by ``(filtered, reduce_neighborhoods)``; all flavours share one
     underlying :class:`NeighborhoodIndex` (reduced flavours restrict a clone,
     never the shared base).
+
+    The cache is **safe for concurrent callers**: every accessor runs under a
+    build-once re-entrant lock, so two requests racing on a cold artifact
+    never duplicate the build and never observe a half-built value — the
+    second caller blocks until the first caller's build is published, then
+    returns the same object.  One ``SessionArtifacts`` may therefore be
+    shared by many sessions on the same ``(graph, keys)`` (the service layer
+    multiplexes all requests for a named graph through one instance).
     """
 
     def __init__(
@@ -125,6 +136,9 @@ class SessionArtifacts:
         self._keys = keys
         #: optional on-disk snapshot store consulted before every build
         self.snapshot_store = snapshot_store
+        # build-once lock: accessors nest (product graph → candidates →
+        # index → snapshot), so the lock must be re-entrant
+        self._lock = threading.RLock()
         self._version = graph.version
         self._snapshot: Optional[GraphSnapshot] = None
         self._index: Optional[SnapshotNeighborhoodIndex] = None
@@ -172,20 +186,21 @@ class SessionArtifacts:
         invalidation severs the delta chain (the next incremental run falls
         back to a full one), so the per-delta accounting restarts too.
         """
-        self._snapshot = None
-        self._index = None
-        self._candidates.clear()
-        self._dependency_maps.clear()
-        self._product_graphs.clear()
-        self._stale_candidates.clear()
-        self._stale_product_graphs.clear()
-        self._stale_dependency_maps.clear()
-        self._orders = None
-        self._version = self._graph.version
-        self.invalidations += 1
-        self.incremental_runs = 0
-        self.pairs_rechecked = 0
-        self.pairs_skipped = 0
+        with self._lock:
+            self._snapshot = None
+            self._index = None
+            self._candidates.clear()
+            self._dependency_maps.clear()
+            self._product_graphs.clear()
+            self._stale_candidates.clear()
+            self._stale_product_graphs.clear()
+            self._stale_dependency_maps.clear()
+            self._orders = None
+            self._version = self._graph.version
+            self.invalidations += 1
+            self.incremental_runs = 0
+            self.pairs_rechecked = 0
+            self.pairs_skipped = 0
 
     def stale_entities(self, touched: set) -> set:
         """Entities whose cached d-neighbourhood a *touched* node set stales.
@@ -195,13 +210,14 @@ class SessionArtifacts:
         locality argument in :mod:`repro.matching.incremental` this also
         covers every entity whose *new* neighbourhood gained a touched node.
         """
-        if self._index is None:
-            return set()
-        return {
-            entity
-            for entity in self._index.cached_entities()
-            if entity in touched or touched & self._index.nodes(entity)
-        }
+        with self._lock:
+            if self._index is None:
+                return set()
+            return {
+                entity
+                for entity in self._index.cached_entities()
+                if entity in touched or touched & self._index.nodes(entity)
+            }
 
     def refresh(self, stale_hint: Optional[set] = None) -> None:
         """Reconcile the cache with any graph mutations since the last run.
@@ -219,27 +235,28 @@ class SessionArtifacts:
         for the same journal window (the incremental planner) pass the
         result in, skipping the second neighbourhood sweep.
         """
-        version = self._graph.version
-        if version == self._version:
-            return
-        touched = self._graph.touched_since(self._version)
-        if touched is None or self._index is None:
-            self._candidates.clear()
-            self._product_graphs.clear()
-            self._dependency_maps.clear()
-            self._stale_candidates.clear()
-            self._stale_product_graphs.clear()
-            self._stale_dependency_maps.clear()
-            self._index = None
-            self._snapshot = None
-        else:
-            stale = stale_hint if stale_hint is not None else self.stale_entities(touched)
-            affected = set(stale) | touched_entity_nodes(self._graph, touched)
-            self._stash_for_rebase(affected)
-            self._snapshot = None
-            self._index = self._index.rebased(self.snapshot(), evict=sorted(stale))
-        self._version = version
-        self.invalidations += 1
+        with self._lock:
+            version = self._graph.version
+            if version == self._version:
+                return
+            touched = self._graph.touched_since(self._version)
+            if touched is None or self._index is None:
+                self._candidates.clear()
+                self._product_graphs.clear()
+                self._dependency_maps.clear()
+                self._stale_candidates.clear()
+                self._stale_product_graphs.clear()
+                self._stale_dependency_maps.clear()
+                self._index = None
+                self._snapshot = None
+            else:
+                stale = stale_hint if stale_hint is not None else self.stale_entities(touched)
+                affected = set(stale) | touched_entity_nodes(self._graph, touched)
+                self._stash_for_rebase(affected)
+                self._snapshot = None
+                self._index = self._index.rebased(self.snapshot(), evict=sorted(stale))
+            self._version = version
+            self.invalidations += 1
 
     def _stash_for_rebase(self, affected: set) -> None:
         """Park filtered candidates / product graphs for delta rebasing.
@@ -277,56 +294,54 @@ class SessionArtifacts:
         (an ``mmap`` load of a warm file skips the build entirely) and a
         freshly built snapshot is written back; *any*
         :class:`~repro.exceptions.StoreError` — missing file, corruption,
-        format or staleness mismatch — falls back to a clean rebuild.
+        format or staleness mismatch — falls back to a clean rebuild.  The
+        store's miss path is additionally serialized per graph fingerprint
+        (:meth:`SnapshotStore.get_or_build`), so sibling sessions sharing a
+        store build each snapshot exactly once machine-process-wide.
         """
-        if self._snapshot is None:
-            store = self.snapshot_store
-            fingerprint: Optional[str] = None
-            if store is not None:
-                # fingerprint once; load and write-back share it
-                fingerprint = self._timed(
-                    "snapshot_store_load", lambda: graph_fingerprint(self._graph)
-                )
-                loaded = self._timed(
-                    "snapshot_store_load", lambda: self._load_stored(fingerprint)
-                )
-                if loaded is not None:
-                    self._snapshot = loaded
-                    self.store_hits += 1
-                else:
-                    self.store_misses += 1
+        with self._lock:
             if self._snapshot is None:
-                self._snapshot = self._timed(
-                    "snapshot_build", lambda: GraphSnapshot.build(self._graph)
-                )
-                self.snapshot_builds += 1
+                store = self.snapshot_store
                 if store is not None:
-                    try:
-                        self._timed(
-                            "snapshot_store_save",
-                            lambda: store.save(self._snapshot, fingerprint=fingerprint),
-                        )
-                    except (StoreError, OSError):
-                        pass  # an unwritable store never fails a run
-        return self._snapshot
+                    snapshot, loaded = store.get_or_build(
+                        self._graph, self._build_snapshot, timed=self._timed
+                    )
+                    self._snapshot = snapshot
+                    if loaded:
+                        self.store_hits += 1
+                    else:
+                        self.store_misses += 1
+                else:
+                    self._snapshot = self._build_snapshot()
+            return self._snapshot
 
-    def _load_stored(self, fingerprint: str) -> Optional[GraphSnapshot]:
-        try:
-            return self.snapshot_store.load(self._graph, fingerprint=fingerprint)
-        except StoreError:
-            return None
+    def _build_snapshot(self) -> GraphSnapshot:
+        snapshot = self._timed(
+            "snapshot_build", lambda: GraphSnapshot.build(self._graph)
+        )
+        self.snapshot_builds += 1
+        return snapshot
 
     def neighborhood_index(self) -> SnapshotNeighborhoodIndex:
-        if self._index is None:
-            snapshot = self.snapshot()
-            self._index = self._timed(
-                "neighborhood_index_build",
-                lambda: SnapshotNeighborhoodIndex(snapshot, self._keys),
-            )
-            self.index_builds += 1
-        return self._index
+        with self._lock:
+            if self._index is None:
+                snapshot = self.snapshot()
+                self._index = self._timed(
+                    "neighborhood_index_build",
+                    lambda: SnapshotNeighborhoodIndex(snapshot, self._keys),
+                )
+                self.index_builds += 1
+            return self._index
 
     def candidates(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> CandidateSet:
+        with self._lock:
+            return self._candidates_locked(
+                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+            )
+
+    def _candidates_locked(
+        self, *, filtered: bool, reduce_neighborhoods: bool = False
+    ) -> CandidateSet:
         flavor = (filtered, reduce_neighborhoods)
         cached = self._candidates.get(flavor)
         if cached is None:
@@ -372,6 +387,14 @@ class SessionArtifacts:
         return cached
 
     def dependency_map(self, *, filtered: bool, reduce_neighborhoods: bool = False):
+        with self._lock:
+            return self._dependency_map_locked(
+                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+            )
+
+    def _dependency_map_locked(
+        self, *, filtered: bool, reduce_neighborhoods: bool = False
+    ):
         flavor = (filtered, reduce_neighborhoods)
         cached = self._dependency_maps.get(flavor)
         if cached is None:
@@ -397,6 +420,14 @@ class SessionArtifacts:
         return cached.forward
 
     def product_graph(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> ProductGraph:
+        with self._lock:
+            return self._product_graph_locked(
+                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+            )
+
+    def _product_graph_locked(
+        self, *, filtered: bool, reduce_neighborhoods: bool = False
+    ) -> ProductGraph:
         flavor = (filtered, reduce_neighborhoods)
         cached = self._product_graphs.get(flavor)
         if cached is None:
@@ -429,12 +460,17 @@ class SessionArtifacts:
         return cached
 
     def traversal_orders(self):
-        if self._orders is None:
-            self._orders = traversal_orders(self._keys)
-            self.order_builds += 1
-        return self._orders
+        with self._lock:
+            if self._orders is None:
+                self._orders = traversal_orders(self._keys)
+                self.order_builds += 1
+            return self._orders
 
     def cache_info(self) -> SessionCacheInfo:
+        with self._lock:
+            return self._cache_info_locked()
+
+    def _cache_info_locked(self) -> SessionCacheInfo:
         return SessionCacheInfo(
             snapshot_builds=self.snapshot_builds,
             neighborhood_index_builds=self.index_builds,
@@ -453,7 +489,16 @@ class SessionArtifacts:
 
 
 class MatchSession:
-    """A fluent facade over the algorithm registry with artifact caching."""
+    """A fluent facade over the algorithm registry with artifact caching.
+
+    Sessions are safe for concurrent callers: :meth:`run` bodies serialize on
+    a per-session lock (so concurrent ``run()`` / :meth:`run_async` calls on
+    one session are bit-identical to issuing them serially), while sibling
+    sessions run fully in parallel.  Passing a shared ``artifacts`` cache —
+    or configuring sibling sessions with one shared ``snapshot_store`` —
+    lets many sessions on the same graph pay for each expensive artifact
+    exactly once (the service layer's multiplexing contract).
+    """
 
     def __init__(
         self,
@@ -462,19 +507,39 @@ class MatchSession:
         config: Optional[MatchConfig] = None,
         *,
         snapshot_store: Union[None, str, "os.PathLike", SnapshotStore] = None,
+        artifacts: Optional[SessionArtifacts] = None,
     ) -> None:
+        if artifacts is not None:
+            if artifacts._graph is not graph:
+                raise MatchingError(
+                    "shared artifacts were built for a different graph object"
+                )
+            if keys is None:
+                keys = artifacts._keys
+            elif keys is not artifacts._keys:
+                raise MatchingError(
+                    "shared artifacts were built for a different key set"
+                )
         self._graph = graph
         self._keys = keys
         self._config = config or MatchConfig()
         if snapshot_store is not None:
             self._config = replace(self._config, snapshot_store=snapshot_store)
-        self._artifacts: Optional[SessionArtifacts] = None
+        self._artifacts: Optional[SessionArtifacts] = artifacts
         self._observers: List[ProgressObserver] = []
         self._history: List[Tuple[MatchConfig, EMResult]] = []
+        #: run-body lock: concurrent runs on one session serialize here
+        self._lock = threading.RLock()
+        #: (observer, exception) pairs recorded by the hardened dispatcher,
+        #: newest last (bounded; see _MAX_OBSERVER_ERRORS)
+        self._observer_errors: List[Tuple[ProgressObserver, BaseException]] = []
         #: seed state for incremental re-matching (set after every run)
         self._incremental: Optional[IncrementalState] = None
         #: delta provenance of the last run (None for classic full runs)
         self._last_delta: Optional[DeltaProvenance] = None
+
+    #: how many observer failures a session remembers (oldest evicted first)
+    _MAX_OBSERVER_ERRORS = 32
 
     # -- fluent configuration -------------------------------------------- #
 
@@ -488,9 +553,10 @@ class MatchSession:
         state is dropped too: a previous result under different keys is not a
         valid seed.
         """
-        self._keys = keys
-        self._artifacts = None
-        self._incremental = None
+        with self._lock:
+            self._keys = keys
+            self._artifacts = None
+            self._incremental = None
         return self
 
     def using(
@@ -540,6 +606,29 @@ class MatchSession:
         self._observers.append(observer)
         return self
 
+    def remove_observer(self, observer: ProgressObserver) -> "MatchSession":
+        """Unsubscribe *observer* (no-op when it was never registered)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+        return self
+
+    def events(self, maxsize: int = 256) -> EventStream:
+        """Subscribe a bounded-queue :class:`EventStream` to this session.
+
+        The stream receives every :class:`ProgressEvent` of every subsequent
+        run (including concurrent ``run_async`` runs, whose events
+        interleave) until it is closed; closing detaches it from the
+        session.  A consumer that falls behind by more than *maxsize* events
+        loses the oldest ones (counted in ``stream.dropped``) — producers
+        never block on a slow reader.
+        """
+        stream = EventStream(maxsize=maxsize)
+        stream._detach = lambda: self.remove_observer(stream)
+        self.on_progress(stream)
+        return stream
+
     # -- introspection ---------------------------------------------------- #
 
     @property
@@ -584,10 +673,11 @@ class MatchSession:
         cached artifacts, so the next ``run(incremental=True)`` falls back to
         a full run.
         """
-        if self._artifacts is not None:
-            self._artifacts.reset()
-        self._incremental = None
-        self._last_delta = None
+        with self._lock:
+            if self._artifacts is not None:
+                self._artifacts.reset()
+            self._incremental = None
+            self._last_delta = None
         return self
 
     def last_delta(self) -> Optional[DeltaProvenance]:
@@ -621,7 +711,32 @@ class MatchSession:
         exists, the journal window expired, or the backend lacks the
         ``"incremental"`` capability.  The outcome is bit-identical to a full
         run either way; :meth:`last_delta` reports which path executed.
+
+        Concurrent calls (including via :meth:`run_async`) serialize on the
+        session's run lock, so every interleaving is equivalent to *some*
+        serial order and each individual result is bit-identical to the same
+        run issued serially.
         """
+        with self._lock:
+            return self._run_locked(
+                algorithm,
+                processors=processors,
+                executor=executor,
+                workers=workers,
+                incremental=incremental,
+                **options,
+            )
+
+    def _run_locked(
+        self,
+        algorithm: Optional[str] = None,
+        *,
+        processors: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        incremental: Optional[bool] = None,
+        **options: object,
+    ) -> EMResult:
         if self._keys is None:
             raise MatchingError("MatchSession has no keys; call with_keys(...) first")
         if algorithm is None:
@@ -683,6 +798,59 @@ class MatchSession:
         self._record_seed_state(result, config)
         self._history.append((config, result))
         return result
+
+    def run_async(
+        self,
+        algorithm: Optional[str] = None,
+        *,
+        processors: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        incremental: Optional[bool] = None,
+        **options: object,
+    ) -> "Future[EMResult]":
+        """Start :meth:`run` on a background thread; returns its future.
+
+        The future resolves to the run's :class:`EMResult` (or raises the
+        run's exception).  ``future.cancel()`` succeeds only while the run is
+        still waiting on the session's run lock — a matching backend that has
+        started cannot be interrupted.  Pair with :meth:`events` to stream
+        the run's progress while it executes::
+
+            stream = session.events()
+            future = session.run_async("EMOptVC")
+            future.add_done_callback(lambda _: stream.close())
+            for event in stream:
+                print(event.stage, event.round)
+            result = future.result()
+        """
+        future: "Future[EMResult]" = Future()
+
+        def _work() -> None:
+            with self._lock:
+                # the cancellation window spans the whole wait on the run
+                # lock: a queued run behind a long one can still be cancelled
+                if not future.set_running_or_notify_cancel():
+                    return
+                try:
+                    future.set_result(
+                        self._run_locked(
+                            algorithm,
+                            processors=processors,
+                            executor=executor,
+                            workers=workers,
+                            incremental=incremental,
+                            **options,
+                        )
+                    )
+                except BaseException as exc:  # the future owns the outcome
+                    future.set_exception(exc)
+
+        thread = threading.Thread(
+            target=_work, name="repro-run-async", daemon=True
+        )
+        thread.start()
+        return future
 
     def _run_full(self, spec, config: MatchConfig, validated: Dict[str, object]) -> EMResult:
         artifacts = self._refresh_artifacts(config)
@@ -879,9 +1047,25 @@ class MatchSession:
             self._artifacts.refresh(stale_hint=stale_hint)
         return self._artifacts
 
+    @property
+    def observer_errors(self) -> Tuple[Tuple[ProgressObserver, BaseException], ...]:
+        """Failures recorded by the observer dispatcher, oldest first."""
+        return tuple(self._observer_errors)
+
     def _dispatch_event(self, event: ProgressEvent) -> None:
-        for observer in self._observers:
-            observer(event)
+        # each observer is isolated: one raising observer must neither abort
+        # the run nor starve the observers registered after it
+        for observer in list(self._observers):
+            try:
+                observer(event)
+            except Exception as exc:
+                self._observer_errors.append((observer, exc))
+                del self._observer_errors[: -self._MAX_OBSERVER_ERRORS]
+                _EVENT_LOGGER.exception(
+                    "progress observer %r raised on %r; event dropped",
+                    observer,
+                    event,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         keys = "no keys" if self._keys is None else f"{self._keys.cardinality} keys"

@@ -6,9 +6,13 @@ Sub-commands:
 * ``check``      — check ``G |= Q(x)`` for every key and report violations;
 * ``generate``   — write a synthetic dataset (graph + keys) to DSL files;
 * ``bench``      — run one of the paper's sweeps and print the series;
-* ``algorithms`` — list the registered matching backends and their options;
+* ``algorithms`` — list the registered matching backends and their options
+  (``--json`` for the machine-readable catalog service clients consume);
 * ``snapshot``   — operate on stored ``GraphSnapshot`` files
-  (``save`` / ``info`` / ``verify``).
+  (``save`` / ``info`` / ``verify``);
+* ``serve``      — run the long-lived matching service (JSON over HTTP):
+  named graphs, concurrent match requests with admission control, progress
+  streaming and ``/metrics`` observability (see ``repro.service``).
 
 ``match --snapshot-store DIR`` consults an on-disk snapshot store before
 compiling the graph (a warm file is ``mmap``-loaded, skipping the build) and
@@ -28,6 +32,7 @@ resolved through the dataset registry (:mod:`repro.datasets.registry`).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, Optional, Sequence
@@ -148,8 +153,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="real worker count of the executor pool (requires --executor)",
     )
 
-    subparsers.add_parser(
+    algorithms_parser = subparsers.add_parser(
         "algorithms", help="list the registered matching algorithms and their options"
+    )
+    algorithms_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: one JSON object per backend with "
+        "name, family, description, capabilities and typed options (what "
+        "service clients use to discover backends)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived matching service (JSON over HTTP): register "
+        "named graphs, submit concurrent match requests, poll status and "
+        "stream progress — all graphs multiplex one shared snapshot store",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8765, help="bind port")
+    serve_parser.add_argument(
+        "--snapshot-store",
+        default=None,
+        metavar="DIR",
+        help="shared on-disk snapshot store every registered graph "
+        "multiplexes (strongly recommended: restarts warm-start off disk)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="worker threads executing match requests concurrently",
+    )
+    serve_parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a worker before new submissions "
+        "are rejected with HTTP 429",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request queue-wait deadline (overridable per "
+        "request; default: no deadline)",
+    )
+    serve_parser.add_argument(
+        "--graph",
+        dest="graphs",
+        action="append",
+        default=[],
+        metavar="NAME=GRAPH_FILE:KEYS_FILE",
+        help="pre-register a named graph from DSL files at startup "
+        "(repeatable); more graphs can be registered over HTTP",
     )
 
     snapshot_parser = subparsers.add_parser(
@@ -405,12 +463,61 @@ def _command_snapshot(args: argparse.Namespace) -> int:
 
 
 def _command_algorithms(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        from .service.wire import algorithm_catalog
+
+        print(json.dumps({"algorithms": algorithm_catalog()}, indent=2, sort_keys=True))
+        return 0
     print(f"{'name':<10} {'family':<15} {'options':<40} description")
     for spec in algorithm_specs():
         options = ", ".join(
             f"{option.name}={option.default!r}" for option in spec.options
         ) or "-"
         print(f"{spec.name:<10} {spec.family:<15} {options:<40} {spec.description}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import MatchingService, make_http_server
+
+    service = MatchingService(
+        store=args.snapshot_store,
+        max_inflight=args.max_inflight,
+        max_queued=args.max_queued,
+        default_timeout=args.timeout,
+    )
+    for item in args.graphs:
+        name, separator, files = item.partition("=")
+        graph_file, colon, keys_file = files.partition(":")
+        if not separator or not colon or not name or not graph_file or not keys_file:
+            raise ReproError(
+                f"--graph expects NAME=GRAPH_FILE:KEYS_FILE, got {item!r}"
+            )
+        entry = service.register_graph(
+            name,
+            load_graph(graph_file),
+            load_keys(keys_file),
+            source=f"cli:{graph_file}",
+            warm=True,
+        )
+        print(
+            f"registered {name!r}: {entry.graph.num_entities} entities, "
+            f"{entry.keys.cardinality} keys"
+        )
+    server = make_http_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    store = args.snapshot_store or "(in-memory only)"
+    print(f"repro serve listening on http://{host}:{port}")
+    print(f"  snapshot store : {store}")
+    print(f"  admission      : {args.max_inflight} in flight, {args.max_queued} queued")
+    print("  endpoints      : /healthz /algorithms /graphs /match /requests /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -425,6 +532,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _command_bench,
         "algorithms": _command_algorithms,
         "snapshot": _command_snapshot,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

@@ -115,3 +115,27 @@ class VertexCentricError(ReproError):
 
 class DatasetError(ReproError):
     """Errors raised by dataset generators."""
+
+
+class ServiceError(ReproError):
+    """Errors raised by the matching service layer (``repro.service``)."""
+
+
+class WireError(ServiceError):
+    """A malformed service request: unparseable JSON, unknown or ill-typed
+    fields.  Maps to HTTP 400."""
+
+
+class UnknownGraphError(ServiceError):
+    """A request referenced a graph name the registry does not hold.
+    Maps to HTTP 404."""
+
+
+class UnknownRequestError(ServiceError):
+    """A request id the service does not hold (never existed or evicted).
+    Maps to HTTP 404."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a request because the admission queue is full.
+    Maps to HTTP 429 — the client should back off and retry."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..api.events import ProgressEvent
+from ..api.events import ProgressEvent, notify
 from ..api.registry import ALGORITHMS, get_algorithm, register_algorithm
 from ..core.chase import chase
 from ..core.graph import Graph
@@ -116,7 +116,7 @@ def _run_chase(
 ) -> EMResult:
     snapshot = artifacts.snapshot() if artifacts is not None else None
     index = artifacts.neighborhood_index() if artifacts is not None else None
-    return chase_as_result(
+    result = chase_as_result(
         graph,
         keys,
         snapshot=snapshot,
@@ -124,6 +124,18 @@ def _run_chase(
         seed_pairs=seed_pairs,
         worklist=worklist,
     )
+    # the sequential chase has no rounds to report, but it honours the
+    # events contract every backend shares: a final "done" notification
+    notify(
+        observer,
+        ProgressEvent(
+            algorithm="chase",
+            stage="done",
+            identified=result.stats.identified_pairs,
+            pending=0,
+        ),
+    )
+    return result
 
 
 def match_entities(

@@ -10,7 +10,7 @@ counts, simulated seconds) that reproduce the paper's tables and figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 from ..core.equivalence import EquivalenceRelation, Pair
 
@@ -49,6 +49,16 @@ class EMStatistics:
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, int]) -> "EMStatistics":
+        """Rebuild statistics from :meth:`as_dict` output.
+
+        Unknown keys are ignored (a newer writer may know more counters than
+        this reader); missing keys keep their zero defaults.
+        """
+        known = {field_name for field_name in cls().__dict__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
 
 @dataclass
 class EMResult:
@@ -76,6 +86,52 @@ class EMResult:
     @property
     def num_identified(self) -> int:
         return len(self.pairs())
+
+    def to_dict(self) -> Dict[str, object]:
+        """A stable, JSON-serializable wire form of this result.
+
+        The equivalence relation travels as its sorted non-trivial classes
+        (singletons carry no information for consumers), so the encoding is
+        deterministic for a given result: two bit-identical runs produce
+        byte-identical JSON.  Round-trips through :meth:`from_dict` preserve
+        ``pairs()``, every statistic, both clocks and the cost breakdown —
+        this is the payload the ``repro serve`` result endpoint returns.
+        """
+        classes: List[List[str]] = sorted(
+            sorted(cls) for cls in self.eq.nontrivial_classes()
+        )
+        return {
+            "algorithm": self.algorithm,
+            "processors": self.processors,
+            "identified_pairs": self.num_identified,
+            "classes": classes,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+            "stats": self.stats.as_dict(),
+            "cost_breakdown": dict(self.cost_breakdown),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EMResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. service JSON)."""
+        eq = EquivalenceRelation()
+        for members in payload.get("classes", ()):  # type: ignore[union-attr]
+            anchor = None
+            for member in members:
+                if anchor is None:
+                    anchor = member
+                    eq.add(member)
+                else:
+                    eq.merge(anchor, member)
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            processors=int(payload["processors"]),  # type: ignore[arg-type]
+            eq=eq,
+            simulated_seconds=float(payload.get("simulated_seconds", 0.0)),  # type: ignore[arg-type]
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            stats=EMStatistics.from_dict(payload.get("stats", {})),  # type: ignore[arg-type]
+            cost_breakdown=dict(payload.get("cost_breakdown", {})),  # type: ignore[arg-type]
+        )
 
     def summary(self) -> Dict[str, object]:
         """A flat summary used by reports and the CLI."""

@@ -1,0 +1,185 @@
+"""Named graphs and the shared-artifact multiplexing contract.
+
+A :class:`GraphRegistry` maps tenant-facing *names* to registered graphs.
+Registration builds exactly one thread-safe
+:class:`~repro.api.session.SessionArtifacts` cache per name; every request
+against that name runs through a fresh, throwaway
+:class:`~repro.api.session.MatchSession` **sharing** that cache, so:
+
+* concurrent requests for one graph run in parallel (sessions don't share a
+  run lock) while the artifacts' build-once locks guarantee each expensive
+  artifact — snapshot, neighbourhood index, candidates, product graph — is
+  built exactly once per graph, no matter how many requests race on it;
+* all names multiplex the registry's single
+  :class:`~repro.storage.store.SnapshotStore`: two names registered over
+  content-identical graphs share one physical ``mmap``'d snapshot file, and
+  a service restart warm-starts every graph off disk.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Union
+
+import os
+
+from ..api.config import MatchConfig
+from ..api.session import MatchSession, SessionArtifacts
+from ..core.graph import Graph
+from ..core.key import KeySet
+from ..exceptions import ServiceError, UnknownGraphError
+from ..storage.store import SnapshotStore, as_snapshot_store
+
+
+class RegisteredGraph:
+    """One named graph: the graph, its keys and the shared artifact cache."""
+
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        keys: KeySet,
+        *,
+        store: Optional[SnapshotStore] = None,
+        source: str = "api",
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.keys = keys
+        self.source = source
+        self.registered_at = time.time()
+        #: the one artifact cache every request for this name shares
+        self.artifacts = SessionArtifacts(graph, keys, snapshot_store=store)
+        #: completed match runs against this name (service bookkeeping)
+        self.runs = 0
+        self._lock = threading.Lock()
+
+    def new_session(self, config: Optional[MatchConfig] = None) -> MatchSession:
+        """A throwaway per-request session sharing this graph's artifacts."""
+        return MatchSession(
+            self.graph, self.keys, config, artifacts=self.artifacts
+        )
+
+    def count_run(self) -> None:
+        with self._lock:
+            self.runs += 1
+
+    def warm(self) -> None:
+        """Pre-build (or store-load) the snapshot + neighbourhood index."""
+        self.artifacts.neighborhood_index()
+
+    def describe(self) -> Dict[str, object]:
+        """The ``GET /graphs`` wire entry for this registration."""
+        info = self.artifacts.cache_info()
+        return {
+            "name": self.name,
+            "source": self.source,
+            "registered_at": self.registered_at,
+            "entities": self.graph.num_entities,
+            "triples": self.graph.num_triples,
+            "keys": self.keys.cardinality,
+            "runs": self.runs,
+            "cache": {
+                "snapshot_builds": info.snapshot_builds,
+                "neighborhood_index_builds": info.neighborhood_index_builds,
+                "candidate_builds": info.candidate_builds,
+                "product_graph_builds": info.product_graph_builds,
+                "store_hits": info.store_hits,
+                "store_misses": info.store_misses,
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegisteredGraph({self.name!r}, {self.graph.num_entities} "
+            f"entities, {self.keys.cardinality} keys, runs={self.runs})"
+        )
+
+
+class GraphRegistry:
+    """A thread-safe name → :class:`RegisteredGraph` table with one store."""
+
+    def __init__(
+        self,
+        store: Union[None, str, "os.PathLike", SnapshotStore] = None,
+    ) -> None:
+        #: the single snapshot store every registered graph multiplexes
+        #: (``None``: in-memory artifacts only — still shared per graph)
+        self.store = as_snapshot_store(store)
+        self._graphs: Dict[str, RegisteredGraph] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        graph: Graph,
+        keys: KeySet,
+        *,
+        source: str = "api",
+        replace: bool = False,
+        warm: bool = False,
+    ) -> RegisteredGraph:
+        """Register *graph* + *keys* under *name*.
+
+        ``replace=False`` (the default) rejects re-registration of a live
+        name — tenants must not silently swap each other's graphs.
+        ``warm=True`` builds (or store-loads) the snapshot and neighbourhood
+        index before returning, so the first request pays no build latency.
+        """
+        if not name or "/" in name:
+            raise ServiceError(
+                f"graph names must be non-empty and slash-free, got {name!r}"
+            )
+        entry = RegisteredGraph(
+            name, graph, keys, store=self.store, source=source
+        )
+        with self._lock:
+            if not replace and name in self._graphs:
+                raise ServiceError(
+                    f"graph {name!r} is already registered "
+                    f"(pass replace=true to swap it)"
+                )
+            self._graphs[name] = entry
+        if warm:
+            entry.warm()
+        return entry
+
+    def get(self, name: str) -> RegisteredGraph:
+        with self._lock:
+            entry = self._graphs.get(name)
+        if entry is None:
+            known = ", ".join(sorted(self._graphs)) or "none registered"
+            raise UnknownGraphError(f"unknown graph {name!r} (known: {known})")
+        return entry
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if self._graphs.pop(name, None) is None:
+                raise UnknownGraphError(f"unknown graph {name!r}")
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def entries(self) -> List[RegisteredGraph]:
+        with self._lock:
+            return [self._graphs[name] for name in sorted(self._graphs)]
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self._graphs
+
+    def metrics(self) -> Dict[str, object]:
+        """Store + per-graph cache counters for ``/metrics``."""
+        per_graph = {entry.name: entry.describe() for entry in self.entries()}
+        return {
+            "graphs": len(per_graph),
+            "store": None if self.store is None else {
+                "root": str(self.store.root),
+                **self.store.metrics(),
+            },
+            "per_graph": per_graph,
+        }

@@ -1,0 +1,463 @@
+"""The ``repro serve`` front end: JSON-over-HTTP on a threading server.
+
+:class:`MatchingService` is the transport-free orchestrator — register
+graphs, submit requests through the admission controller, poll status,
+scrape metrics — and the HTTP layer is a thin stdlib
+``ThreadingHTTPServer`` handler on top (no third-party dependencies).
+
+Endpoints::
+
+    GET    /healthz                      liveness + uptime
+    GET    /algorithms                   machine-readable backend catalog
+    GET    /metrics                      admission + store + per-graph counters
+    GET    /graphs                       registered graphs
+    POST   /graphs                       register a named graph
+    DELETE /graphs/<name>                unregister
+    POST   /match                        submit a run (202, or wait=true)
+    GET    /requests/<id>                poll one request's status
+    GET    /requests/<id>/result         fetch the EMResult (409 until done)
+    GET    /requests/<id>/events?cursor=N   poll the progress-event stream
+    DELETE /requests/<id>                cancel (pre-start only)
+
+Error mapping: :class:`~repro.exceptions.WireError` → 400, unknown graph /
+request → 404, result-not-ready → 409, admission rejection → 429.  Every
+429 carries a ``Retry-After`` header.
+
+Threading model: one HTTP thread per connection (stdlib), submissions hop
+onto the admission controller's fixed worker pool, and each worker drives a
+throwaway per-request :class:`~repro.api.session.MatchSession` that shares
+the named graph's :class:`~repro.api.session.SessionArtifacts` — so request
+concurrency is bounded by ``max_inflight`` regardless of connection count,
+and no graph's artifacts are ever built twice.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple, Union
+
+import os
+
+from ..api.config import MatchConfig
+from ..core.graph import Graph
+from ..core.key import KeySet
+from ..exceptions import (
+    AdmissionError,
+    ReproError,
+    ServiceError,
+    UnknownGraphError,
+    UnknownRequestError,
+    WireError,
+)
+from ..storage.store import SnapshotStore
+from .queue import AdmissionController, MatchRequest
+from .registry import GraphRegistry, RegisteredGraph
+from . import wire
+
+
+class MatchingService:
+    """The service orchestrator: registry + admission control + requests."""
+
+    def __init__(
+        self,
+        *,
+        store: Union[None, str, "os.PathLike", SnapshotStore] = None,
+        max_inflight: int = 4,
+        max_queued: int = 16,
+        default_timeout: Optional[float] = None,
+        max_requests: int = 1024,
+    ) -> None:
+        self.registry = GraphRegistry(store=store)
+        self.controller = AdmissionController(
+            max_inflight=max_inflight, max_queued=max_queued
+        )
+        #: queue-wait deadline applied when a request names none
+        self.default_timeout = default_timeout
+        #: how many finished requests the table remembers (oldest evicted)
+        self.max_requests = max_requests
+        self.started_at = time.time()
+        self._requests: "collections.OrderedDict[str, MatchRequest]" = (
+            collections.OrderedDict()
+        )
+        self._requests_lock = threading.Lock()
+        self._closed = False
+
+    # -- graphs ------------------------------------------------------------- #
+
+    def register_graph(
+        self,
+        name: str,
+        graph: Graph,
+        keys: KeySet,
+        *,
+        source: str = "api",
+        replace: bool = False,
+        warm: bool = False,
+    ) -> RegisteredGraph:
+        return self.registry.register(
+            name, graph, keys, source=source, replace=replace, warm=warm
+        )
+
+    # -- requests ----------------------------------------------------------- #
+
+    def submit(
+        self,
+        graph_name: str,
+        config: Optional[MatchConfig] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> MatchRequest:
+        """Admit one match request; raises
+        :class:`~repro.exceptions.AdmissionError` when the queue is full and
+        :class:`~repro.exceptions.UnknownGraphError` for unknown names."""
+        if self._closed:
+            raise ServiceError("service is shut down")
+        entry = self.registry.get(graph_name)
+        config = config or MatchConfig()
+        request = MatchRequest(
+            graph=graph_name,
+            describe=config.describe(),
+            timeout=self.default_timeout if timeout is None else timeout,
+        )
+        self._remember(request)
+
+        def work(req: MatchRequest) -> None:
+            self._execute(entry, config, req)
+
+        return self.controller.submit(request, work)
+
+    def _execute(
+        self,
+        entry: RegisteredGraph,
+        config: MatchConfig,
+        request: MatchRequest,
+    ) -> None:
+        """Run one admitted request on a worker thread."""
+        before = entry.artifacts.cache_info()
+        session = entry.new_session(config)
+        session.on_progress(request.record_event)
+        result = session.run()
+        after = entry.artifacts.cache_info()
+        entry.count_run()
+        request.result = result
+        delta = session.last_delta()
+        store = self.registry.store
+        request.provenance = {
+            "request_id": request.id,
+            "graph": entry.name,
+            "queue_wait_seconds": request.queue_wait,
+            "deadline_exceeded": (
+                request.deadline is not None and time.time() > request.deadline
+            ),
+            "phase_timings": session.phase_timings(),
+            # per-request build/hit deltas: under concurrency a racing
+            # request may be the one paying a build this request benefits
+            # from, so interpret these as "builds charged while this request
+            # ran" — the per-graph cumulative counters are exact
+            "builds_during_request": {
+                "snapshot": after.snapshot_builds - before.snapshot_builds,
+                "neighborhood_index": (
+                    after.neighborhood_index_builds
+                    - before.neighborhood_index_builds
+                ),
+                "candidates": after.candidate_builds - before.candidate_builds,
+                "product_graph": (
+                    after.product_graph_builds - before.product_graph_builds
+                ),
+            },
+            "graph_cache": {
+                "snapshot_builds": after.snapshot_builds,
+                "store_hits": after.store_hits,
+                "store_misses": after.store_misses,
+            },
+            "store": None if store is None else store.metrics(),
+            "delta": (
+                {"mode": "full", "reason": "service runs are stateless"}
+                if delta is None
+                else {"mode": delta.mode, "reason": delta.reason}
+            ),
+        }
+
+    def _remember(self, request: MatchRequest) -> None:
+        with self._requests_lock:
+            self._requests[request.id] = request
+            while len(self._requests) > self.max_requests:
+                # evict the oldest *finished* request; never drop live ones
+                for rid, candidate in self._requests.items():
+                    if candidate.finished:
+                        del self._requests[rid]
+                        break
+                else:
+                    break
+
+    def request(self, request_id: str) -> MatchRequest:
+        with self._requests_lock:
+            request = self._requests.get(request_id)
+        if request is None:
+            raise UnknownRequestError(
+                f"unknown request {request_id!r} (finished requests are "
+                f"evicted after {self.max_requests} newer submissions)"
+            )
+        return request
+
+    def cancel(self, request_id: str) -> bool:
+        return self.request(request_id).cancel()
+
+    def requests(self) -> List[MatchRequest]:
+        with self._requests_lock:
+            return list(self._requests.values())
+
+    # -- observability / lifecycle ------------------------------------------ #
+
+    def metrics(self) -> Dict[str, object]:
+        by_status: Dict[str, int] = {}
+        for request in self.requests():
+            by_status[request.status] = by_status.get(request.status, 0) + 1
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "admission": self.controller.metrics(),
+            "registry": self.registry.metrics(),
+            "requests": {
+                "tracked": len(self._requests),
+                "by_status": by_status,
+            },
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self.controller.shutdown(wait=True)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+
+#: Largest accepted request body (a graph DSL upload), in bytes.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs + paths onto a :class:`MatchingService`."""
+
+    #: injected by :func:`make_http_server`
+    service: MatchingService
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet by default; /metrics is the observability surface
+
+    # -- plumbing ----------------------------------------------------------- #
+
+    def _send(self, code: int, payload: Dict[str, object], **headers: str) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name.replace("_", "-"), value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise WireError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise WireError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except ValueError as error:
+            raise WireError(f"unparseable JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise WireError("request body must be a JSON object")
+        return payload
+
+    def _route(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        parts = [part for part in path.split("/") if part]
+        try:
+            handled = self._dispatch(method, parts, query)
+        except WireError as error:
+            self._send(400, {"error": str(error)})
+        except (UnknownGraphError, UnknownRequestError) as error:
+            self._send(404, {"error": str(error)})
+        except AdmissionError as error:
+            self._send(429, {"error": str(error)}, Retry_After="1")
+        except ReproError as error:
+            self._send(500, {"error": str(error)})
+        else:
+            if not handled:
+                self._send(404, {"error": f"no route for {method} {path}"})
+
+    def _dispatch(self, method: str, parts: List[str], query: str) -> bool:
+        service = self.service
+        if method == "GET":
+            if parts == ["healthz"]:
+                self._send(
+                    200,
+                    {"ok": True, "uptime_seconds": time.time() - service.started_at},
+                )
+                return True
+            if parts == ["algorithms"]:
+                self._send(200, {"algorithms": wire.algorithm_catalog()})
+                return True
+            if parts == ["metrics"]:
+                self._send(200, service.metrics())
+                return True
+            if parts == ["graphs"]:
+                self._send(
+                    200,
+                    {"graphs": [e.describe() for e in service.registry.entries()]},
+                )
+                return True
+            if len(parts) == 2 and parts[0] == "requests":
+                request = service.request(parts[1])
+                self._send(
+                    200, wire.request_payload(request, include_result=True)
+                )
+                return True
+            if len(parts) == 3 and parts[0] == "requests" and parts[2] == "result":
+                request = service.request(parts[1])
+                if request.status != "done":
+                    self._send(
+                        409,
+                        {
+                            "error": f"request {request.id} is {request.status}",
+                            "status": request.status,
+                        },
+                    )
+                    return True
+                self._send(
+                    200,
+                    {
+                        "id": request.id,
+                        "result": request.result.to_dict(),
+                        "provenance": dict(request.provenance),
+                    },
+                )
+                return True
+            if len(parts) == 3 and parts[0] == "requests" and parts[2] == "events":
+                request = service.request(parts[1])
+                cursor = _query_int(query, "cursor", 0)
+                events, next_cursor = request.events_after(cursor)
+                self._send(
+                    200,
+                    {
+                        "id": request.id,
+                        "status": request.status,
+                        "events": events,
+                        "next_cursor": next_cursor,
+                        "dropped": request.events_dropped,
+                    },
+                )
+                return True
+            return False
+        if method == "POST":
+            if parts == ["graphs"]:
+                payload = self._read_json()
+                name, graph, keys, source, replace, warm = (
+                    wire.parse_register_request(payload)
+                )
+                try:
+                    entry = service.register_graph(
+                        name, graph, keys,
+                        source=source, replace=replace, warm=warm,
+                    )
+                except ServiceError as error:
+                    self._send(409, {"error": str(error)})
+                    return True
+                self._send(201, {"registered": entry.describe()})
+                return True
+            if parts == ["match"]:
+                payload = self._read_json()
+                graph_name, config, wait, timeout = wire.parse_match_request(
+                    payload
+                )
+                request = service.submit(graph_name, config, timeout=timeout)
+                if wait:
+                    # a synchronous waiter never parks an HTTP thread forever:
+                    # on expiry the 200 carries the live status for polling
+                    request.wait(600.0 if timeout is None else timeout)
+                    self._send(
+                        200, wire.request_payload(request, include_result=True)
+                    )
+                else:
+                    self._send(202, wire.request_payload(request))
+                return True
+            return False
+        if method == "DELETE":
+            if len(parts) == 2 and parts[0] == "graphs":
+                service.registry.unregister(parts[1])
+                self._send(200, {"unregistered": parts[1]})
+                return True
+            if len(parts) == 2 and parts[0] == "requests":
+                request = service.request(parts[1])
+                cancelled = request.cancel()
+                self._send(
+                    200 if cancelled else 409,
+                    {
+                        "id": request.id,
+                        "cancelled": cancelled,
+                        "status": request.status,
+                    },
+                )
+                return True
+            return False
+        return False
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+def _query_int(query: str, name: str, default: int) -> int:
+    for pair in query.split("&"):
+        key, _, raw = pair.partition("=")
+        if key == name and raw:
+            try:
+                return int(raw)
+            except ValueError:
+                raise WireError(f"query parameter {name!r} expects an int, got {raw!r}")
+    return default
+
+
+def make_http_server(
+    service: MatchingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to *service* (``port=0``: ephemeral port)."""
+    handler = type(
+        "BoundServiceHTTPHandler", (ServiceHTTPHandler,), {"service": service}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    service: MatchingService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+) -> None:
+    """Serve *service* forever (the ``repro serve`` entry point)."""
+    server = make_http_server(service, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        service.close()

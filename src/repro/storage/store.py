@@ -47,10 +47,11 @@ import pickle
 import struct
 import sys
 import tempfile
+import threading
 import zlib
 from array import array
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.graph import Graph
 from ..core.triples import Literal
@@ -604,10 +605,98 @@ class SnapshotStore:
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self._root = Path(root)
+        # service/session observability: cumulative counters of this store
+        # handle (per process — the file cache itself is shared machine-wide)
+        self.hits = 0
+        self.misses = 0
+        self.saves = 0
+        self.builds = 0
+        # per-fingerprint build coordination: concurrent sessions sharing one
+        # store handle serialize the miss path per graph, so N tenants racing
+        # on a cold graph pay for exactly one physical build + write
+        self._locks_guard = threading.Lock()
+        self._build_locks: Dict[str, threading.Lock] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        # stores travel inside MatchConfig; locks don't pickle and counters
+        # are per-handle observability, so a copy restarts both
+        return {"root": str(self._root)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(state["root"])  # type: ignore[misc]
 
     @property
     def root(self) -> Path:
         return self._root
+
+    def metrics(self) -> Dict[str, int]:
+        """Cumulative load/save counters of this store handle."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "saves": self.saves,
+            "builds": self.builds,
+        }
+
+    def _build_lock(self, fingerprint: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._build_locks.get(fingerprint)
+            if lock is None:
+                lock = self._build_locks[fingerprint] = threading.Lock()
+            return lock
+
+    def get_or_build(
+        self,
+        graph: Graph,
+        build: Callable[[], GraphSnapshot],
+        *,
+        fingerprint: Optional[str] = None,
+        timed: Optional[Callable[[str, Callable[[], object]], object]] = None,
+    ) -> Tuple[GraphSnapshot, bool]:
+        """The stored snapshot for *graph*, building-and-saving on a cold miss.
+
+        Returns ``(snapshot, loaded)`` where *loaded* says whether the
+        snapshot came off the store (``True``) or from *build* (``False``).
+        The miss path is serialized per fingerprint, so concurrent callers
+        racing on the same cold graph perform **exactly one** build: the
+        first caller builds and writes, the rest block briefly and then load
+        the freshly written file.  Any :class:`~repro.exceptions.StoreError`
+        on the load path falls back to a build; an unwritable store never
+        fails the call.
+
+        *timed* is an optional ``timed(phase, thunk)`` hook (the session
+        artifact cache passes its phase timer) wrapping the load / save
+        steps under the phases ``snapshot_store_load`` /
+        ``snapshot_store_save``.
+        """
+        if timed is None:
+            timed = lambda _phase, thunk: thunk()  # noqa: E731
+        if fingerprint is None:
+            fingerprint = timed(
+                "snapshot_store_load", lambda: graph_fingerprint(graph)
+            )
+        with self._build_lock(fingerprint):
+            try:
+                loaded = timed(
+                    "snapshot_store_load",
+                    lambda: self.load(graph, fingerprint=fingerprint, count=False),
+                )
+            except StoreError:
+                loaded = None
+            if loaded is not None:
+                self.hits += 1
+                return loaded, True
+            self.misses += 1
+            snapshot = build()
+            self.builds += 1
+            try:
+                timed(
+                    "snapshot_store_save",
+                    lambda: self.save(snapshot, fingerprint=fingerprint),
+                )
+            except (StoreError, OSError):
+                pass
+            return snapshot, False
 
     def path_for(self, fingerprint: str) -> Path:
         """The file a snapshot with *fingerprint* is stored at."""
@@ -631,15 +720,24 @@ class SnapshotStore:
         self._root.mkdir(parents=True, exist_ok=True)
         path = write_snapshot(snapshot, self.path_for(fingerprint), fingerprint=fingerprint)
         snapshot._mark_stored(str(path), fingerprint)
+        self.saves += 1
         return path
 
-    def load(self, graph: Graph, *, fingerprint: Optional[str] = None) -> GraphSnapshot:
+    def load(
+        self,
+        graph: Graph,
+        *,
+        fingerprint: Optional[str] = None,
+        count: bool = True,
+    ) -> GraphSnapshot:
         """The stored snapshot matching *graph*, mmap-attached.
 
         Raises :class:`~repro.exceptions.StoreMissError` when no file exists
         for the graph's fingerprint and :class:`~repro.exceptions.StoreError`
         subclasses for unreadable or stale files.  Pass *fingerprint* when
-        the caller has already fingerprinted the graph.
+        the caller has already fingerprinted the graph.  ``count=False``
+        leaves the hit/miss counters to the caller (:meth:`get_or_build`
+        classifies its own outcomes).
         """
         if fingerprint is None:
             fingerprint = graph_fingerprint(graph)
@@ -647,11 +745,19 @@ class SnapshotStore:
         # adds don't bump it), so a fingerprint match implies a version match
         # for any graph this package can build — the version check guards
         # against foreign or hand-edited files, never against honest restarts.
-        return read_snapshot(
-            self.path_for(fingerprint),
-            expect_fingerprint=fingerprint,
-            expect_graph_version=graph.version,
-        )
+        try:
+            snapshot = read_snapshot(
+                self.path_for(fingerprint),
+                expect_fingerprint=fingerprint,
+                expect_graph_version=graph.version,
+            )
+        except StoreError:
+            if count:
+                self.misses += 1
+            raise
+        if count:
+            self.hits += 1
+        return snapshot
 
     def load_fingerprint(self, fingerprint: str) -> GraphSnapshot:
         """Load a stored snapshot by fingerprint (no live graph to check)."""

@@ -1,0 +1,46 @@
+"""Wire serialization of MatchConfig: strict, round-trippable JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.config import MatchConfig
+from repro.exceptions import ConfigError
+
+
+def test_round_trip_preserves_every_field(tmp_path):
+    config = MatchConfig(
+        algorithm="EMOptVC",
+        processors=8,
+        executor="thread",
+        workers=3,
+        snapshot_store=tmp_path / "store",
+        incremental=True,
+        options={"fanout": 4},
+    )
+    rebuilt = MatchConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert rebuilt.algorithm == "EMOptVC"
+    assert rebuilt.processors == 8
+    assert rebuilt.executor == "thread" and rebuilt.workers == 3
+    assert rebuilt.snapshot_store == str(tmp_path / "store")  # path, not handle
+    assert rebuilt.incremental is True
+    assert rebuilt.options == {"fanout": 4}
+
+
+def test_defaults_survive_an_empty_payload():
+    config = MatchConfig.from_dict({})
+    assert config == MatchConfig()
+
+
+def test_unknown_fields_are_rejected():
+    with pytest.raises(ConfigError, match="unknown config field"):
+        MatchConfig.from_dict({"algorithm": "chase", "procesors": 2})
+
+
+def test_ill_typed_options_are_rejected():
+    with pytest.raises(ConfigError, match="options must be a mapping"):
+        MatchConfig.from_dict({"options": [1, 2]})
+    with pytest.raises(ConfigError, match="algorithm must be a string"):
+        MatchConfig.from_dict({"algorithm": 7})

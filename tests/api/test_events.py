@@ -1,0 +1,149 @@
+"""Observer hardening and the bounded-queue EventStream channel."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import MatchSession
+from repro.api.events import EventStream, ProgressEvent, notify
+from repro.datasets.music import EXPECTED_IDENTIFIED_PAIRS, music_dataset
+
+
+def event(stage: str = "round", round: int = 0) -> ProgressEvent:
+    return ProgressEvent(algorithm="test", stage=stage, round=round)
+
+
+class TestNotifyHardening:
+    def test_notify_swallows_observer_exceptions(self, caplog):
+        def exploding(_event):
+            raise RuntimeError("boom")
+
+        with caplog.at_level("ERROR", logger="repro.events"):
+            notify(exploding, event())  # must not raise
+        assert any("event dropped" in record.message for record in caplog.records)
+
+    def test_notify_none_observer_is_a_noop(self):
+        notify(None, event())
+
+    def test_raising_observer_does_not_abort_a_run(self):
+        graph, keys = music_dataset()
+        session = MatchSession(graph).with_keys(keys)
+
+        def exploding(_event):
+            raise RuntimeError("boom")
+
+        session.on_progress(exploding)
+        result = session.run("EMOptVC")
+        assert result.pairs() == set(EXPECTED_IDENTIFIED_PAIRS)
+        assert session.observer_errors
+        observer, error = session.observer_errors[0]
+        assert observer is exploding and isinstance(error, RuntimeError)
+
+    def test_raising_observer_does_not_starve_its_siblings(self):
+        graph, keys = music_dataset()
+        session = MatchSession(graph).with_keys(keys)
+        seen = []
+
+        def exploding(_event):
+            raise RuntimeError("boom")
+
+        session.on_progress(exploding)
+        session.on_progress(seen.append)  # registered *after* the bad one
+        session.run("EMMR")
+        stages = [e.stage for e in seen]
+        assert "done" in stages  # the sibling received the full stream
+        assert len(session.observer_errors) == len(seen)
+
+    def test_observer_error_log_is_bounded(self):
+        graph, keys = music_dataset()
+        session = MatchSession(graph).with_keys(keys)
+
+        def exploding(_event):
+            raise RuntimeError("boom")
+
+        session.on_progress(exploding)
+        for _ in range(20):
+            session.run("EMOptVC")
+        assert len(session.observer_errors) <= session._MAX_OBSERVER_ERRORS
+
+
+class TestEventStream:
+    def test_iteration_yields_until_closed(self):
+        stream = EventStream()
+        for i in range(3):
+            stream(event(round=i))
+        stream.close()
+        assert [e.round for e in stream] == [0, 1, 2]
+
+    def test_bounded_queue_drops_oldest(self):
+        stream = EventStream(maxsize=4)
+        for i in range(10):
+            stream(event(round=i))
+        assert stream.dropped == 6  # events 0-5 evicted, newest survive
+        stream.close()  # the close sentinel evicts one more on a full queue
+        rounds = [e.round for e in stream]
+        assert rounds == [7, 8, 9]
+        assert stream.dropped == 7
+        assert stream.received == 10
+
+    def test_events_after_close_are_ignored(self):
+        stream = EventStream()
+        stream(event(round=1))
+        stream.close()
+        stream(event(round=2))
+        assert [e.round for e in stream] == [1]
+
+    def test_drain_is_nonblocking(self):
+        stream = EventStream()
+        assert stream.drain() == []
+        stream(event(round=7))
+        drained = stream.drain()
+        assert [e.round for e in drained] == [7]
+
+    def test_get_timeout_returns_none(self):
+        stream = EventStream()
+        assert stream.get(timeout=0.01) is None
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            EventStream(maxsize=0)
+
+    def test_session_events_receive_a_run(self):
+        graph, keys = music_dataset()
+        session = MatchSession(graph).with_keys(keys)
+        with session.events() as stream:
+            session.run("EMOptVC")
+            events = stream.drain()
+        assert events and events[-1].stage == "done"
+        # closing detached the stream from the session
+        assert stream not in session._observers
+        session.run("EMOptVC")
+        assert stream.drain() == []
+
+    def test_every_backend_emits_a_done_event(self):
+        graph, keys = music_dataset()
+        session = MatchSession(graph).with_keys(keys)
+        from repro import ALGORITHMS
+
+        for name in ALGORITHMS:
+            stream = session.events()
+            session.run(name)
+            stages = [e.stage for e in stream.drain()]
+            stream.close()
+            assert stages and stages[-1] == "done", name
+
+    def test_concurrent_producers_never_block(self):
+        stream = EventStream(maxsize=8)
+        threads = [
+            threading.Thread(target=lambda: [stream(event(round=i)) for i in range(100)])
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert stream.received == 400
+        assert stream.pending <= 8

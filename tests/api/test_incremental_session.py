@@ -275,7 +275,7 @@ class TestReuseGuards:
                 candidate_pairs(session.graph, keys)
             ), backend
 
-    def test_failed_run_clears_seed_and_provenance(self):
+    def test_failed_run_clears_seed_and_provenance(self, monkeypatch):
         graph = album_graph()
         session = primed_session(graph)
         graph.add_value("alb2", "release_year", "1996")
@@ -285,15 +285,17 @@ class TestReuseGuards:
         class Boom(RuntimeError):
             pass
 
-        def exploding_observer(event):
-            raise Boom(event.stage)
+        # a backend that dies mid-run (observers are isolated since the
+        # notify() hardening, so the failure is injected below the session)
+        def exploding(self, spec, config, validated, state):
+            raise Boom(spec.name)
 
-        session.on_progress(exploding_observer)
+        monkeypatch.setattr(MatchSession, "_run_incremental", exploding)
         graph.add_value("alb3", "release_year", "1969")
         with pytest.raises(Boom):
             session.run("EMMR", incremental=True)  # dies mid-run
+        monkeypatch.undo()
         # neither stale provenance nor a stale seed survives the failure
         assert session.last_delta() is None
-        session._observers.clear()
         session.rerun()
         assert session.last_delta().mode == "full"

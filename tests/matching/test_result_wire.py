@@ -1,0 +1,56 @@
+"""Wire serialization of EMResult: stable JSON, lossless round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ALGORITHMS, MatchSession
+from repro.matching.result import EMResult, EMStatistics
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_round_trip_preserves_every_run_outcome(music, algorithm):
+    graph, keys, expected = music
+    result = MatchSession(graph).with_keys(keys).run(algorithm)
+    rebuilt = EMResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.pairs() == result.pairs() == expected
+    assert rebuilt.algorithm == result.algorithm
+    assert rebuilt.processors == result.processors
+    assert rebuilt.simulated_seconds == result.simulated_seconds
+    assert rebuilt.wall_seconds == result.wall_seconds
+    assert rebuilt.stats == result.stats
+    assert rebuilt.cost_breakdown == result.cost_breakdown
+
+
+def test_encoding_is_deterministic_for_identical_runs(music):
+    graph, keys, _expected = music
+    first = MatchSession(graph).with_keys(keys).run("chase")
+    second = MatchSession(graph).with_keys(keys).run("chase")
+    payload = lambda r: {**r.to_dict(), "wall_seconds": 0.0}  # clock aside
+    assert json.dumps(payload(first), sort_keys=True) == json.dumps(
+        payload(second), sort_keys=True
+    )
+
+
+def test_classes_are_sorted_nontrivial_classes(music):
+    graph, keys, _expected = music
+    result = MatchSession(graph).with_keys(keys).run("EMOptVC")
+    classes = result.to_dict()["classes"]
+    assert classes == sorted(sorted(c) for c in result.eq.nontrivial_classes())
+    assert all(len(c) >= 2 for c in classes)  # singletons carry no information
+
+
+def test_statistics_reader_ignores_unknown_counters():
+    stats = EMStatistics.from_dict({"checks": 7, "counter_from_the_future": 1})
+    assert stats.checks == 7
+    assert not hasattr(stats, "counter_from_the_future")
+
+
+def test_from_dict_defaults_optional_fields():
+    rebuilt = EMResult.from_dict(
+        {"algorithm": "chase", "processors": 1, "classes": [["a", "b"]]}
+    )
+    assert rebuilt.pairs() == {("a", "b")}
+    assert rebuilt.wall_seconds == 0.0 and rebuilt.cost_breakdown == {}

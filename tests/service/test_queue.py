@@ -1,0 +1,221 @@
+"""Admission control: the MatchRequest state machine and the bounded queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api.events import ProgressEvent
+from repro.exceptions import AdmissionError, ServiceError
+from repro.service.queue import (
+    EVENT_BUFFER_SIZE,
+    TERMINAL_STATES,
+    AdmissionController,
+    MatchRequest,
+)
+
+
+def event(round: int = 0) -> ProgressEvent:
+    return ProgressEvent(algorithm="test", stage="round", round=round)
+
+
+def wait_for(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestMatchRequest:
+    def test_lifecycle_queued_running_done(self):
+        request = MatchRequest(graph="g")
+        assert request.status == "queued" and not request.finished
+        assert request._transition("running")
+        assert request.started_at is not None
+        assert request.queue_wait is not None and request.queue_wait >= 0
+        assert request._transition("done")
+        assert request.finished and request.finished_at is not None
+        assert request.wait(timeout=1.0)
+
+    def test_terminal_states_are_absorbing(self):
+        for terminal in TERMINAL_STATES:
+            request = MatchRequest(graph="g")
+            assert request._transition(terminal)
+            assert not request._transition("running")
+            assert request.status == terminal
+
+    def test_cancel_only_while_queued(self):
+        request = MatchRequest(graph="g")
+        request._transition("running")
+        assert not request.cancel()
+        queued = MatchRequest(graph="g")
+        assert queued.cancel()
+        assert queued.status == "cancelled" and queued.finished
+
+    def test_event_buffer_cursor_is_exactly_once(self):
+        request = MatchRequest(graph="g")
+        for i in range(3):
+            request.record_event(event(round=i))
+        events, cursor = request.events_after(0)
+        assert [e["round"] for e in events] == [0, 1, 2]
+        assert cursor == 3
+        again, cursor = request.events_after(cursor)
+        assert again == [] and cursor == 3
+        request.record_event(event(round=3))
+        more, cursor = request.events_after(cursor)
+        assert [e["round"] for e in more] == [3] and cursor == 4
+
+    def test_event_buffer_is_bounded_with_absolute_cursor(self):
+        request = MatchRequest(graph="g")
+        total = EVENT_BUFFER_SIZE + 40
+        for i in range(total):
+            request.record_event(event(round=i))
+        events, cursor = request.events_after(0)
+        assert len(events) == EVENT_BUFFER_SIZE
+        assert events[0]["round"] == 40  # the evicted prefix is skipped
+        assert cursor == total
+        assert request.events_dropped == 40
+
+    def test_deadline_derives_from_submission(self):
+        request = MatchRequest(graph="g", timeout=5.0)
+        assert request.deadline == pytest.approx(request.submitted_at + 5.0)
+        assert MatchRequest(graph="g").deadline is None
+
+
+class BlockingWork:
+    """A work callable gated on an event, recording what actually ran."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.ran = []
+
+    def __call__(self, request):
+        self.started.set()
+        assert self.release.wait(timeout=30.0)
+        self.ran.append(request.id)
+
+
+class TestAdmissionController:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ServiceError):
+            AdmissionController(max_queued=0)
+
+    def test_happy_path_runs_the_work(self):
+        controller = AdmissionController(max_inflight=2, max_queued=4)
+        try:
+            ran = []
+            request = controller.submit(MatchRequest(graph="g"), lambda r: ran.append(r.id))
+            assert request.wait(timeout=10.0)
+            assert request.status == "done" and ran == [request.id]
+            metrics = controller.metrics()
+            assert metrics["accepted"] == 1 and metrics["completed"] == 1
+        finally:
+            controller.shutdown()
+
+    def test_over_limit_load_is_rejected_as_429(self):
+        controller = AdmissionController(max_inflight=1, max_queued=1)
+        blocker = BlockingWork()
+        try:
+            first = controller.submit(MatchRequest(graph="g"), blocker)
+            assert blocker.started.wait(timeout=10.0)  # worker is busy
+            second = controller.submit(MatchRequest(graph="g"), blocker)
+            third = MatchRequest(graph="g")
+            with pytest.raises(AdmissionError, match="queue full"):
+                controller.submit(third, blocker)
+            assert third.status == "rejected" and third.finished
+            assert third.error == "admission queue full"
+            assert controller.metrics()["rejected"] == 1
+            blocker.release.set()
+            assert first.wait(timeout=10.0) and second.wait(timeout=10.0)
+            assert first.status == "done" and second.status == "done"
+        finally:
+            blocker.release.set()
+            controller.shutdown()
+
+    def test_cancelled_queued_request_is_never_dispatched(self):
+        controller = AdmissionController(max_inflight=1, max_queued=2)
+        blocker = BlockingWork()
+        try:
+            controller.submit(MatchRequest(graph="g"), blocker)
+            assert blocker.started.wait(timeout=10.0)
+            queued = controller.submit(MatchRequest(graph="g"), blocker)
+            assert queued.cancel()
+            blocker.release.set()
+            assert wait_for(lambda: controller.metrics()["cancelled"] == 1)
+            assert queued.status == "cancelled"
+            assert queued.id not in blocker.ran  # the work never ran
+        finally:
+            blocker.release.set()
+            controller.shutdown()
+
+    def test_queue_wait_deadline_marks_timeout(self):
+        controller = AdmissionController(max_inflight=1, max_queued=2)
+        blocker = BlockingWork()
+        try:
+            controller.submit(MatchRequest(graph="g"), blocker)
+            assert blocker.started.wait(timeout=10.0)
+            late = controller.submit(
+                MatchRequest(graph="g", timeout=0.05), blocker
+            )
+            time.sleep(0.2)  # let the deadline expire while queued
+            blocker.release.set()
+            assert late.wait(timeout=10.0)
+            assert late.status == "timeout"
+            assert "timed out" in late.error
+            assert late.id not in blocker.ran
+            assert controller.metrics()["timed_out"] == 1
+        finally:
+            blocker.release.set()
+            controller.shutdown()
+
+    def test_failing_work_marks_failed_and_keeps_the_worker(self):
+        controller = AdmissionController(max_inflight=1, max_queued=4)
+        try:
+
+            def exploding(_request):
+                raise RuntimeError("boom")
+
+            bad = controller.submit(MatchRequest(graph="g"), exploding)
+            assert bad.wait(timeout=10.0)
+            assert bad.status == "failed" and "boom" in bad.error
+            # the worker survived: a follow-up request still completes
+            good = controller.submit(MatchRequest(graph="g"), lambda r: None)
+            assert good.wait(timeout=10.0) and good.status == "done"
+            metrics = controller.metrics()
+            assert metrics["failed"] == 1 and metrics["completed"] == 1
+        finally:
+            controller.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        controller = AdmissionController()
+        controller.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            controller.submit(MatchRequest(graph="g"), lambda r: None)
+
+    def test_metrics_track_queue_depth_and_wait(self):
+        controller = AdmissionController(max_inflight=1, max_queued=4)
+        blocker = BlockingWork()
+        try:
+            controller.submit(MatchRequest(graph="g"), blocker)
+            assert blocker.started.wait(timeout=10.0)
+            queued = [
+                controller.submit(MatchRequest(graph="g"), blocker)
+                for _ in range(3)
+            ]
+            assert controller.metrics()["max_queue_depth_seen"] >= 3
+            blocker.release.set()
+            for request in queued:
+                assert request.wait(timeout=10.0)
+            metrics = controller.metrics()
+            assert metrics["completed"] == 4
+            assert metrics["mean_queue_wait_seconds"] >= 0.0
+        finally:
+            blocker.release.set()
+            controller.shutdown()

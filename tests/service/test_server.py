@@ -1,0 +1,383 @@
+"""End-to-end tests of the ``repro serve`` HTTP front end.
+
+The acceptance contract: a live server handles many concurrent match
+requests across several named graphs, every result is bit-identical to a
+synchronous :meth:`MatchSession.run` for the same backend, each graph's
+snapshot is built exactly once (the shared-store multiplexing contract),
+and over-limit load is rejected cleanly with a 429.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import ALGORITHMS, MatchSession
+from repro.core.parser import serialize_graph, serialize_keys
+from repro.datasets.business import business_dataset
+from repro.datasets.music import music_dataset
+from repro.matching.result import EMResult
+from repro.service import MatchingService, make_http_server
+
+
+class ServiceClient:
+    """A tiny JSON-over-HTTP client bound to one test server."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    def request(self, method: str, path: str, body=None, timeout: float = 120.0):
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            return response.status, data, dict(response.getheaders())
+        finally:
+            connection.close()
+
+    def get(self, path, **kw):
+        return self.request("GET", path, **kw)
+
+    def post(self, path, body, **kw):
+        return self.request("POST", path, body=body, **kw)
+
+    def delete(self, path, **kw):
+        return self.request("DELETE", path, **kw)
+
+
+def start_server(service):
+    server = make_http_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, ServiceClient(*server.server_address)
+
+
+@pytest.fixture
+def live():
+    """A live server over a fresh service with a tmp shared store."""
+    service = MatchingService(max_inflight=4, max_queued=32)
+    server, client = start_server(service)
+    yield service, client
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def register_music(client, name="music"):
+    status, data, _ = client.post("/graphs", {"name": name, "dataset": "music"})
+    assert status == 201, data
+    return data["registered"]
+
+
+def register_business(client, name="business"):
+    graph, keys = business_dataset()
+    status, data, _ = client.post(
+        "/graphs",
+        {
+            "name": name,
+            "graph_text": serialize_graph(graph),
+            "keys_text": serialize_keys(keys),
+        },
+    )
+    assert status == 201, data
+    return data["registered"]
+
+
+def result_key(result: EMResult):
+    return (
+        result.algorithm,
+        result.stats.identified_pairs,
+        tuple(sorted(tuple(sorted(c)) for c in result.eq.nontrivial_classes())),
+    )
+
+
+class TestBasicEndpoints:
+    def test_healthz(self, live):
+        _service, client = live
+        status, data, _ = client.get("/healthz")
+        assert status == 200 and data["ok"] is True
+
+    def test_algorithms_catalog(self, live):
+        _service, client = live
+        status, data, _ = client.get("/algorithms")
+        assert status == 200
+        names = {entry["name"] for entry in data["algorithms"]}
+        assert names == set(ALGORITHMS)
+        for entry in data["algorithms"]:
+            assert {"name", "family", "description", "capabilities", "options"} <= set(entry)
+
+    def test_register_list_and_unregister(self, live):
+        _service, client = live
+        registered = register_music(client)
+        assert registered["name"] == "music" and registered["entities"] > 0
+        status, data, _ = client.get("/graphs")
+        assert status == 200
+        assert [g["name"] for g in data["graphs"]] == ["music"]
+        # duplicate names conflict unless replace=true
+        status, data, _ = client.post("/graphs", {"name": "music", "dataset": "music"})
+        assert status == 409
+        status, _, _ = client.post(
+            "/graphs", {"name": "music", "dataset": "music", "replace": True}
+        )
+        assert status == 201
+        status, _, _ = client.delete("/graphs/music")
+        assert status == 200
+        status, data, _ = client.get("/graphs")
+        assert data["graphs"] == []
+
+    def test_inline_dsl_registration_round_trips(self, live):
+        _service, client = live
+        graph, _keys = business_dataset()
+        registered = register_business(client)
+        assert registered["entities"] == graph.num_entities
+        assert registered["source"] == "inline-dsl"
+
+
+class TestMatchLifecycle:
+    def test_synchronous_match_returns_the_result(self, live, music):
+        _service, client = live
+        _graph, _keys, expected = music
+        register_music(client)
+        status, data, _ = client.post(
+            "/match", {"graph": "music", "algorithm": "EMOptVC", "wait": True}
+        )
+        assert status == 200 and data["status"] == "done", data
+        result = EMResult.from_dict(data["result"])
+        assert result.pairs() == expected
+        assert data["provenance"]["graph"] == "music"
+
+    def test_async_match_poll_events_then_result(self, live, music):
+        _service, client = live
+        _graph, _keys, expected = music
+        register_music(client)
+        status, data, _ = client.post(
+            "/match", {"graph": "music", "algorithm": "EMMR"}
+        )
+        assert status == 202 and data["status"] in ("queued", "running", "done")
+        request_id = data["id"]
+        deadline = time.time() + 60.0
+        while time.time() < deadline:
+            status, data, _ = client.get(f"/requests/{request_id}")
+            if data["status"] == "done":
+                break
+            time.sleep(0.02)
+        assert data["status"] == "done"
+        # the event stream saw the run through to its final "done" stage
+        status, events, _ = client.get(f"/requests/{request_id}/events")
+        assert status == 200
+        stages = [e["stage"] for e in events["events"]]
+        assert stages and stages[-1] == "done"
+        # cursor-based polling is exactly-once
+        status, again, _ = client.get(
+            f"/requests/{request_id}/events?cursor={events['next_cursor']}"
+        )
+        assert again["events"] == []
+        status, data, _ = client.get(f"/requests/{request_id}/result")
+        assert status == 200
+        assert EMResult.from_dict(data["result"]).pairs() == expected
+
+    def test_concurrent_requests_across_graphs_match_sync_runs(self, live):
+        """The acceptance criterion: ≥8 concurrent requests, ≥2 graphs,
+        every backend, results bit-identical to MatchSession.run, and
+        exactly one snapshot build per graph."""
+        _service, client = live
+        register_music(client)
+        register_business(client)
+        datasets = {"music": music_dataset(), "business": business_dataset()}
+        baselines = {}
+        for name, (graph, keys) in datasets.items():
+            session = MatchSession(graph).with_keys(keys)
+            for algorithm in ALGORITHMS:
+                baselines[(name, algorithm)] = result_key(session.run(algorithm))
+
+        jobs = [(name, algorithm) for name in datasets for algorithm in sorted(ALGORITHMS)]
+        assert len(jobs) >= 8  # 2 graphs x 6 backends
+
+        def submit(job):
+            name, algorithm = job
+            status, data, _ = client.post(
+                "/match",
+                {"graph": name, "algorithm": algorithm, "wait": True},
+            )
+            assert status == 200 and data["status"] == "done", data
+            return job, EMResult.from_dict(data["result"])
+
+        with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+            outcomes = list(pool.map(submit, jobs))
+
+        for job, result in outcomes:
+            assert result_key(result) == baselines[job], job
+
+        status, metrics, _ = client.get("/metrics")
+        assert status == 200
+        per_graph = metrics["registry"]["per_graph"]
+        for name in datasets:
+            assert per_graph[name]["cache"]["snapshot_builds"] == 1, name
+            assert per_graph[name]["runs"] == len(ALGORITHMS)
+        assert metrics["admission"]["completed"] == len(jobs)
+        assert metrics["admission"]["rejected"] == 0
+
+    def test_match_request_provenance_records_sharing(self, live):
+        _service, client = live
+        register_music(client)
+        for _ in range(2):
+            status, data, _ = client.post(
+                "/match", {"graph": "music", "algorithm": "chase", "wait": True}
+            )
+            assert status == 200
+        provenance = data["provenance"]
+        assert provenance["graph_cache"]["snapshot_builds"] == 1
+        assert provenance["builds_during_request"]["snapshot"] == 0
+
+
+class TestAdmissionOverHttp:
+    def test_over_limit_load_gets_429(self, music):
+        service = MatchingService(max_inflight=1, max_queued=1)
+        graph, keys, _expected = music
+        service.register_graph("music", graph, keys)
+        release = threading.Event()
+        original = MatchingService._execute
+
+        def slow_execute(self, entry, config, request):
+            assert release.wait(timeout=30.0)
+            return original(self, entry, config, request)
+
+        MatchingService._execute = slow_execute
+        server, client = start_server(service)
+        try:
+            body = {"graph": "music", "algorithm": "chase"}
+            status, first, _ = client.post("/match", body)
+            assert status == 202
+            # wait until the single worker has picked the first request up
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                _, data, _ = client.get(f"/requests/{first['id']}")
+                if data["status"] == "running":
+                    break
+                time.sleep(0.01)
+            status, second, _ = client.post("/match", body)
+            assert status == 202  # fills the queue
+            status, rejected, headers = client.post("/match", body)
+            assert status == 429
+            assert "queue full" in rejected["error"]
+            assert headers.get("Retry-After") == "1"
+            release.set()
+            for data in (first, second):
+                deadline = time.time() + 30.0
+                while time.time() < deadline:
+                    _, polled, _ = client.get(f"/requests/{data['id']}")
+                    if polled["status"] == "done":
+                        break
+                    time.sleep(0.02)
+                assert polled["status"] == "done"
+        finally:
+            MatchingService._execute = original
+            release.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_cancel_a_queued_request(self, music):
+        service = MatchingService(max_inflight=1, max_queued=2)
+        graph, keys, _expected = music
+        service.register_graph("music", graph, keys)
+        release = threading.Event()
+        original = MatchingService._execute
+
+        def slow_execute(self, entry, config, request):
+            assert release.wait(timeout=30.0)
+            return original(self, entry, config, request)
+
+        MatchingService._execute = slow_execute
+        server, client = start_server(service)
+        try:
+            body = {"graph": "music", "algorithm": "chase"}
+            _, first, _ = client.post("/match", body)
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                _, data, _ = client.get(f"/requests/{first['id']}")
+                if data["status"] == "running":
+                    break
+                time.sleep(0.01)
+            _, queued, _ = client.post("/match", body)
+            status, data, _ = client.delete(f"/requests/{queued['id']}")
+            assert status == 200 and data["cancelled"] is True
+            # cancelling again (already terminal) conflicts
+            status, data, _ = client.delete(f"/requests/{queued['id']}")
+            assert status == 409 and data["status"] == "cancelled"
+            # fetching the result of an unfinished request conflicts too
+            status, data, _ = client.get(f"/requests/{first['id']}/result")
+            assert status == 409
+        finally:
+            MatchingService._execute = original
+            release.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+
+class TestErrorMapping:
+    def test_unknown_graph_is_404(self, live):
+        _service, client = live
+        status, data, _ = client.post(
+            "/match", {"graph": "nope", "algorithm": "chase"}
+        )
+        assert status == 404 and "nope" in data["error"]
+
+    def test_unknown_request_is_404(self, live):
+        _service, client = live
+        status, data, _ = client.get("/requests/req-999999")
+        assert status == 404
+
+    def test_unknown_field_is_400(self, live):
+        _service, client = live
+        register_music(client)
+        status, data, _ = client.post(
+            "/match", {"graph": "music", "algorithmm": "chase"}
+        )
+        assert status == 400 and "unknown field" in data["error"]
+
+    def test_bad_algorithm_is_400(self, live):
+        _service, client = live
+        register_music(client)
+        status, data, _ = client.post(
+            "/match", {"graph": "music", "algorithm": "EMNoSuch"}
+        )
+        assert status == 400
+
+    def test_service_owned_fields_are_rejected(self, live):
+        _service, client = live
+        register_music(client)
+        for field in ("snapshot_store", "incremental"):
+            status, data, _ = client.post(
+                "/match", {"graph": "music", "algorithm": "chase", field: True}
+            )
+            assert status == 400, field
+
+    def test_unparseable_body_is_400(self, live):
+        _service, client = live
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=30.0)
+        try:
+            connection.request(
+                "POST", "/match", body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "unparseable JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_unrouted_path_is_404(self, live):
+        _service, client = live
+        status, data, _ = client.get("/no/such/route")
+        assert status == 404 and "no route" in data["error"]

@@ -259,3 +259,20 @@ class TestAlgorithmsCommand:
             assert name in output
         assert "vertex-centric" in output
         assert "fanout=4" in output  # EMOptVC's accepted options are shown
+
+    def test_json_flag_emits_the_machine_readable_catalog(self, capsys):
+        import json
+
+        from repro import ALGORITHMS
+        from repro.service import algorithm_catalog
+
+        exit_code = main(["algorithms", "--json"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(output)  # valid JSON, nothing else on stdout
+        assert payload == {"algorithms": algorithm_catalog()}
+        names = {entry["name"] for entry in payload["algorithms"]}
+        assert names == set(ALGORITHMS)
+        for entry in payload["algorithms"]:
+            for option in entry["options"]:
+                assert isinstance(option["type"], str)  # JSON-safe types only
