@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Blocking benchmark: signature-join candidate generation vs the quadratic scan.
+
+Builds flat-keyed and recursive-keyed synthetic graphs of growing sizes and
+measures, per size, the candidate **count** and the candidate-build **wall
+clock** of the quadratic enumeration against the blocked one.  The quadratic
+side is only *executed* while its pair count stays under ``--pair-limit``
+(materializing ``C(50k, 2)`` tuples is not a benchmark, it is an OOM); past
+the limit its pair count is still exact (it is a closed form recorded in
+``BlockingStats.quadratic_pairs``) and its wall clock is extrapolated from
+the largest measured size's per-pair cost, flagged ``quadratic_measured:
+false`` in the artifact.
+
+The benchmark fails (non-zero exit) on a *correctness* violation: at every
+measured size the blocked pair list must be a subset of the quadratic one
+and the chase fixpoint must be bit-identical with blocking off and on — the
+fatal identity gate.  It also fails when the largest size prunes fewer than
+``--require-pair-ratio`` (default 10x) of the quadratic pairs, which is a
+deterministic property of the workload, not of the hardware.  Wall-clock
+floors stay hardware-dependent: enforce locally with ``--require-wall-ratio``.
+
+Run with:  python benchmarks/bench_blocking.py --out BENCH_blocking.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.chase import candidate_pairs, chase
+from repro.core.graph import Graph
+from repro.core.key import Key, KeySet
+from repro.core.pattern import (
+    GraphPattern,
+    PatternTriple,
+    designated,
+    entity_var,
+    value_var,
+)
+from repro.matching.blocking import blocked_candidate_pairs
+from repro.storage import GraphSnapshot
+
+
+def blocking_dataset(size: int, seed: int = 7):
+    """``size`` persons under a flat key + ``size // 10`` books under a
+    recursive key, with literal pools tuned for blocks of ~2-8 entities."""
+    rng = random.Random(seed)
+    graph = Graph()
+    name_pool = max(1, size // 4)
+    city_pool = max(1, size // 32)
+    for i in range(size):
+        graph.add_entity(f"p{i}", "person")
+        graph.add_value(f"p{i}", "name", f"name_{rng.randrange(name_pool)}")
+        graph.add_value(f"p{i}", "city", f"city_{rng.randrange(city_pool)}")
+    books = max(4, size // 10)
+    author_pool = max(1, books // 4)
+    for i in range(books):
+        graph.add_entity(f"b{i}", "book")
+        graph.add_entity(f"a{i}", "author")
+        graph.add_edge(f"b{i}", "written_by", f"a{i}")
+        graph.add_value(f"a{i}", "name", f"auth_{rng.randrange(author_pool)}")
+
+    x = designated("x", "person")
+    v1, v2 = value_var("v1"), value_var("v2")
+    person_key = Key(
+        GraphPattern(
+            [PatternTriple(x, "name", v1), PatternTriple(x, "city", v2)], name="QP"
+        ),
+        name="kperson",
+    )
+    b = designated("b", "book")
+    a = entity_var("a", "author")
+    v3 = value_var("v3")
+    book_key = Key(
+        GraphPattern(
+            [PatternTriple(b, "written_by", a), PatternTriple(a, "name", v3)],
+            name="QB",
+        ),
+        name="kbook",
+    )
+    return graph, KeySet([person_key, book_key])
+
+
+def bench_size(size: int, pair_limit: int, chase_limit: int) -> Dict:
+    graph, keys = blocking_dataset(size)
+    snapshot = GraphSnapshot.build(graph)
+
+    started = time.perf_counter()
+    blocked, stats, _ = blocked_candidate_pairs(
+        graph, keys, mode="auto", snapshot=snapshot
+    )
+    blocked_seconds = time.perf_counter() - started
+
+    entry: Dict = {
+        "entities_per_flat_type": size,
+        "quadratic_pairs": stats.quadratic_pairs,
+        "blocked_pairs": stats.enumerated_pairs,
+        "pair_ratio": round(stats.quadratic_pairs / max(1, stats.enumerated_pairs), 2),
+        "blocks_touched": stats.blocks_touched,
+        "blocked_build_seconds": round(blocked_seconds, 4),
+        "index_seconds": round(stats.index_seconds, 4),
+        "collision_seconds": round(stats.collision_seconds, 4),
+        "identity_checked": False,
+        "ok": True,
+    }
+
+    quadratic_measured = stats.quadratic_pairs <= pair_limit
+    entry["quadratic_measured"] = quadratic_measured
+    if quadratic_measured:
+        started = time.perf_counter()
+        quadratic = candidate_pairs(snapshot, keys)
+        quadratic_seconds = time.perf_counter() - started
+        entry["quadratic_build_seconds"] = round(quadratic_seconds, 4)
+        entry["ok"] = entry["ok"] and set(blocked) <= set(quadratic)
+        entry["ok"] = entry["ok"] and len(quadratic) == stats.quadratic_pairs
+        if size <= chase_limit:
+            reference = chase(graph, keys, snapshot=snapshot)
+            under_blocking = chase(graph, keys, snapshot=snapshot, blocking="auto")
+            entry["identity_checked"] = True
+            entry["identified_pairs"] = len(reference.pairs())
+            entry["ok"] = entry["ok"] and (
+                under_blocking.pairs() == reference.pairs()
+            )
+    return entry
+
+
+def run_benchmark(sizes: List[int], pair_limit: int, chase_limit: int) -> Dict:
+    report: Dict = {
+        "sizes": sizes,
+        "pair_limit": pair_limit,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "series": [],
+        "ok": True,
+    }
+    per_pair_cost = None  # seconds per quadratic pair at the largest measured size
+    for size in sizes:
+        entry = bench_size(size, pair_limit, chase_limit)
+        if entry["quadratic_measured"] and entry["quadratic_pairs"] > 0:
+            per_pair_cost = entry["quadratic_build_seconds"] / entry["quadratic_pairs"]
+        elif per_pair_cost is not None:
+            entry["quadratic_build_seconds"] = round(
+                per_pair_cost * entry["quadratic_pairs"], 4
+            )
+        if "quadratic_build_seconds" in entry:
+            entry["wall_clock_ratio"] = round(
+                entry["quadratic_build_seconds"]
+                / max(1e-9, entry["blocked_build_seconds"]),
+                2,
+            )
+        report["series"].append(entry)
+        report["ok"] = report["ok"] and entry["ok"]
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[2000, 10000, 50000]
+    )
+    parser.add_argument(
+        "--pair-limit",
+        type=int,
+        default=2_500_000,
+        help="run the real quadratic enumeration only below this pair count",
+    )
+    parser.add_argument(
+        "--chase-limit",
+        type=int,
+        default=2000,
+        help="run the full chase identity gate up to this entity count",
+    )
+    parser.add_argument("--out", default="BENCH_blocking.json")
+    parser.add_argument(
+        "--require-pair-ratio",
+        type=float,
+        default=10.0,
+        metavar="X",
+        help="fail unless the largest size enumerates >= X times fewer pairs",
+    )
+    parser.add_argument(
+        "--require-wall-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the largest size builds candidates >= X times faster",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(sorted(args.sizes), args.pair_limit, args.chase_limit)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    if not report["ok"]:
+        print(
+            "FAIL: blocked candidates diverge from the quadratic enumeration",
+            file=sys.stderr,
+        )
+        return 1
+    largest = report["series"][-1]
+    if (
+        args.require_pair_ratio is not None
+        and largest["pair_ratio"] < args.require_pair_ratio
+    ):
+        print(
+            f"FAIL: pair ratio {largest['pair_ratio']}x below "
+            f"{args.require_pair_ratio}x at size {largest['entities_per_flat_type']}",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.require_wall_ratio is not None
+        and largest.get("wall_clock_ratio", 0.0) < args.require_wall_ratio
+    ):
+        print(
+            f"FAIL: wall-clock ratio {largest.get('wall_clock_ratio')}x below "
+            f"{args.require_wall_ratio}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

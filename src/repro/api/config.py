@@ -54,11 +54,23 @@ class MatchConfig:
     #: (sessions fall back to a full run when no previous result exists or
     #: the journal window expired)
     incremental: bool = False
+    #: candidate enumeration strategy: ``"off"`` is the quadratic per-type
+    #: scan, ``"auto"`` enumerates through signature blocks with a per-type
+    #: quadratic fallback for keys the prover cannot certify, ``"force"``
+    #: raises instead of falling back (see :mod:`repro.matching.blocking`).
+    #: Validated per backend at :meth:`resolve` time against the
+    #: ``"blocking"`` capability.
+    blocking: str = "off"
 
     def __post_init__(self) -> None:
         if not isinstance(self.incremental, bool):
             raise ConfigError(
                 f"incremental must be a bool, got {self.incremental!r}"
+            )
+        if self.blocking not in ("off", "auto", "force"):
+            raise ConfigError(
+                f"unknown blocking mode {self.blocking!r}; "
+                f"expected one of off, auto, force"
             )
         if not isinstance(self.processors, int) or isinstance(self.processors, bool):
             raise ConfigError(f"processors must be an int, got {self.processors!r}")
@@ -96,6 +108,7 @@ class MatchConfig:
                 self.workers,
                 None if self.snapshot_store is None else str(self.snapshot_store),
                 self.incremental,
+                self.blocking,
                 tuple(sorted(self.options.items())),
             )
         )
@@ -115,13 +128,14 @@ class MatchConfig:
                 None if self.snapshot_store is None else str(self.snapshot_store)
             ),
             "incremental": self.incremental,
+            "blocking": self.blocking,
             "options": dict(self.options),
         }
 
     #: the keys :meth:`from_dict` accepts — anything else is a client error
     _WIRE_FIELDS = frozenset(
         ("algorithm", "processors", "executor", "workers",
-         "snapshot_store", "incremental", "options")
+         "snapshot_store", "incremental", "blocking", "options")
     )
 
     @classmethod
@@ -143,7 +157,7 @@ class MatchConfig:
             raise ConfigError(f"options must be a mapping, got {options!r}")
         kwargs: Dict[str, object] = {"options": dict(options)}
         for name in ("algorithm", "processors", "executor", "workers",
-                     "snapshot_store", "incremental"):
+                     "snapshot_store", "incremental", "blocking"):
             if name in payload and payload[name] is not None:
                 kwargs[name] = payload[name]
         if "algorithm" in kwargs and not isinstance(kwargs["algorithm"], str):
@@ -177,6 +191,11 @@ class MatchConfig:
                 f"algorithm {spec.name!r} does not support executor selection "
                 f"(requested executor={self.executor!r})"
             )
+        if self.blocking != "off" and "blocking" not in spec.capabilities:
+            raise ConfigError(
+                f"algorithm {spec.name!r} does not support blocked candidate "
+                f"generation (requested blocking={self.blocking!r})"
+            )
         return spec, spec.validate_options(self.options)
 
     def validated(self, registry: Optional[AlgorithmRegistry] = None) -> "MatchConfig":
@@ -195,5 +214,7 @@ class MatchConfig:
             parts.append(f"store={str(self.snapshot_store)!r}")
         if self.incremental:
             parts.append("incremental")
+        if self.blocking != "off":
+            parts.append(f"blocking={self.blocking}")
         parts.extend(f"{k}={v!r}" for k, v in sorted(self.options.items()))
         return f"{self.algorithm}({', '.join(parts)})"

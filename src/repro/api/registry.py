@@ -104,6 +104,7 @@ class AlgorithmSpec:
         workers: Optional[int] = None,
         seed_pairs: Optional[Sequence[Tuple[str, str]]] = None,
         worklist: Optional[Sequence[Tuple[str, str]]] = None,
+        blocking: Optional[str] = None,
     ) -> object:
         """Validate *options* against this spec and invoke the runner.
 
@@ -113,6 +114,8 @@ class AlgorithmSpec:
         ``seed_pairs`` / ``worklist`` are the incremental re-matching inputs
         (a previous run's surviving merges and the affected pairs to
         re-chase); they require the ``"incremental"`` capability.
+        ``blocking`` (``"auto"``/``"force"``) selects blocked candidate
+        generation and requires the ``"blocking"`` capability.
         """
         validated = self.validate_options(options or {})
         runtime_kwargs: Dict[str, object] = {}
@@ -137,6 +140,13 @@ class AlgorithmSpec:
                 )
             runtime_kwargs["seed_pairs"] = seed_pairs
             runtime_kwargs["worklist"] = worklist
+        if blocking is not None and blocking != "off":
+            if "blocking" not in self.capabilities:
+                raise ConfigError(
+                    f"algorithm {self.name!r} does not support blocked "
+                    f"candidate generation (requested blocking={blocking!r})"
+                )
+            runtime_kwargs["blocking"] = blocking
         return self.runner(
             graph,
             keys,

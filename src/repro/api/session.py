@@ -41,6 +41,7 @@ from ..core.graph import Graph
 from ..core.key import KeySet
 from ..core.neighborhood import NeighborhoodIndex
 from ..exceptions import MatchingError, StoreError
+from ..matching.blocking import BlockingIndex
 from ..matching.candidates import (
     CandidateSet,
     build_candidates,
@@ -89,6 +90,13 @@ class SessionCacheInfo:
     #: runs; per run, rechecked + skipped == |L| of the new graph
     pairs_rechecked: int = 0
     pairs_skipped: int = 0
+    #: blocking-layer observability: signature index builds / journal-delta
+    #: rebases, blocks enumerated, and candidate pairs pruned vs. the
+    #: quadratic baseline (cumulative across blocked candidate builds)
+    blocking_index_builds: int = 0
+    blocking_index_rebases: int = 0
+    blocking_blocks_touched: int = 0
+    blocking_pairs_pruned: int = 0
 
 
 @dataclass(frozen=True)
@@ -113,9 +121,12 @@ class SessionArtifacts:
 
     Backends receive this object as their ``artifacts`` argument and ask it
     for candidate sets / product graphs instead of rebuilding them.  Flavours
-    are keyed by ``(filtered, reduce_neighborhoods)``; all flavours share one
-    underlying :class:`NeighborhoodIndex` (reduced flavours restrict a clone,
-    never the shared base).
+    are keyed by ``(filtered, reduce_neighborhoods, blocked)``; all flavours
+    share one underlying :class:`NeighborhoodIndex` (reduced flavours
+    restrict a clone, never the shared base) and one
+    :class:`~repro.matching.blocking.BlockingIndex` (the ``auto`` and
+    ``force`` modes enumerate identical pairs whenever ``force`` is
+    accepted, so one ``blocked`` flavour bit serves both).
 
     The cache is **safe for concurrent callers**: every accessor runs under a
     build-once re-entrant lock, so two requests racing on a cold artifact
@@ -142,16 +153,17 @@ class SessionArtifacts:
         self._version = graph.version
         self._snapshot: Optional[GraphSnapshot] = None
         self._index: Optional[SnapshotNeighborhoodIndex] = None
-        self._candidates: Dict[Tuple[bool, bool], CandidateSet] = {}
-        self._dependency_maps: Dict[Tuple[bool, bool], DependencyArtifact] = {}
-        self._product_graphs: Dict[Tuple[bool, bool], ProductGraph] = {}
+        self._blocking_index: Optional[BlockingIndex] = None
+        self._candidates: Dict[Tuple[bool, bool, bool], CandidateSet] = {}
+        self._dependency_maps: Dict[Tuple[bool, bool, bool], DependencyArtifact] = {}
+        self._product_graphs: Dict[Tuple[bool, bool, bool], ProductGraph] = {}
         self._orders: Optional[Dict[str, object]] = None
         # journal-delta rebasing: artifacts staled by a mutation wait here
         # (with the union of delta-affected entities) until the accessor
         # migrates them onto the new graph version instead of rebuilding
-        self._stale_candidates: Dict[Tuple[bool, bool], Tuple[CandidateSet, set]] = {}
-        self._stale_product_graphs: Dict[Tuple[bool, bool], Tuple[ProductGraph, set]] = {}
-        self._stale_dependency_maps: Dict[Tuple[bool, bool], Tuple[DependencyArtifact, set]] = {}
+        self._stale_candidates: Dict[Tuple[bool, bool, bool], Tuple[CandidateSet, set]] = {}
+        self._stale_product_graphs: Dict[Tuple[bool, bool, bool], Tuple[ProductGraph, set]] = {}
+        self._stale_dependency_maps: Dict[Tuple[bool, bool, bool], Tuple[DependencyArtifact, set]] = {}
         # build counters exposed through SessionCacheInfo
         self.snapshot_builds = 0
         self.index_builds = 0
@@ -166,6 +178,10 @@ class SessionArtifacts:
         self.incremental_runs = 0
         self.pairs_rechecked = 0
         self.pairs_skipped = 0
+        self.blocking_index_builds = 0
+        self.blocking_index_rebases = 0
+        self.blocking_blocks_touched = 0
+        self.blocking_pairs_pruned = 0
         #: cumulative seconds spent building each artifact kind (CLI --profile)
         self.timings: Dict[str, float] = {}
 
@@ -189,6 +205,7 @@ class SessionArtifacts:
         with self._lock:
             self._snapshot = None
             self._index = None
+            self._blocking_index = None
             self._candidates.clear()
             self._dependency_maps.clear()
             self._product_graphs.clear()
@@ -248,6 +265,7 @@ class SessionArtifacts:
                 self._stale_product_graphs.clear()
                 self._stale_dependency_maps.clear()
                 self._index = None
+                self._blocking_index = None
                 self._snapshot = None
             else:
                 stale = stale_hint if stale_hint is not None else self.stale_entities(touched)
@@ -255,6 +273,19 @@ class SessionArtifacts:
                 self._stash_for_rebase(affected)
                 self._snapshot = None
                 self._index = self._index.rebased(self.snapshot(), evict=sorted(stale))
+                if self._blocking_index is not None:
+                    # signatures are radius-local, so stale ∪ touched covers
+                    # every entity whose signature the delta could change
+                    old_blocking = self._blocking_index
+                    self._blocking_index = self._timed(
+                        "blocking_index_rebase",
+                        lambda: old_blocking.rebased(
+                            self._graph,
+                            snapshot=self.snapshot(),
+                            affected_entities=affected,
+                        ),
+                    )
+                    self.blocking_index_rebases += 1
             self._version = version
             self.invalidations += 1
 
@@ -272,7 +303,7 @@ class SessionArtifacts:
         for flavor, (artifact, previous) in list(self._stale_dependency_maps.items()):
             self._stale_dependency_maps[flavor] = (artifact, previous | affected)
         for flavor, candidates in self._candidates.items():
-            filtered, _ = flavor
+            filtered = flavor[0]
             if filtered and candidates.pair_supports is not None:
                 self._stale_candidates[flavor] = (candidates, set(affected))
         for flavor, product_graph in self._product_graphs.items():
@@ -333,16 +364,51 @@ class SessionArtifacts:
                 self.index_builds += 1
             return self._index
 
-    def candidates(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> CandidateSet:
+    def blocking_index(self) -> BlockingIndex:
+        """The shared signature index of the blocking layer (built once)."""
+        with self._lock:
+            if self._blocking_index is None:
+                snapshot = self.snapshot()
+                self._blocking_index = self._timed(
+                    "blocking_index_build",
+                    lambda: BlockingIndex.build(
+                        self._graph, self._keys, snapshot=snapshot
+                    ),
+                )
+                self.blocking_index_builds += 1
+            return self._blocking_index
+
+    def candidates(
+        self,
+        *,
+        filtered: bool,
+        reduce_neighborhoods: bool = False,
+        blocking: str = "off",
+    ) -> CandidateSet:
         with self._lock:
             return self._candidates_locked(
-                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+                filtered=filtered,
+                reduce_neighborhoods=reduce_neighborhoods,
+                blocking=blocking,
             )
 
     def _candidates_locked(
-        self, *, filtered: bool, reduce_neighborhoods: bool = False
+        self,
+        *,
+        filtered: bool,
+        reduce_neighborhoods: bool = False,
+        blocking: str = "off",
     ) -> CandidateSet:
-        flavor = (filtered, reduce_neighborhoods)
+        blocked = blocking != "off"
+        blocking_index: Optional[BlockingIndex] = None
+        if blocked:
+            blocking_index = self.blocking_index()
+            if blocking == "force":
+                # "auto" and "force" share one cached flavour (identical
+                # pairs when force is accepted), so force re-validates the
+                # certification even on a cache hit
+                blocking_index.require_certified()
+        flavor = (filtered, reduce_neighborhoods, blocked)
         cached = self._candidates.get(flavor)
         if cached is None:
             index = self.neighborhood_index()
@@ -360,6 +426,8 @@ class SessionArtifacts:
                         index=index,
                         affected_entities=affected,
                         reduce_neighborhoods=reduce_neighborhoods,
+                        blocking=blocking,
+                        blocking_index=blocking_index,
                     ),
                 )
                 self.candidate_rebases += 1
@@ -372,6 +440,8 @@ class SessionArtifacts:
                         reduce_neighborhoods=reduce_neighborhoods,
                         index=index,
                         snapshot=snapshot,
+                        blocking=blocking,
+                        blocking_index=blocking_index,
                     ),
                 )
                 self.candidate_builds += 1
@@ -379,27 +449,54 @@ class SessionArtifacts:
                 cached = self._timed(
                     "candidates_build",
                     lambda: build_candidates(
-                        self._graph, self._keys, index=index, snapshot=snapshot
+                        self._graph,
+                        self._keys,
+                        index=index,
+                        snapshot=snapshot,
+                        blocking=blocking,
+                        blocking_index=blocking_index,
                     ),
                 )
                 self.candidate_builds += 1
+            if cached.blocking is not None:
+                self.blocking_blocks_touched += cached.blocking.blocks_touched
+                self.blocking_pairs_pruned += cached.blocking.pairs_pruned
+                for phase, seconds in (
+                    ("blocking_collision", cached.blocking.collision_seconds),
+                    ("blocking_pairing_filter", cached.blocking.filter_seconds),
+                ):
+                    self.timings[phase] = self.timings.get(phase, 0.0) + seconds
             self._candidates[flavor] = cached
         return cached
 
-    def dependency_map(self, *, filtered: bool, reduce_neighborhoods: bool = False):
+    def dependency_map(
+        self,
+        *,
+        filtered: bool,
+        reduce_neighborhoods: bool = False,
+        blocking: str = "off",
+    ):
         with self._lock:
             return self._dependency_map_locked(
-                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+                filtered=filtered,
+                reduce_neighborhoods=reduce_neighborhoods,
+                blocking=blocking,
             )
 
     def _dependency_map_locked(
-        self, *, filtered: bool, reduce_neighborhoods: bool = False
+        self,
+        *,
+        filtered: bool,
+        reduce_neighborhoods: bool = False,
+        blocking: str = "off",
     ):
-        flavor = (filtered, reduce_neighborhoods)
+        flavor = (filtered, reduce_neighborhoods, blocking != "off")
         cached = self._dependency_maps.get(flavor)
         if cached is None:
             candidates = self.candidates(
-                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+                filtered=filtered,
+                reduce_neighborhoods=reduce_neighborhoods,
+                blocking=blocking,
             )
             stale = self._stale_dependency_maps.pop(flavor, None)
             if stale is not None:
@@ -419,23 +516,39 @@ class SessionArtifacts:
             self._dependency_maps[flavor] = cached
         return cached.forward
 
-    def product_graph(self, *, filtered: bool, reduce_neighborhoods: bool = False) -> ProductGraph:
+    def product_graph(
+        self,
+        *,
+        filtered: bool,
+        reduce_neighborhoods: bool = False,
+        blocking: str = "off",
+    ) -> ProductGraph:
         with self._lock:
             return self._product_graph_locked(
-                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+                filtered=filtered,
+                reduce_neighborhoods=reduce_neighborhoods,
+                blocking=blocking,
             )
 
     def _product_graph_locked(
-        self, *, filtered: bool, reduce_neighborhoods: bool = False
+        self,
+        *,
+        filtered: bool,
+        reduce_neighborhoods: bool = False,
+        blocking: str = "off",
     ) -> ProductGraph:
-        flavor = (filtered, reduce_neighborhoods)
+        flavor = (filtered, reduce_neighborhoods, blocking != "off")
         cached = self._product_graphs.get(flavor)
         if cached is None:
             candidates = self.candidates(
-                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+                filtered=filtered,
+                reduce_neighborhoods=reduce_neighborhoods,
+                blocking=blocking,
             )
             dependents = self.dependency_map(
-                filtered=filtered, reduce_neighborhoods=reduce_neighborhoods
+                filtered=filtered,
+                reduce_neighborhoods=reduce_neighborhoods,
+                blocking=blocking,
             )
             stale = self._stale_product_graphs.pop(flavor, None)
             if stale is not None:
@@ -485,6 +598,10 @@ class SessionArtifacts:
             incremental_runs=self.incremental_runs,
             pairs_rechecked=self.pairs_rechecked,
             pairs_skipped=self.pairs_skipped,
+            blocking_index_builds=self.blocking_index_builds,
+            blocking_index_rebases=self.blocking_index_rebases,
+            blocking_blocks_touched=self.blocking_blocks_touched,
+            blocking_pairs_pruned=self.blocking_pairs_pruned,
         )
 
 
@@ -568,6 +685,7 @@ class MatchSession:
         workers: Optional[int] = None,
         snapshot_store: Union[None, str, "os.PathLike", SnapshotStore] = None,
         incremental: Optional[bool] = None,
+        blocking: Optional[str] = None,
         **options: object,
     ) -> "MatchSession":
         """Choose the default algorithm (and its options) for :meth:`run`.
@@ -580,7 +698,8 @@ class MatchSession:
         ``snapshot_store`` configures (or replaces) the on-disk snapshot
         store the session's artifact cache consults; ``None`` keeps the
         current one.  ``incremental`` sets the default run mode (``None``
-        keeps the current default).
+        keeps the current default), as does ``blocking``
+        (``"off"``/``"auto"``/``"force"`` candidate enumeration).
         """
         if executor is None and self._config.executor is not None:
             if self._supports_executors(algorithm):
@@ -597,6 +716,7 @@ class MatchSession:
             incremental=(
                 self._config.incremental if incremental is None else incremental
             ),
+            blocking=self._config.blocking if blocking is None else blocking,
             options=options,
         )
         return self
@@ -659,8 +779,10 @@ class MatchSession:
 
         Keys: ``snapshot_build``, ``neighborhood_index_build``,
         ``candidates_build``, ``product_graph_build`` (present once the
-        corresponding artifact has been built).  Consumed by the CLI's
-        ``--profile`` report.
+        corresponding artifact has been built), plus the blocking-layer
+        phase split ``blocking_index_build`` / ``blocking_index_rebase`` /
+        ``blocking_collision`` / ``blocking_pairing_filter`` when blocked
+        enumeration ran.  Consumed by the CLI's ``--profile`` report.
         """
         if self._artifacts is None:
             return {}
@@ -694,6 +816,7 @@ class MatchSession:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         incremental: Optional[bool] = None,
+        blocking: Optional[str] = None,
         **options: object,
     ) -> EMResult:
         """Run one matching algorithm, reusing the session's cached artifacts.
@@ -724,6 +847,7 @@ class MatchSession:
                 executor=executor,
                 workers=workers,
                 incremental=incremental,
+                blocking=blocking,
                 **options,
             )
 
@@ -735,6 +859,7 @@ class MatchSession:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         incremental: Optional[bool] = None,
+        blocking: Optional[str] = None,
         **options: object,
     ) -> EMResult:
         if self._keys is None:
@@ -746,6 +871,7 @@ class MatchSession:
                 or executor is not None
                 or workers is not None
                 or incremental is not None
+                or blocking is not None
                 or options
             ):
                 config = MatchConfig(
@@ -755,6 +881,7 @@ class MatchSession:
                     workers=config.workers if workers is None else workers,
                     snapshot_store=config.snapshot_store,
                     incremental=config.incremental if incremental is None else incremental,
+                    blocking=config.blocking if blocking is None else blocking,
                     options={**config.options, **options},
                 )
         else:
@@ -775,6 +902,7 @@ class MatchSession:
                 incremental=(
                     self._config.incremental if incremental is None else incremental
                 ),
+                blocking=self._config.blocking if blocking is None else blocking,
                 options=options,
             )
         spec, validated = config.resolve()
@@ -807,6 +935,7 @@ class MatchSession:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         incremental: Optional[bool] = None,
+        blocking: Optional[str] = None,
         **options: object,
     ) -> "Future[EMResult]":
         """Start :meth:`run` on a background thread; returns its future.
@@ -840,6 +969,7 @@ class MatchSession:
                             executor=executor,
                             workers=workers,
                             incremental=incremental,
+                            blocking=blocking,
                             **options,
                         )
                     )
@@ -863,6 +993,7 @@ class MatchSession:
             observer=self._dispatch_event if self._observers else None,
             executor=config.executor,
             workers=config.workers,
+            blocking=config.blocking,
         )
 
     def _run_incremental(
@@ -892,6 +1023,14 @@ class MatchSession:
         # refresh reuses the sweep instead of recomputing it
         old_affected = self._artifacts.stale_entities(touched)
         artifacts = self._refresh_artifacts(config, stale_hint=old_affected)
+        # the delta plan is always computed over the quadratic (unblocked)
+        # pair universe: a previously-identified pair can vanish from the
+        # *blocked* candidate list after a mutation (its signatures stopped
+        # colliding), and the affected-set closure must still reach it and
+        # its dependents to drop the stale classes.  The quadratic flavors
+        # are rebased in O(delta) across runs, and the backend below still
+        # runs blocked — a worklist pair outside the blocked set provably
+        # cannot fire, so skipping it equals checking-and-failing it.
         candidates = artifacts.candidates(filtered=False)
         dependents = artifacts.dependency_map(filtered=False)
         plan = plan_delta(
@@ -929,6 +1068,7 @@ class MatchSession:
                 workers=config.workers,
                 seed_pairs=plan.seed,
                 worklist=plan.worklist,
+                blocking=config.blocking,
             )
             # backends report their own (possibly restricted) pair counts;
             # normalize the |L| statistic so delta provenance is comparable
@@ -950,11 +1090,14 @@ class MatchSession:
 
         Cheap on purpose: the unfiltered candidate set is enumerated lazily
         from the run's immutable snapshot only if an incremental run actually
-        consumes this state (unless the session already has it cached).
+        consumes this state (unless the session already has it cached).  The
+        recorded superset is always the *quadratic* flavor — ``plan_delta``
+        compares the new quadratic universe against it, so caching a blocked
+        (strictly smaller) set would inflate every later worklist.
         """
         if self._artifacts is None:
             return
-        cached = self._artifacts._candidates.get((False, False))
+        cached = self._artifacts._candidates.get((False, False, False))
         self._incremental = IncrementalState(
             version=self._artifacts._version,
             eq=result.eq.copy(),
@@ -1022,6 +1165,7 @@ class MatchSession:
             and previous.processors == config.processors
             and previous.executor == config.executor
             and previous.workers == config.workers
+            and previous.blocking == config.blocking
             and previous.options == config.options
         )
 

@@ -89,6 +89,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backend option passthrough, e.g. --set prioritize=false (repeatable)",
     )
     match_parser.add_argument(
+        "--blocking",
+        choices=["off", "auto", "force"],
+        default="off",
+        help="sub-quadratic candidate generation via signature blocking: "
+        "'auto' blocks every certified key shape and falls back to the "
+        "quadratic enumeration per uncertifiable type, 'force' errors out "
+        "instead of falling back (results are identical in every mode)",
+    )
+    match_parser.add_argument(
         "--incremental",
         action="store_true",
         help="request an incremental run: seed from the session's previous "
@@ -277,6 +286,7 @@ def _command_match(args: argparse.Namespace) -> int:
         executor=args.executor,
         workers=args.workers,
         incremental=True if args.incremental else None,
+        blocking=args.blocking,
         **options,
     )
     print(f"algorithm      : {result.algorithm}")
@@ -328,6 +338,10 @@ def _print_profile(session: MatchSession, result) -> None:
         "snapshot_build",
         "snapshot_store_save",
         "neighborhood_index_build",
+        "blocking_index_build",
+        "blocking_index_rebase",
+        "blocking_collision",
+        "blocking_pairing_filter",
         "candidates_build",
         "candidates_rebase",
         "dependency_map_build",
@@ -339,6 +353,12 @@ def _print_profile(session: MatchSession, result) -> None:
             print(f"  {phase:<24} : {timings[phase] * 1000.0:9.2f} ms")
     solve = max(0.0, result.wall_seconds - sum(timings.values()))
     print(f"  {'solve':<24} : {solve * 1000.0:9.2f} ms")
+    if info.blocking_index_builds or info.blocking_index_rebases:
+        print(
+            f"  {'blocking':<24} : {info.blocking_blocks_touched} block(s) "
+            f"touched, {info.blocking_pairs_pruned} pair(s) pruned vs "
+            f"quadratic"
+        )
     stats = result.stats
     counters = {
         "rounds": stats.rounds,

@@ -33,7 +33,11 @@ from .triples import is_entity_ref
 def candidate_pairs(graph: Graph, keys: KeySet) -> List[Pair]:
     """The candidate set ``L``: same-type entity pairs with a key defined on them.
 
-    Pairs are canonically ordered and sorted, so the result is deterministic.
+    The order is deterministic and independent of graph insertion order:
+    target types are visited in sorted order, both graph readers return each
+    type's entities sorted, and ``itertools.combinations`` over a sorted
+    bucket yields canonically ordered pairs in lexicographic order.  The
+    result is *grouped by type* — it is not one globally sorted list.
     """
     pairs: List[Pair] = []
     for etype in sorted(keys.target_types()):
@@ -122,6 +126,7 @@ def chase(
     snapshot: Optional[object] = None,
     index: Optional[NeighborhoodIndex] = None,
     seed: Optional[Iterable[Pair]] = None,
+    blocking: str = "off",
 ) -> ChaseResult:
     """Compute ``chase(G, Σ)`` sequentially.
 
@@ -155,6 +160,12 @@ def chase(
         identifications seed the relation, and ``pair_order`` restricts the
         worklist to the pairs a delta could have affected.  Seed merges are
         not recorded as chase steps and do not count as checks.
+    blocking:
+        Candidate-enumeration strategy when *pair_order* is not given:
+        ``"off"`` (default) is the quadratic :func:`candidate_pairs` scan,
+        ``"auto"``/``"force"`` use the signature-blocking layer of
+        :mod:`repro.matching.blocking`, which is sound (no false negatives)
+        and so yields the same chase result.
     """
     if len(keys) == 0:
         eq = EquivalenceRelation(graph.entity_ids())
@@ -178,7 +189,16 @@ def chase(
     else:
         neighborhoods = NeighborhoodIndex(graph, keys)
 
-    candidates = list(pair_order) if pair_order is not None else candidate_pairs(reader, keys)
+    if pair_order is not None:
+        candidates = list(pair_order)
+    elif blocking != "off":
+        from ..matching.blocking import blocked_candidate_pairs  # lazy: avoid import cycle
+
+        candidates, _, _ = blocked_candidate_pairs(
+            graph, keys, mode=blocking, snapshot=snapshot  # type: ignore[arg-type]
+        )
+    else:
+        candidates = candidate_pairs(reader, keys)
     for e1, e2 in candidates:
         if not reader.has_entity(e1):
             raise MatchingError(f"candidate pair references unknown entity {e1!r}")

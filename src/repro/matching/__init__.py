@@ -30,6 +30,13 @@ from ..core.chase import chase
 from ..core.graph import Graph
 from ..core.key import KeySet
 from ..exceptions import MatchingError
+from .blocking import (
+    BLOCKING_MODES,
+    BlockingIndex,
+    BlockingStats,
+    blocked_candidate_pairs,
+    compile_blocking_schemes,
+)
 from .candidates import CandidateSet, build_candidates, build_filtered_candidates, dependency_map
 from .em_mr import (
     MapReduceEntityMatcher,
@@ -65,12 +72,15 @@ def chase_as_result(
     index: Optional[object] = None,
     seed_pairs: Optional[object] = None,
     worklist: Optional[object] = None,
+    blocking: str = "off",
 ) -> EMResult:
     """Run the sequential chase and wrap it in an :class:`EMResult`.
 
     ``seed_pairs`` / ``worklist`` are the incremental re-matching hooks: the
     seed is merged into ``Eq`` before any chase step and the worklist (when
     given) replaces the full candidate enumeration as the pending pair list.
+    ``blocking`` selects blocked candidate enumeration (sound, so the chase
+    fixpoint is unchanged).
     """
     outcome = chase(
         graph,
@@ -79,6 +89,7 @@ def chase_as_result(
         index=index,
         seed=seed_pairs,
         pair_order=worklist,
+        blocking=blocking,
     )
     stats = EMStatistics(
         candidate_pairs=outcome.candidates,
@@ -101,7 +112,7 @@ def chase_as_result(
 @register_algorithm(
     "chase",
     family="sequential",
-    capabilities=("reference", "incremental"),
+    capabilities=("reference", "incremental", "blocking"),
     description="sequential chase, the reference implementation (Section 3)",
 )
 def _run_chase(
@@ -113,6 +124,7 @@ def _run_chase(
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     seed_pairs: Optional[object] = None,
     worklist: Optional[object] = None,
+    blocking: str = "off",
 ) -> EMResult:
     snapshot = artifacts.snapshot() if artifacts is not None else None
     index = artifacts.neighborhood_index() if artifacts is not None else None
@@ -123,6 +135,7 @@ def _run_chase(
         index=index,
         seed_pairs=seed_pairs,
         worklist=worklist,
+        blocking=blocking,
     )
     # the sequential chase has no rounds to report, but it honours the
     # events contract every backend shares: a final "done" notification
@@ -145,6 +158,7 @@ def match_entities(
     processors: int = 4,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    blocking: str = "off",
     **options: object,
 ) -> EMResult:
     """Compute ``chase(G, Σ)`` with the requested algorithm.
@@ -168,11 +182,15 @@ def match_entities(
         options=options,
         executor=executor,
         workers=workers,
+        blocking=blocking,
     )
 
 
 __all__ = [
     "ALGORITHMS",
+    "BLOCKING_MODES",
+    "BlockingIndex",
+    "BlockingStats",
     "CandidateSet",
     "DEFAULT_FANOUT",
     "DeltaPlan",
@@ -190,9 +208,11 @@ __all__ = [
     "TraversalStep",
     "VF2MapReduceEntityMatcher",
     "VertexCentricEntityMatcher",
+    "blocked_candidate_pairs",
     "build_candidates",
     "build_filtered_candidates",
     "chase_as_result",
+    "compile_blocking_schemes",
     "dependency_map",
     "em_mr",
     "em_mr_opt",

@@ -1,0 +1,620 @@
+"""Blocking layer: sub-quadratic candidate generation via signature joins.
+
+``candidate_pairs`` enumerates every same-type pair — O(n²) per type bucket,
+the wall that caps graph size long before the chase does.  This module
+replaces that enumeration with *signature-join* candidate generation:
+
+1. For every key, compile a **blocking scheme**: one *signature path* per
+   value variable / constant node of the pattern — the shortest pattern path
+   from the designated variable ``x`` to that node, expressed as a sequence
+   of ``(predicate, direction, type filter)`` steps.
+2. For every entity of the key's target type, compute the **signature** of
+   each path: the set of literals reachable from the entity by following the
+   path's predicate steps through the graph (an inverted value index over
+   the snapshot's CSR arrays serves the flat single-step case in one pass).
+3. A pair becomes a candidate for a key iff its signatures *collide*
+   (non-empty intersection) on **every** path of that key; the per-type
+   candidate set is the union over the type's keys.
+
+Soundness (no false negatives)
+------------------------------
+
+If a key ``Q(x)`` identifies ``(e1, e2)`` under *any* ``Eq`` during the
+chase, the witnessing instantiation assigns each pattern node a pair of
+graph nodes such that every pattern triple is present **in G on each side**
+(:class:`~repro.core.eval_guided.GuidedPairEvaluator` checks
+``has_triple`` per side; ``Eq`` only relaxes *entity identity across the two
+sides*, never triple existence).  Value variables must coincide
+(``n1 == n2``) and constants must equal ``d`` on both sides.  Hence for each
+signature path ``x = n0 → … → nk`` ending in a value node, both entities
+reach a **common literal** by following the same predicate steps — so their
+path signatures intersect, on every path.  The condition is purely
+structural (graph-only, independent of ``Eq``), so it is necessary at every
+point of the chase, including recursive keys whose entity-variable
+prerequisites only shrink the match set further.
+
+A key is **certifiable** iff its pattern contains at least one value
+variable or constant node; a pattern without any value position yields no
+structural filter, so its necessary condition is trivially true.  A type
+falls back to full quadratic enumeration when *any* of its keys is
+uncertifiable (mode ``"auto"``); mode ``"force"`` raises
+:class:`~repro.exceptions.ConfigError` instead.  ``"auto"`` and ``"force"``
+produce identical pairs whenever ``"force"`` is accepted.
+
+The emitted pairs are a subset of :func:`~repro.core.chase.candidate_pairs`
+in the same order: per sorted target type, canonically ordered pairs sorted
+within the type.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.equivalence import Pair
+from ..core.graph import Graph
+from ..core.key import Key, KeySet
+from ..core.triples import Literal, is_entity_ref
+from ..exceptions import ConfigError
+
+#: The recognised values of the ``blocking`` knob.
+BLOCKING_MODES: Tuple[str, ...] = ("off", "auto", "force")
+
+
+def validate_blocking_mode(mode: object) -> str:
+    """Validate a ``blocking`` mode string, raising :class:`ConfigError`."""
+    if mode not in BLOCKING_MODES:
+        raise ConfigError(
+            f"blocking must be one of {'/'.join(BLOCKING_MODES)}, got {mode!r}"
+        )
+    return mode  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class SignatureStep:
+    """One hop of a signature path.
+
+    ``forward`` follows subject → object edges of *predicate*; backward
+    follows object → subject.  ``etype`` filters the reached nodes: a type
+    string keeps entities of that type, ``None`` keeps literals (value-kind
+    pattern nodes carry no type).
+    """
+
+    predicate: str
+    forward: bool
+    etype: Optional[str]
+
+
+@dataclass(frozen=True)
+class SignaturePath:
+    """The compiled path from ``x`` to one value position of a key pattern.
+
+    ``constant`` is the literal a constant node must equal (``None`` for
+    value variables); constant paths contribute a filter block — an entity
+    participates only when it actually reaches that literal.
+    """
+
+    node_name: str
+    steps: Tuple[SignatureStep, ...]
+    constant: Optional[Literal] = None
+
+
+@dataclass(frozen=True)
+class KeyBlockingScheme:
+    """The blocking scheme compiled for one key.
+
+    ``certified`` is True when the soundness argument of the module docstring
+    applies (the pattern has at least one value position); ``reason`` records
+    why certification failed otherwise.
+    """
+
+    key_name: str
+    target_type: str
+    paths: Tuple[SignaturePath, ...]
+    certified: bool
+    reason: str = ""
+
+
+def compile_blocking_scheme(key: Key) -> KeyBlockingScheme:
+    """Compile the blocking scheme of *key* (see the module docstring)."""
+    pattern = key.pattern
+    value_nodes = sorted(
+        (node for node in pattern.nodes() if node.is_value), key=lambda n: n.name
+    )
+    if not value_nodes:
+        return KeyBlockingScheme(
+            key_name=key.name,
+            target_type=key.target_type,
+            paths=(),
+            certified=False,
+            reason="pattern has no value variable or constant node",
+        )
+
+    # undirected pattern-node adjacency with sorted neighbours, so the BFS
+    # tree (and hence the compiled steps) is independent of triple order
+    adjacency: Dict[str, Set[str]] = {}
+    for triple in pattern.triples:
+        adjacency.setdefault(triple.subject.name, set()).add(triple.obj.name)
+        adjacency.setdefault(triple.obj.name, set()).add(triple.subject.name)
+    parent: Dict[str, str] = {}
+    root = pattern.designated.name
+    seen = {root}
+    queue: deque[str] = deque([root])
+    while queue:
+        current = queue.popleft()
+        for neighbour in sorted(adjacency.get(current, ())):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                parent[neighbour] = current
+                queue.append(neighbour)
+
+    paths: List[SignaturePath] = []
+    for node in value_nodes:
+        names = [node.name]
+        while names[-1] != root:
+            names.append(parent[names[-1]])
+        names.reverse()  # x = n0, ..., nk = value node
+        steps: List[SignatureStep] = []
+        for a, b in zip(names, names[1:]):
+            forward = sorted(
+                t.predicate
+                for t in pattern.triples
+                if t.subject.name == a and t.obj.name == b
+            )
+            endpoint = pattern.node(b)
+            if forward:
+                steps.append(SignatureStep(forward[0], True, endpoint.etype))
+            else:
+                backward = sorted(
+                    t.predicate
+                    for t in pattern.triples
+                    if t.subject.name == b and t.obj.name == a
+                )
+                steps.append(SignatureStep(backward[0], False, endpoint.etype))
+        constant = Literal(node.value) if node.is_constant else None
+        paths.append(SignaturePath(node.name, tuple(steps), constant))
+    return KeyBlockingScheme(
+        key_name=key.name,
+        target_type=key.target_type,
+        paths=tuple(paths),
+        certified=True,
+    )
+
+
+def compile_blocking_schemes(keys: KeySet) -> Tuple[KeyBlockingScheme, ...]:
+    """Compile the blocking schemes of every key of *keys*, in key order."""
+    return tuple(compile_blocking_scheme(key) for key in keys)
+
+
+@dataclass
+class BlockingStats:
+    """Observability record of one blocked candidate generation."""
+
+    mode: str
+    #: keyed types enumerated through signature blocks / via quadratic fallback.
+    certified_types: int = 0
+    fallback_types: int = 0
+    #: what full enumeration would have produced: sum of C(|bucket|, 2).
+    quadratic_pairs: int = 0
+    #: pairs actually emitted.
+    enumerated_pairs: int = 0
+    #: anchor blocks (>= 2 members) whose pairs were enumerated.
+    blocks_touched: int = 0
+    index_seconds: float = 0.0
+    collision_seconds: float = 0.0
+    #: pairing-filter wall clock (set by ``build_filtered_candidates``).
+    filter_seconds: float = 0.0
+
+    @property
+    def pairs_pruned(self) -> int:
+        """Pairs the blocking layer avoided enumerating vs. the quadratic baseline."""
+        return max(0, self.quadratic_pairs - self.enumerated_pairs)
+
+
+#: entity -> non-empty token set; entities with empty signatures are absent.
+_PathSignatures = Dict[str, FrozenSet[Literal]]
+
+
+class BlockingIndex:
+    """Per-key signature index over one graph version.
+
+    Build with :meth:`build`; enumerate with :meth:`candidate_pairs`; carry
+    across journal deltas with :meth:`rebased`, which recomputes signatures
+    only for delta-affected entities (signature paths never leave a key's
+    radius ball, so the session's ``stale | touched`` entity set covers every
+    possible signature change).
+    """
+
+    __slots__ = (
+        "_graph",
+        "_snapshot",
+        "_schemes",
+        "_signatures",
+        "_buckets",
+        "version",
+        "build_seconds",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        snapshot: Optional[object],
+        schemes: Tuple[KeyBlockingScheme, ...],
+        signatures: Dict[int, Tuple[_PathSignatures, ...]],
+        buckets: Dict[str, FrozenSet[str]],
+        version: object,
+        build_seconds: float,
+    ) -> None:
+        self._graph = graph
+        self._snapshot = snapshot
+        self._schemes = schemes
+        self._signatures = signatures
+        self._buckets = buckets
+        self.version = version
+        self.build_seconds = build_seconds
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        keys: KeySet,
+        *,
+        snapshot: Optional[object] = None,
+    ) -> "BlockingIndex":
+        """Compile the schemes of *keys* and index every keyed entity.
+
+        With a *snapshot*, signatures are computed in integer space over the
+        CSR arrays (single-hop forward paths stream the snapshot's inverted
+        value index in one pass); otherwise the object-space read surface of
+        *graph* is used.
+        """
+        started = time.perf_counter()
+        reader = snapshot if snapshot is not None else graph
+        schemes = compile_blocking_schemes(keys)
+        signatures: Dict[int, Tuple[_PathSignatures, ...]] = {}
+        buckets: Dict[str, FrozenSet[str]] = {}
+        for index, scheme in enumerate(schemes):
+            if not scheme.certified:
+                continue
+            if scheme.target_type not in buckets:
+                buckets[scheme.target_type] = frozenset(
+                    reader.entities_of_type(scheme.target_type)
+                )
+            signatures[index] = tuple(
+                _path_signatures(reader, snapshot, scheme.target_type, path)
+                for path in scheme.paths
+            )
+        return cls(
+            graph=graph,
+            snapshot=snapshot,
+            schemes=schemes,
+            signatures=signatures,
+            buckets=buckets,
+            version=getattr(reader, "version", None),
+            build_seconds=time.perf_counter() - started,
+        )
+
+    def rebased(
+        self,
+        graph: Graph,
+        *,
+        snapshot: Optional[object] = None,
+        affected_entities: Iterable[str] = (),
+    ) -> "BlockingIndex":
+        """A new index over the current graph version, reusing signatures.
+
+        Only *affected_entities* (and entities new since the previous
+        version) are recomputed; everything else is copied.  The caller must
+        pass a superset of the entities whose radius ball a delta touched —
+        the session passes ``stale | touched``, which is exactly that set.
+        """
+        started = time.perf_counter()
+        reader = snapshot if snapshot is not None else graph
+        affected = set(affected_entities)
+        signatures: Dict[int, Tuple[_PathSignatures, ...]] = {}
+        buckets: Dict[str, FrozenSet[str]] = {}
+        for index, scheme in enumerate(self._schemes):
+            if not scheme.certified:
+                continue
+            etype = scheme.target_type
+            if etype not in buckets:
+                buckets[etype] = frozenset(reader.entities_of_type(etype))
+            old_bucket = self._buckets.get(etype, frozenset())
+            bucket = buckets[etype]
+            old_per_path = self._signatures.get(index, ())
+            per_path: List[_PathSignatures] = []
+            for path_index, path in enumerate(scheme.paths):
+                old = old_per_path[path_index] if path_index < len(old_per_path) else {}
+                fresh: _PathSignatures = {}
+                for entity in bucket:
+                    if entity in affected or entity not in old_bucket:
+                        tokens = _entity_signature(reader, snapshot, entity, path)
+                        if tokens:
+                            fresh[entity] = tokens
+                    else:
+                        tokens = old.get(entity)
+                        if tokens:
+                            fresh[entity] = tokens
+                per_path.append(fresh)
+            signatures[index] = tuple(per_path)
+        return BlockingIndex(
+            graph=graph,
+            snapshot=snapshot,
+            schemes=self._schemes,
+            signatures=signatures,
+            buckets=buckets,
+            version=getattr(reader, "version", None),
+            build_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schemes(self) -> Tuple[KeyBlockingScheme, ...]:
+        return self._schemes
+
+    def uncertified(self) -> List[Tuple[str, str]]:
+        """``(key name, reason)`` for every key the prover could not certify."""
+        return [(s.key_name, s.reason) for s in self._schemes if not s.certified]
+
+    def require_certified(self) -> None:
+        """Raise :class:`ConfigError` when any key is uncertified (``force``)."""
+        failures = self.uncertified()
+        if failures:
+            name, reason = failures[0]
+            raise ConfigError(
+                f"blocking='force' but key {name!r} cannot be certified for "
+                f"blocking ({reason}); use blocking='auto' to fall back to "
+                f"full enumeration for its target type"
+            )
+
+    # ------------------------------------------------------------------ #
+    # enumeration
+    # ------------------------------------------------------------------ #
+
+    def candidate_pairs(self, mode: str = "auto") -> Tuple[List[Pair], BlockingStats]:
+        """The blocked candidate set ``L`` and its stats.
+
+        The result is a subset of the quadratic enumeration in the same
+        order: per sorted target type, canonically ordered pairs sorted
+        within each type.
+        """
+        validate_blocking_mode(mode)
+        if mode == "off":
+            raise ConfigError("BlockingIndex.candidate_pairs requires mode 'auto' or 'force'")
+        if mode == "force":
+            self.require_certified()
+        started = time.perf_counter()
+        stats = BlockingStats(mode=mode, index_seconds=self.build_seconds)
+        reader = self._snapshot if self._snapshot is not None else self._graph
+        pairs: List[Pair] = []
+        target_types = sorted({s.target_type for s in self._schemes})
+        for etype in target_types:
+            bucket = reader.entities_of_type(etype)  # sorted entity ids
+            count = len(bucket)
+            stats.quadratic_pairs += count * (count - 1) // 2
+            type_schemes = [
+                (index, scheme)
+                for index, scheme in enumerate(self._schemes)
+                if scheme.target_type == etype
+            ]
+            if any(not scheme.certified for _, scheme in type_schemes):
+                # one uncertified key makes its necessary condition trivially
+                # true for the whole bucket: fall back to full enumeration
+                stats.fallback_types += 1
+                pairs.extend(itertools.combinations(bucket, 2))
+                continue
+            stats.certified_types += 1
+            type_pairs: Set[Pair] = set()
+            for index, scheme in type_schemes:
+                per_path = self._signatures.get(index, ())
+                if not per_path:
+                    continue
+                participants = [
+                    entity
+                    for entity in bucket
+                    if all(entity in sigs for sigs in per_path)
+                ]
+                if len(participants) < 2:
+                    continue
+                anchor = _most_selective_path(per_path, participants)
+                blocks: Dict[Literal, List[str]] = {}
+                anchor_sigs = per_path[anchor]
+                for entity in participants:  # sorted, so blocks stay sorted
+                    for token in anchor_sigs[entity]:
+                        blocks.setdefault(token, []).append(entity)
+                others = [
+                    sigs for i, sigs in enumerate(per_path) if i != anchor
+                ]
+                for members in blocks.values():
+                    if len(members) < 2:
+                        continue
+                    stats.blocks_touched += 1
+                    for e1, e2 in itertools.combinations(members, 2):
+                        if (e1, e2) in type_pairs:
+                            continue
+                        if all(
+                            not sigs[e1].isdisjoint(sigs[e2]) for sigs in others
+                        ):
+                            type_pairs.add((e1, e2))
+            pairs.extend(sorted(type_pairs))
+        stats.enumerated_pairs = len(pairs)
+        stats.collision_seconds = time.perf_counter() - started
+        return pairs, stats
+
+
+def _most_selective_path(
+    per_path: Sequence[_PathSignatures], participants: Sequence[str]
+) -> int:
+    """The index of the path whose blocks enumerate the fewest raw pairs."""
+    best_index = 0
+    best_cost: Optional[int] = None
+    for index, sigs in enumerate(per_path):
+        sizes: Dict[Literal, int] = {}
+        for entity in participants:
+            for token in sigs[entity]:
+                sizes[token] = sizes.get(token, 0) + 1
+        cost = sum(size * (size - 1) // 2 for size in sizes.values())
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_index = index
+    return best_index
+
+
+# ---------------------------------------------------------------------- #
+# signature computation
+# ---------------------------------------------------------------------- #
+
+
+def _path_signatures(
+    reader: object,
+    snapshot: Optional[object],
+    etype: str,
+    path: SignaturePath,
+) -> _PathSignatures:
+    """Signatures of every *etype* entity along *path* (empty ones omitted)."""
+    if snapshot is not None:
+        fast = _vindex_signatures(snapshot, etype, path)
+        if fast is not None:
+            return fast
+    result: _PathSignatures = {}
+    for entity in reader.entities_of_type(etype):
+        tokens = _entity_signature(reader, snapshot, entity, path)
+        if tokens:
+            result[entity] = tokens
+    return result
+
+
+def _vindex_signatures(
+    snapshot: object, etype: str, path: SignaturePath
+) -> Optional[_PathSignatures]:
+    """One-pass signatures from the snapshot's inverted value index.
+
+    Serves the flat-key shape (a single forward hop to a value position);
+    returns ``None`` when the path has another shape or the snapshot carries
+    no value index (hand-built or legacy instances).
+    """
+    if len(path.steps) != 1:
+        return None
+    step = path.steps[0]
+    if not step.forward or step.etype is not None:
+        return None
+    postings = snapshot.value_postings(snapshot.pred_id(step.predicate))
+    if postings is None:
+        return None
+    literals, subjects = postings
+    lo, hi = snapshot.type_range(etype)
+    node_at = snapshot.node_at
+    found: Dict[int, Set[Literal]] = {}
+    for i in range(len(subjects)):
+        sid = subjects[i]
+        if lo <= sid < hi:
+            found.setdefault(sid, set()).add(node_at(literals[i]))
+    result: _PathSignatures = {}
+    for sid, values in found.items():
+        tokens = frozenset(values)
+        if path.constant is not None:
+            tokens &= frozenset((path.constant,))
+        if tokens:
+            result[node_at(sid)] = tokens
+    return result
+
+
+def _entity_signature(
+    reader: object,
+    snapshot: Optional[object],
+    entity: str,
+    path: SignaturePath,
+) -> FrozenSet[Literal]:
+    """The signature of one entity: literals reachable along *path*."""
+    if snapshot is not None:
+        tokens = _entity_signature_int(snapshot, entity, path)
+    else:
+        tokens = _entity_signature_obj(reader, entity, path)
+    if path.constant is not None:
+        tokens &= frozenset((path.constant,))
+    return tokens
+
+
+def _entity_signature_int(
+    snapshot: object, entity: str, path: SignaturePath
+) -> FrozenSet[Literal]:
+    root = snapshot.id_of(entity)
+    if root is None:
+        return frozenset()
+    num_entities = snapshot.num_entities
+    frontier: Set[int] = {root}
+    for step in path.steps:
+        pid = snapshot.pred_id(step.predicate)
+        if pid < 0 or not frontier:
+            return frozenset()
+        reached: Set[int] = set()
+        if step.forward:
+            for node in frontier:
+                reached.update(snapshot.out_ids(node, pid))
+        else:
+            for node in frontier:
+                reached.update(snapshot.in_ids(node, pid))
+        if step.etype is None:
+            frontier = {i for i in reached if i >= num_entities}
+        else:
+            lo, hi = snapshot.type_range(step.etype)
+            frontier = {i for i in reached if lo <= i < hi}
+    node_at = snapshot.node_at
+    return frozenset(node_at(i) for i in frontier)
+
+
+def _entity_signature_obj(
+    reader: object, entity: str, path: SignaturePath
+) -> FrozenSet[Literal]:
+    frontier: Set[object] = {entity}
+    for step in path.steps:
+        reached: Set[object] = set()
+        if step.forward:
+            for node in frontier:
+                if is_entity_ref(node):
+                    reached.update(reader.objects(node, step.predicate))
+        else:
+            for node in frontier:
+                reached.update(reader.subjects(step.predicate, node))
+        if step.etype is None:
+            frontier = {n for n in reached if isinstance(n, Literal)}
+        else:
+            frontier = {
+                n
+                for n in reached
+                if is_entity_ref(n)
+                and reader.has_entity(n)
+                and reader.entity_type(n) == step.etype
+            }
+    return frozenset(frontier)  # type: ignore[arg-type]
+
+
+def blocked_candidate_pairs(
+    graph: Graph,
+    keys: KeySet,
+    *,
+    mode: str = "auto",
+    snapshot: Optional[object] = None,
+    index: Optional[BlockingIndex] = None,
+) -> Tuple[List[Pair], BlockingStats, BlockingIndex]:
+    """Convenience wrapper: build (or reuse) an index and enumerate.
+
+    Returns ``(pairs, stats, index)`` so callers can cache the index.
+    """
+    blocking_index = (
+        index
+        if index is not None
+        else BlockingIndex.build(graph, keys, snapshot=snapshot)
+    )
+    pairs, stats = blocking_index.candidate_pairs(mode)
+    return pairs, stats, blocking_index

@@ -8,6 +8,7 @@ shrink the d-neighbourhoods to pairing-supported nodes at the same time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -19,6 +20,7 @@ from ..core.neighborhood import NeighborhoodIndex
 from ..core.pairing import pairing_relation, pairing_support_nodes
 from ..core.triples import GraphNode
 from ..storage import GraphSnapshot, SnapshotNeighborhoodIndex
+from .blocking import BlockingIndex, BlockingStats, blocked_candidate_pairs
 
 
 @dataclass
@@ -46,6 +48,9 @@ class CandidateSet:
     #: treat these entities as affected too.  ``None`` on built (non-rebased)
     #: or unreduced sets.
     restriction_drift: Optional[Set[str]] = None
+    #: observability of the blocked enumeration (``None`` when the pairs came
+    #: from the classic quadratic path).
+    blocking: Optional[BlockingStats] = None
 
     @property
     def size(self) -> int:
@@ -71,6 +76,8 @@ def build_candidates(
     *,
     index: Optional[NeighborhoodIndex] = None,
     snapshot: Optional[GraphSnapshot] = None,
+    blocking: str = "off",
+    blocking_index: Optional[BlockingIndex] = None,
 ) -> CandidateSet:
     """The unfiltered candidate set ``L`` with full d-neighbourhoods.
 
@@ -78,9 +85,21 @@ def build_candidates(
     results across runs; it is extended in place with any missing entities.
     With a *snapshot*, candidate enumeration reads the compiled type buckets
     and a fresh index extracts neighbourhoods over the CSR arrays.
+
+    *blocking* selects the enumeration strategy: ``"off"`` is the classic
+    quadratic scan, ``"auto"`` enumerates through signature blocks with a
+    per-type quadratic fallback for uncertified keys, ``"force"`` refuses to
+    fall back (see :mod:`repro.matching.blocking`).  A prebuilt
+    *blocking_index* (session cache) skips the signature build.
     """
     reader = snapshot if snapshot is not None else graph
-    pairs = candidate_pairs(reader, keys)
+    stats: Optional[BlockingStats] = None
+    if blocking != "off":
+        pairs, stats, _ = blocked_candidate_pairs(
+            graph, keys, mode=blocking, snapshot=snapshot, index=blocking_index
+        )
+    else:
+        pairs = candidate_pairs(reader, keys)
     if index is not None:
         neighborhoods = index
     elif snapshot is not None:
@@ -95,6 +114,7 @@ def build_candidates(
         neighborhoods=neighborhoods,
         unfiltered_size=len(pairs),
         unreduced_neighborhood_total=total,
+        blocking=stats,
     )
 
 
@@ -105,6 +125,8 @@ def build_filtered_candidates(
     *,
     index: Optional[NeighborhoodIndex] = None,
     snapshot: Optional[GraphSnapshot] = None,
+    blocking: str = "off",
+    blocking_index: Optional[BlockingIndex] = None,
 ) -> CandidateSet:
     """The candidate set after the pairing filter of Section 4.2.
 
@@ -117,8 +139,16 @@ def build_filtered_candidates(
     compiled layer.
     """
     reader = snapshot if snapshot is not None else graph
-    base = build_candidates(graph, keys, index=index, snapshot=snapshot)
+    base = build_candidates(
+        graph,
+        keys,
+        index=index,
+        snapshot=snapshot,
+        blocking=blocking,
+        blocking_index=blocking_index,
+    )
     neighborhoods = base.neighborhoods
+    filter_started = time.perf_counter()
     if reduce_neighborhoods and index is not None:
         neighborhoods = index.clone()
     keys_by_type: Dict[str, List[Key]] = {
@@ -152,6 +182,8 @@ def build_filtered_candidates(
     if reduce_neighborhoods:
         apply_support_restrictions(neighborhoods, supports)
 
+    if base.blocking is not None:
+        base.blocking.filter_seconds += time.perf_counter() - filter_started
     return CandidateSet(
         pairs=surviving,
         neighborhoods=neighborhoods,
@@ -159,6 +191,7 @@ def build_filtered_candidates(
         unreduced_neighborhood_total=base.unreduced_neighborhood_total,
         pair_supports=supports,
         rejected_pairs=rejected,
+        blocking=base.blocking,
     )
 
 

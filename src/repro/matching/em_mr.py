@@ -169,6 +169,7 @@ class MapReduceEntityMatcher:
         observer: Optional[Callable[[ProgressEvent], None]] = None,
         seed_pairs: Optional[Sequence[Pair]] = None,
         worklist: Optional[Sequence[Pair]] = None,
+        blocking: str = "off",
     ) -> None:
         self.graph = graph
         self.keys = keys
@@ -185,6 +186,8 @@ class MapReduceEntityMatcher:
         self.seed_pairs = seed_pairs
         #: ... and the candidate pairs to actually re-check (None: all)
         self.worklist = worklist
+        #: candidate enumeration strategy ("off" / "auto" / "force")
+        self.blocking = blocking
 
     def _notify(self, stage: str, **fields: object) -> None:
         notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
@@ -199,8 +202,12 @@ class MapReduceEntityMatcher:
 
     def _build_candidates(self, snapshot: GraphSnapshot) -> CandidateSet:
         if self.artifacts is not None:
-            return self.artifacts.candidates(filtered=False, reduce_neighborhoods=False)
-        return build_candidates(self.graph, self.keys, snapshot=snapshot)
+            return self.artifacts.candidates(
+                filtered=False, reduce_neighborhoods=False, blocking=self.blocking
+            )
+        return build_candidates(
+            self.graph, self.keys, snapshot=snapshot, blocking=self.blocking
+        )
 
     def _checker_class(self) -> Type[PairChecker]:
         return GuidedChecker
@@ -340,7 +347,9 @@ class VF2MapReduceEntityMatcher(MapReduceEntityMatcher):
 @register_algorithm(
     "EMMR",
     family="mapreduce",
-    capabilities=("parallel", "rounds", "incremental-eq", "executors", "incremental"),
+    capabilities=(
+        "parallel", "rounds", "incremental-eq", "executors", "incremental", "blocking",
+    ),
     description="MapReduce algorithm with the guided EvalMR check (Fig. 4)",
 )
 def _run_em_mr(
@@ -354,6 +363,7 @@ def _run_em_mr(
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     seed_pairs: Optional[Sequence[Pair]] = None,
     worklist: Optional[Sequence[Pair]] = None,
+    blocking: str = "off",
 ) -> EMResult:
     return MapReduceEntityMatcher(
         graph,
@@ -365,13 +375,14 @@ def _run_em_mr(
         observer=observer,
         seed_pairs=seed_pairs,
         worklist=worklist,
+        blocking=blocking,
     ).run()
 
 
 @register_algorithm(
     "EMVF2MR",
     family="mapreduce",
-    capabilities=("parallel", "rounds", "executors", "incremental"),
+    capabilities=("parallel", "rounds", "executors", "incremental", "blocking"),
     description="MapReduce baseline enumerating all matches (no early exit)",
 )
 def _run_em_vf2_mr(
@@ -385,6 +396,7 @@ def _run_em_vf2_mr(
     observer: Optional[Callable[[ProgressEvent], None]] = None,
     seed_pairs: Optional[Sequence[Pair]] = None,
     worklist: Optional[Sequence[Pair]] = None,
+    blocking: str = "off",
 ) -> EMResult:
     return VF2MapReduceEntityMatcher(
         graph,
@@ -396,6 +408,7 @@ def _run_em_vf2_mr(
         observer=observer,
         seed_pairs=seed_pairs,
         worklist=worklist,
+        blocking=blocking,
     ).run()
 
 

@@ -48,6 +48,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
         observer: Optional[Callable[[ProgressEvent], None]] = None,
         seed_pairs: Optional[Sequence[Pair]] = None,
         worklist: Optional[Sequence[Pair]] = None,
+        blocking: str = "off",
     ) -> None:
         super().__init__(
             graph,
@@ -59,6 +60,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             observer=observer,
             seed_pairs=seed_pairs,
             worklist=worklist,
+            blocking=blocking,
         )
         self.reduce_neighborhoods = reduce_neighborhoods
         self._dependents: Optional[DependencyWorklist] = None
@@ -66,10 +68,14 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
     def _build_candidates(self, snapshot) -> CandidateSet:
         if self.artifacts is not None:
             candidates = self.artifacts.candidates(
-                filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
+                filtered=True,
+                reduce_neighborhoods=self.reduce_neighborhoods,
+                blocking=self.blocking,
             )
             dependents = self.artifacts.dependency_map(
-                filtered=True, reduce_neighborhoods=self.reduce_neighborhoods
+                filtered=True,
+                reduce_neighborhoods=self.reduce_neighborhoods,
+                blocking=self.blocking,
             )
             self._dependents = DependencyWorklist(dependents)
             return candidates
@@ -78,6 +84,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
             self.keys,
             reduce_neighborhoods=self.reduce_neighborhoods,
             snapshot=snapshot,
+            blocking=self.blocking,
         )
         self._dependents = DependencyWorklist(dependency_map(snapshot, self.keys, candidates))
         return candidates
@@ -114,6 +121,7 @@ class OptimizedMapReduceEntityMatcher(MapReduceEntityMatcher):
         "incremental-check",
         "executors",
         "incremental",
+        "blocking",
     ),
     description="EMMR + pairing filter, reduced neighbourhoods, incremental checking",
 )
@@ -129,6 +137,7 @@ def _run_em_mr_opt(
     reduce_neighborhoods: bool = True,
     seed_pairs: Optional[Sequence[Pair]] = None,
     worklist: Optional[Sequence[Pair]] = None,
+    blocking: str = "off",
 ) -> EMResult:
     return OptimizedMapReduceEntityMatcher(
         graph,
@@ -141,6 +150,7 @@ def _run_em_mr_opt(
         observer=observer,
         seed_pairs=seed_pairs,
         worklist=worklist,
+        blocking=blocking,
     ).run()
 
 

@@ -58,6 +58,7 @@ class VertexCentricEntityMatcher:
         observer: Optional[Callable[[ProgressEvent], None]] = None,
         seed_pairs: Optional[Sequence[Pair]] = None,
         worklist: Optional[Sequence[Pair]] = None,
+        blocking: str = "off",
     ) -> None:
         self.graph = graph
         self.keys = keys
@@ -78,6 +79,8 @@ class VertexCentricEntityMatcher:
         #: ... and the candidate pairs that receive an initial activation
         #: (None: every candidate pair)
         self.worklist = worklist
+        #: candidate enumeration strategy ("off" / "auto" / "force")
+        self.blocking = blocking
 
     def _notify(self, stage: str, **fields: object) -> None:
         notify(self.observer, ProgressEvent(algorithm=self.algorithm_name, stage=stage, **fields))
@@ -93,16 +96,24 @@ class VertexCentricEntityMatcher:
         # neighbourhoods stay unreduced because the dependency map is built
         # from them and must over-approximate, never under-approximate.
         if self.artifacts is not None:
-            return self.artifacts.candidates(filtered=True, reduce_neighborhoods=False)
+            return self.artifacts.candidates(
+                filtered=True, reduce_neighborhoods=False, blocking=self.blocking
+            )
         return build_filtered_candidates(
-            self.graph, self.keys, reduce_neighborhoods=False, snapshot=snapshot
+            self.graph,
+            self.keys,
+            reduce_neighborhoods=False,
+            snapshot=snapshot,
+            blocking=self.blocking,
         )
 
     def _build_product_graph(
         self, candidates: CandidateSet, snapshot: GraphSnapshot
     ) -> ProductGraph:
         if self.artifacts is not None:
-            return self.artifacts.product_graph(filtered=True, reduce_neighborhoods=False)
+            return self.artifacts.product_graph(
+                filtered=True, reduce_neighborhoods=False, blocking=self.blocking
+            )
         return ProductGraph(snapshot, self.keys, candidates)
 
     def _traversal_orders(self) -> Dict[str, object]:
@@ -246,6 +257,7 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
         observer: Optional[Callable[[ProgressEvent], None]] = None,
         seed_pairs: Optional[Sequence[Pair]] = None,
         worklist: Optional[Sequence[Pair]] = None,
+        blocking: str = "off",
     ) -> None:
         super().__init__(
             graph,
@@ -258,6 +270,7 @@ class OptimizedVertexCentricEntityMatcher(VertexCentricEntityMatcher):
             observer=observer,
             seed_pairs=seed_pairs,
             worklist=worklist,
+            blocking=blocking,
         )
         self.max_fanout = fanout
         self.prioritize = prioritize
@@ -276,7 +289,7 @@ PARTITIONER_OPTION = OptionSpec(
     "EMVC",
     family="vertex-centric",
     options=(PARTITIONER_OPTION,),
-    capabilities=("parallel", "asynchronous", "executors", "incremental"),
+    capabilities=("parallel", "asynchronous", "executors", "incremental", "blocking"),
     description="vertex-centric asynchronous algorithm over the product graph",
 )
 def _run_em_vc(
@@ -291,6 +304,7 @@ def _run_em_vc(
     partitioner: str = "hash",
     seed_pairs: Optional[Sequence[Pair]] = None,
     worklist: Optional[Sequence[Pair]] = None,
+    blocking: str = "off",
 ) -> EMResult:
     return VertexCentricEntityMatcher(
         graph,
@@ -303,6 +317,7 @@ def _run_em_vc(
         observer=observer,
         seed_pairs=seed_pairs,
         worklist=worklist,
+        blocking=blocking,
     ).run()
 
 
@@ -321,6 +336,7 @@ def _run_em_vc(
         "prioritized",
         "executors",
         "incremental",
+        "blocking",
     ),
     description="EMVC + bounded messages and prioritized propagation",
 )
@@ -338,6 +354,7 @@ def _run_em_vc_opt(
     partitioner: str = "hash",
     seed_pairs: Optional[Sequence[Pair]] = None,
     worklist: Optional[Sequence[Pair]] = None,
+    blocking: str = "off",
 ) -> EMResult:
     return OptimizedVertexCentricEntityMatcher(
         graph,
@@ -352,6 +369,7 @@ def _run_em_vc_opt(
         observer=observer,
         seed_pairs=seed_pairs,
         worklist=worklist,
+        blocking=blocking,
     ).run()
 
 

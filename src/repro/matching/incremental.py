@@ -244,6 +244,8 @@ def rebase_filtered_candidates(
     index: NeighborhoodIndex,
     affected_entities: Set[str],
     reduce_neighborhoods: bool,
+    blocking: str = "off",
+    blocking_index=None,
 ) -> CandidateSet:
     """Rebuild a pairing-filtered :class:`CandidateSet` after a journal delta,
     re-running the pairing fixpoint only for pairs the delta could have
@@ -253,10 +255,19 @@ def rebase_filtered_candidates(
     d-neighbourhoods, so pairs whose entities are outside *affected_entities*
     keep the cached verdict from *old* (``pair_supports`` / ``rejected_pairs``).
     The result is bit-identical to :func:`build_filtered_candidates` on the
-    new graph — the equivalence the mutation-fuzz suite enforces.
+    new graph — the equivalence the mutation-fuzz suite enforces.  With
+    *blocking*, pass the session's already-rebased *blocking_index* so the
+    enumeration stays O(delta) instead of re-deriving every signature.
     """
     reader = snapshot if snapshot is not None else graph
-    base = build_candidates(graph, keys, index=index, snapshot=snapshot)
+    base = build_candidates(
+        graph,
+        keys,
+        index=index,
+        snapshot=snapshot,
+        blocking=blocking,
+        blocking_index=blocking_index,
+    )
     neighborhoods = base.neighborhoods
     if reduce_neighborhoods:
         neighborhoods = index.clone()
@@ -330,6 +341,7 @@ def rebase_filtered_candidates(
         pair_supports=supports,
         rejected_pairs=rejected,
         restriction_drift=drift,
+        blocking=base.blocking,
     )
 
 

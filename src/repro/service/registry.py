@@ -87,6 +87,10 @@ class RegisteredGraph:
                 "product_graph_builds": info.product_graph_builds,
                 "store_hits": info.store_hits,
                 "store_misses": info.store_misses,
+                "blocking_index_builds": info.blocking_index_builds,
+                "blocking_index_rebases": info.blocking_index_rebases,
+                "blocking_blocks_touched": info.blocking_blocks_touched,
+                "blocking_pairs_pruned": info.blocking_pairs_pruned,
             },
         }
 

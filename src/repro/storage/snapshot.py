@@ -32,6 +32,7 @@ per-process lookup maps are rebuilt lazily on first use in each worker
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left, bisect_right
 from operator import itemgetter as _itemgetter
 from typing import (
     Dict,
@@ -94,6 +95,10 @@ class GraphSnapshot:
         "_fwd_offsets", "_fwd_preds", "_fwd_objs",
         "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
         "_und_offsets", "_und_targets",
+        # inverted value index: per-predicate (literal id, subject id)
+        # postings sorted by (pred, literal, subject) — the blocking layer's
+        # flat-key fast path streams one predicate run in a single pass
+        "_vindex_offsets", "_vindex_literals", "_vindex_subjects",
         "_num_triples",
         # --- per-process lazy decode (never pickled) -------------------- #
         "_obj_map",        # subject eid -> pred -> frozenset of object nodes
@@ -151,6 +156,8 @@ class GraphSnapshot:
         fwd: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
         bwd: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
         und: List[Set[int]] = [set() for _ in range(num_nodes)]
+        num_entities = snap._num_entities
+        postings: List[Tuple[int, int, int]] = []
         count = 0
         for triple in graph.triples():
             count += 1
@@ -161,6 +168,8 @@ class GraphSnapshot:
             bwd[oid].append((pid, sid))
             und[sid].add(oid)
             und[oid].add(sid)
+            if oid >= num_entities:  # literal object: a value-index posting
+                postings.append((pid, oid, sid))
         snap._num_triples = count
         for row in fwd:
             row.sort()
@@ -178,6 +187,20 @@ class GraphSnapshot:
             und_targets.extend(sorted(targets))
         snap._und_offsets = und_offsets
         snap._und_targets = und_targets
+
+        postings.sort()
+        vindex_offsets = array(_ID, [0] * (len(preds) + 1))
+        vindex_literals = array(_ID)
+        vindex_subjects = array(_ID)
+        for pid, oid, sid in postings:
+            vindex_offsets[pid + 1] += 1
+            vindex_literals.append(oid)
+            vindex_subjects.append(sid)
+        for index in range(1, len(vindex_offsets)):
+            vindex_offsets[index] += vindex_offsets[index - 1]
+        snap._vindex_offsets = vindex_offsets
+        snap._vindex_literals = vindex_literals
+        snap._vindex_subjects = vindex_subjects
 
         snap._reset_lazy()
         return snap
@@ -214,6 +237,7 @@ class GraphSnapshot:
         "_fwd_offsets", "_fwd_preds", "_fwd_objs",
         "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
         "_und_offsets", "_und_targets",
+        "_vindex_offsets", "_vindex_literals", "_vindex_subjects",
         "_num_triples",
     )
 
@@ -231,6 +255,11 @@ class GraphSnapshot:
     def __setstate__(self, state: Dict[str, object]) -> None:
         for name, value in state.items():
             object.__setattr__(self, name, value)
+        # states pickled before the value index existed: degrade gracefully
+        # (value_postings reports None and consumers fall back to traversal)
+        for name in ("_vindex_offsets", "_vindex_literals", "_vindex_subjects"):
+            if name not in state:
+                object.__setattr__(self, name, None)
         self._id_of = {node: index for index, node in enumerate(self._node_of)}
         self._reset_lazy()
 
@@ -358,6 +387,44 @@ class GraphSnapshot:
         """Interned subject ids with ``(s, pred, object)`` in the graph."""
         self._ensure_int_maps()
         return self._int_subjects.get((object_id, pred_id), _EMPTY_IDS)
+
+    def out_ids(self, node_id: int, pred_id: int) -> List[int]:
+        """Object ids of ``(node, pred, o)`` straight off the CSR row.
+
+        Unlike :meth:`objects_ids` this never materializes the whole-graph
+        integer maps: the forward row is sorted by ``(pred, obj)``, so one
+        bisection isolates the predicate run — O(log row + matches) per call,
+        which is what per-entity signature traversal and incremental rebasing
+        want.
+        """
+        offsets, preds, objs = self._fwd_offsets, self._fwd_preds, self._fwd_objs
+        lo, hi = offsets[node_id], offsets[node_id + 1]
+        start = bisect_left(preds, pred_id, lo, hi)
+        end = bisect_right(preds, pred_id, start, hi)
+        return list(objs[start:end])
+
+    def in_ids(self, node_id: int, pred_id: int) -> List[int]:
+        """Subject ids of ``(s, pred, node)`` straight off the CSR row."""
+        offsets, preds, subjs = self._bwd_offsets, self._bwd_preds, self._bwd_subjs
+        lo, hi = offsets[node_id], offsets[node_id + 1]
+        start = bisect_left(preds, pred_id, lo, hi)
+        end = bisect_right(preds, pred_id, start, hi)
+        return list(subjs[start:end])
+
+    def value_postings(self, pred_id: int):
+        """The inverted value-index run of *pred_id*.
+
+        Returns ``(literal ids, subject ids)`` — two parallel id sequences
+        sorted by ``(literal, subject)`` covering every triple of that
+        predicate whose object is a literal — or ``None`` when the predicate
+        is unknown or this snapshot carries no value index (instances
+        unpickled from pre-index states).
+        """
+        offsets = getattr(self, "_vindex_offsets", None)
+        if offsets is None or pred_id < 0 or pred_id >= len(offsets) - 1:
+            return None
+        lo, hi = offsets[pred_id], offsets[pred_id + 1]
+        return self._vindex_literals[lo:hi], self._vindex_subjects[lo:hi]
 
     def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
         """Per-id undirected neighbour tuples (the BFS working form).

@@ -68,7 +68,11 @@ from .snapshot import _ID, GraphSnapshot
 MAGIC = b"RKGSNAPS"
 
 #: Format version of files this build writes (and the only one it reads).
-FORMAT_VERSION = 1
+#: Version 2 added the inverted value-index segments (``vindex_*``) that back
+#: the blocking layer; version-1 files raise a clean
+#: :class:`~repro.exceptions.StoreVersionError`, which ``get_or_build``
+#: answers with a rebuild-and-save of the current format.
+FORMAT_VERSION = 2
 
 #: File suffix used by :class:`SnapshotStore` entries.
 SNAPSHOT_SUFFIX = ".snap"
@@ -86,6 +90,9 @@ _ARRAY_SEGMENTS = (
     "bwd_subjs",
     "und_offsets",
     "und_targets",
+    "vindex_offsets",
+    "vindex_literals",
+    "vindex_subjects",
 )
 
 #: The string-table segments, in file order.
@@ -257,6 +264,7 @@ def _snapshot_segments(snapshot: GraphSnapshot) -> Dict[str, bytes]:
             "_fwd_offsets", "_fwd_preds", "_fwd_objs",
             "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
             "_und_offsets", "_und_targets",
+            "_vindex_offsets", "_vindex_literals", "_vindex_subjects",
         ),
     ):
         # bytes() handles both array('q') values and mmap-backed memoryviews
@@ -503,6 +511,7 @@ def read_snapshot(
             "_fwd_offsets", "_fwd_preds", "_fwd_objs",
             "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
             "_und_offsets", "_und_targets",
+            "_vindex_offsets", "_vindex_literals", "_vindex_subjects",
         ),
     ):
         raw = segment(name)
@@ -511,6 +520,10 @@ def read_snapshot(
         setattr(snap, attr, raw.cast(_ID))
     if len(snap._fwd_offsets) != num_nodes + 1 or len(snap._und_offsets) != num_nodes + 1:
         raise StoreFormatError(f"{source}: CSR offsets do not match the node count")
+    if len(snap._vindex_offsets) != header["num_predicates"] + 1:
+        raise StoreFormatError(
+            f"{source}: value-index offsets do not match the predicate count"
+        )
 
     snap._num_triples = header["num_triples"]
     snap._reset_lazy()

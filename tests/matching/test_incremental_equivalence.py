@@ -235,17 +235,19 @@ def test_rebased_artifacts_equal_fresh_builds(backend, seed):
         arts = session._artifacts
         snapshot = arts.snapshot()
         for flavor, cached in arts._candidates.items():
-            filtered, reduce_neighborhoods = flavor
+            filtered, reduce_neighborhoods, blocked = flavor
+            blocking = "auto" if blocked else "off"
             if filtered:
                 fresh = build_filtered_candidates(
                     graph, keys,
                     reduce_neighborhoods=reduce_neighborhoods,
                     snapshot=snapshot,
+                    blocking=blocking,
                 )
                 assert cached.pair_supports == fresh.pair_supports, flavor
                 assert cached.rejected_pairs == fresh.rejected_pairs, flavor
             else:
-                fresh = build_candidates(graph, keys, snapshot=snapshot)
+                fresh = build_candidates(graph, keys, snapshot=snapshot, blocking=blocking)
             assert list(cached.pairs) == list(fresh.pairs), flavor
             for pair in cached.pairs:
                 for entity in pair:

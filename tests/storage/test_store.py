@@ -259,6 +259,30 @@ class TestCorruption:
         with pytest.raises(StoreVersionError):
             read_snapshot(path)
 
+    def test_pre_vindex_v1_file_raises_version_error(self, graph, stored):
+        """A file written by the format-1 layout (no vindex segments) is
+        rejected with a clean :class:`StoreVersionError`, not a decode crash."""
+        _snapshot, path = stored
+        raw = bytearray(path.read_bytes())
+        raw[8] = 1
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StoreVersionError) as excinfo:
+            read_snapshot(path)
+        message = str(excinfo.value)
+        assert "1" in message and str(FORMAT_VERSION) in message
+
+    def test_store_get_or_build_recovers_from_a_v1_file(self, graph, store, stored):
+        snapshot, path = stored
+        raw = bytearray(path.read_bytes())
+        raw[8] = 1
+        path.write_bytes(bytes(raw))
+        rebuilt, loaded = store.get_or_build(graph, lambda: GraphSnapshot.build(graph))
+        assert not loaded  # the stale v1 entry forced a clean rebuild
+        assert rebuilt.num_triples == snapshot.num_triples
+        # the rebuild was written back at the current version: next load hits
+        again = store.load(graph)
+        assert again.value_postings(0) is not None
+
     def test_fingerprint_mismatch_is_stale(self, graph, stored):
         _snapshot, path = stored
         with pytest.raises(StoreStaleError):

@@ -79,7 +79,9 @@ class TestRoundTripIdentity:
 
 
 class TestSessionFallback:
-    @pytest.mark.parametrize("corruption", ["truncate", "magic", "format_version"])
+    @pytest.mark.parametrize(
+        "corruption", ["truncate", "magic", "format_version", "old_format_version"]
+    )
     def test_corrupt_store_entries_fall_back_to_a_clean_rebuild(
         self, dataset, tmp_path, corruption
     ):
@@ -90,6 +92,8 @@ class TestSessionFallback:
             raw = raw[: len(raw) // 3]
         elif corruption == "magic":
             raw[:8] = b"NOTASNAP"
+        elif corruption == "old_format_version":
+            raw[8] = 1  # a leftover file from the pre-vindex format
         else:
             raw[8] = FORMAT_VERSION + 1
         path.write_bytes(bytes(raw))

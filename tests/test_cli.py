@@ -161,7 +161,7 @@ class TestSnapshotCommands:
 
         assert main(["snapshot", "info", str(files[0])]) == 0
         output = capsys.readouterr().out
-        assert "format version: 1" in output
+        assert "format version: 2" in output
         assert "segment" in output
 
         assert main(["snapshot", "verify", str(files[0]), "--graph", graph_path]) == 0
