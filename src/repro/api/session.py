@@ -28,6 +28,7 @@ run.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future
@@ -39,7 +40,7 @@ import os
 from ..core.equivalence import Pair
 from ..core.graph import Graph
 from ..core.key import KeySet
-from ..core.neighborhood import NeighborhoodIndex
+from ..core.neighborhood import NeighborhoodIndex, radius_per_type
 from ..exceptions import MatchingError, StoreError
 from ..matching.blocking import BlockingIndex
 from ..matching.candidates import (
@@ -50,6 +51,7 @@ from ..matching.candidates import (
 from ..matching.incremental import (
     DependencyArtifact,
     IncrementalState,
+    extra_dependency_edges,
     plan_delta,
     rebase_filtered_candidates,
     touched_entity_nodes,
@@ -83,6 +85,11 @@ class SessionCacheInfo:
     #: version by journal-delta rebasing instead of a from-scratch rebuild
     candidate_rebases: int = 0
     product_graph_rebases: int = 0
+    #: snapshots produced by patching the previous compiled snapshot with the
+    #: mutation delta instead of recompiling from scratch (the patched arrays
+    #: are bit-identical to a rebuild; counted separately from
+    #: ``snapshot_builds``, which counts full recompiles only)
+    snapshot_patches: int = 0
     #: incremental (delta) runs actually executed — silent fallbacks to a
     #: full run (no previous result, expired journal window) do not count
     incremental_runs: int = 0
@@ -97,6 +104,9 @@ class SessionCacheInfo:
     blocking_index_rebases: int = 0
     blocking_blocks_touched: int = 0
     blocking_pairs_pruned: int = 0
+    #: key-set deltas applied by selective per-type invalidation
+    #: (:meth:`SessionArtifacts.rekeyed`) instead of a full cache drop
+    key_rebases: int = 0
 
 
 @dataclass(frozen=True)
@@ -137,6 +147,12 @@ class SessionArtifacts:
     multiplexes all requests for a named graph through one instance).
     """
 
+    #: patch-vs-rebuild threshold: a journal delta touching more than this
+    #: fraction of the snapshot's interned nodes recompiles the snapshot
+    #: instead of patching it (a near-total patch recomputes almost every
+    #: CSR row *and* pays the splice bookkeeping, so a clean build wins)
+    SNAPSHOT_PATCH_MAX_FRACTION = 0.5
+
     def __init__(
         self,
         graph: Graph,
@@ -145,6 +161,12 @@ class SessionArtifacts:
     ) -> None:
         self._graph = graph
         self._keys = keys
+        # per-type key lists snapshotted for rekeyed()'s delta detection:
+        # diffing against this baseline (not against the live KeySet object)
+        # also catches in-place KeySet mutation between with_keys calls
+        self._keyed_types = {
+            etype: list(keys.keys_for_type(etype)) for etype in keys.target_types()
+        }
         #: optional on-disk snapshot store consulted before every build
         self.snapshot_store = snapshot_store
         # build-once lock: accessors nest (product graph → candidates →
@@ -175,6 +197,7 @@ class SessionArtifacts:
         self.store_misses = 0
         self.candidate_rebases = 0
         self.product_graph_rebases = 0
+        self.snapshot_patches = 0
         self.incremental_runs = 0
         self.pairs_rechecked = 0
         self.pairs_skipped = 0
@@ -182,6 +205,7 @@ class SessionArtifacts:
         self.blocking_index_rebases = 0
         self.blocking_blocks_touched = 0
         self.blocking_pairs_pruned = 0
+        self.key_rebases = 0
         #: cumulative seconds spent building each artifact kind (CLI --profile)
         self.timings: Dict[str, float] = {}
 
@@ -219,6 +243,61 @@ class SessionArtifacts:
             self.pairs_rechecked = 0
             self.pairs_skipped = 0
 
+    def rekeyed(self, keys: KeySet) -> set:
+        """Swap the key set, invalidating only what the key delta affects.
+
+        Returns the set of entity types whose key lists actually changed
+        (added, removed, or edited keys).  The graph-only artifacts — the
+        compiled snapshot and every cached neighbourhood of an *unchanged*
+        type (same keys ⇒ same per-type radius) — survive untouched.  The
+        key-derived artifacts are parked for delta rebasing with the changed
+        types' entities as the affected set, so the next access re-runs the
+        pairing fixpoint and dependency-row derivation only for those pairs:
+
+        * a pair of an unchanged type keeps its pairing verdict — pairing is
+          the simulation fixpoint of the pair's own type's key patterns over
+          graph-only d-neighbourhoods, so no other type's keys enter it;
+        * a dependency edge between two unchanged-type pairs is a
+          neighbourhood-containment fact plus the dependent's own
+          ``depends_on_types`` — both unchanged — while edges to pairs that
+          vanished (type lost its keys) or appeared (type gained keys) are
+          unlinked/probed by the rebase's removed/fresh handling.
+
+        The blocking index and traversal orders are dropped outright: their
+        per-type signature schemes/orders derive from the keys and rebuild
+        in one cheap pass on next use.  An empty return means the key lists
+        are identical and every cached artifact (and any incremental seed
+        state the caller holds) is still exact.
+        """
+        with self._lock:
+            old_by_type = self._keyed_types
+            new_by_type = {
+                etype: list(keys.keys_for_type(etype))
+                for etype in keys.target_types()
+            }
+            changed = {
+                etype
+                for etype in set(old_by_type) | set(new_by_type)
+                if old_by_type.get(etype) != new_by_type.get(etype)
+            }
+            self._keys = keys
+            self._keyed_types = new_by_type
+            if not changed:
+                return changed
+            affected = {
+                entity
+                for entity in self._graph.entity_ids()
+                if self._graph.entity_type(entity) in changed
+            }
+            self._stash_for_rebase(affected)
+            if self._index is not None:
+                self._index = self._index.rekeyed(keys, evict=affected)
+            self._blocking_index = None
+            self._orders = None
+            self.invalidations += 1
+            self.key_rebases += 1
+            return changed
+
     def stale_entities(self, touched: set) -> set:
         """Entities whose cached d-neighbourhood a *touched* node set stales.
 
@@ -236,12 +315,40 @@ class SessionArtifacts:
                 if entity in touched or touched & self._index.nodes(entity)
             }
 
+    def _touched_ball_entities(self, touched: set) -> set:
+        """Entities within key radius of any touched node, on the new graph.
+
+        The delta-proportional superset of every entity whose d-ball a
+        mutation could have entered or left: walk any old or new path from
+        such an entity towards the mutation and the first touched node on it
+        is reached through edges present on both sides of the delta, so a
+        BFS from the touched nodes over the *new* snapshot finds the entity
+        within the same radius.  (A node removed outright anchors through
+        its old neighbours: deleting its edges touched them all.)  Unlike
+        :meth:`stale_entities` this does not depend on which neighbourhoods
+        happen to be cached.
+        """
+        snapshot = self.snapshot()
+        radius = max(radius_per_type(self._keys).values(), default=0)
+        seen: set = set()
+        for node in touched:
+            root = snapshot.id_of(node)
+            if root is None:
+                continue
+            seen.update(snapshot.neighborhood_ids(root, radius))
+        num_entities = snapshot.num_entities
+        node_of = snapshot._node_of
+        return {node_of[index] for index in seen if index < num_entities}
+
     def refresh(self, stale_hint: Optional[set] = None) -> None:
         """Reconcile the cache with any graph mutations since the last run.
 
-        The compiled :class:`GraphSnapshot` is always recompiled (its CSR
-        arrays are immutable).  When the mutation journal still covers the
-        delta, the derived artifacts are *rebased* instead of rebuilt: the
+        When the mutation journal still covers the delta, the compiled
+        :class:`GraphSnapshot` is *patched* — only the journal-touched CSR
+        rows are recomputed and spliced into the previous arrays, with the
+        result bit-identical to a recompile (see :meth:`_patched_snapshot`
+        for the patch-vs-rebuild size threshold) — and the derived
+        artifacts are *rebased* instead of rebuilt: the
         neighbourhood index evicts only the entities a touched node could
         have staled, and the filtered candidate sets / product graphs are
         parked for :func:`~repro.matching.incremental.rebase_filtered_candidates`
@@ -271,18 +378,29 @@ class SessionArtifacts:
                 stale = stale_hint if stale_hint is not None else self.stale_entities(touched)
                 affected = set(stale) | touched_entity_nodes(self._graph, touched)
                 self._stash_for_rebase(affected)
-                self._snapshot = None
+                old_snapshot = self._snapshot
+                self._snapshot = self._patched_snapshot(old_snapshot, touched)
                 self._index = self._index.rebased(self.snapshot(), evict=sorted(stale))
                 if self._blocking_index is not None:
-                    # signatures are radius-local, so stale ∪ touched covers
-                    # every entity whose signature the delta could change
+                    # the index holds a signature for EVERY entity of a
+                    # certified type — not just those with cached
+                    # neighbourhoods — so the stale_entities sweep is not a
+                    # sound affected set here: an entity never pulled into
+                    # the neighbourhood cache (e.g. one that never collided)
+                    # would keep a stale signature after a radius-local
+                    # edit.  Sweep the touched nodes' radius ball over the
+                    # new snapshot instead (sound by the first-touched-node
+                    # locality argument, both mutation directions).
+                    signature_stale = affected | self._touched_ball_entities(
+                        touched
+                    )
                     old_blocking = self._blocking_index
                     self._blocking_index = self._timed(
                         "blocking_index_rebase",
                         lambda: old_blocking.rebased(
                             self._graph,
                             snapshot=self.snapshot(),
-                            affected_entities=affected,
+                            affected_entities=signature_stale,
                         ),
                     )
                     self.blocking_index_rebases += 1
@@ -313,6 +431,47 @@ class SessionArtifacts:
         self._candidates.clear()
         self._product_graphs.clear()
         self._dependency_maps.clear()
+
+    def _patched_snapshot(
+        self, old: Optional[GraphSnapshot], touched: set
+    ) -> Optional[GraphSnapshot]:
+        """Patch *old* onto the current graph version, or ``None`` to rebuild.
+
+        Chooses patch-vs-rebuild by delta size (patching recomputes only the
+        touched CSR rows, so it wins exactly when the delta is a small
+        fraction of the graph) and treats any patch failure as a miss: the
+        caller's next :meth:`snapshot` access recompiles from scratch, which
+        is always correct because the patched arrays are bit-identical to a
+        rebuild whenever patching succeeds.  A successful patch is written
+        through to the configured snapshot store via
+        :meth:`SnapshotStore.patch`, so the on-disk file advances by a
+        segment-level diff instead of a full rewrite.
+        """
+        if old is None:
+            return None
+        if len(touched) > self.SNAPSHOT_PATCH_MAX_FRACTION * max(1, old.num_nodes):
+            return None
+        try:
+            patched = self._timed(
+                "snapshot_patch", lambda: old.patched(self._graph, touched)
+            )
+        except Exception:
+            return None
+        self.snapshot_patches += 1
+        store = self.snapshot_store
+        if store is not None:
+            try:
+                self._timed(
+                    "snapshot_store_patch",
+                    lambda: store.patch(
+                        patched,
+                        base=old,
+                        fingerprint=self._graph.content_fingerprint(),
+                    ),
+                )
+            except (StoreError, OSError):
+                pass
+        return patched
 
     # -- artifact accessors (the backend-facing surface) ----------------- #
 
@@ -557,7 +716,11 @@ class SessionArtifacts:
                 cached = self._timed(
                     "product_graph_rebase",
                     lambda: old.rebased(
-                        self.snapshot(), candidates, affected, dependents=dependents
+                        self.snapshot(),
+                        candidates,
+                        affected,
+                        dependents=dependents,
+                        keys=self._keys,
                     ),
                 )
                 self.product_graph_rebases += 1
@@ -595,6 +758,7 @@ class SessionArtifacts:
             store_misses=self.store_misses,
             candidate_rebases=self.candidate_rebases,
             product_graph_rebases=self.product_graph_rebases,
+            snapshot_patches=self.snapshot_patches,
             incremental_runs=self.incremental_runs,
             pairs_rechecked=self.pairs_rechecked,
             pairs_skipped=self.pairs_skipped,
@@ -602,6 +766,7 @@ class SessionArtifacts:
             blocking_index_rebases=self.blocking_index_rebases,
             blocking_blocks_touched=self.blocking_blocks_touched,
             blocking_pairs_pruned=self.blocking_pairs_pruned,
+            key_rebases=self.key_rebases,
         )
 
 
@@ -643,6 +808,10 @@ class MatchSession:
         if snapshot_store is not None:
             self._config = replace(self._config, snapshot_store=snapshot_store)
         self._artifacts: Optional[SessionArtifacts] = artifacts
+        # injected (service-shared) artifact caches are never rekeyed by
+        # this session's with_keys — other tenants still match under the
+        # registered keys, so the session detaches instead
+        self._owns_artifacts = artifacts is None
         self._observers: List[ProgressObserver] = []
         self._history: List[Tuple[MatchConfig, EMResult]] = []
         #: run-body lock: concurrent runs on one session serialize here
@@ -661,19 +830,30 @@ class MatchSession:
     # -- fluent configuration -------------------------------------------- #
 
     def with_keys(self, keys: KeySet) -> "MatchSession":
-        """Set (or replace) the key set, dropping every key-derived cache.
+        """Set (or replace) the key set, invalidating by key-set *delta*.
 
-        The caches are dropped unconditionally — even when *keys* is the same
-        object — because a :class:`KeySet` can be mutated in place (e.g. via
-        ``KeySet.add``) and the session cannot observe that; re-passing the
-        key set is the caller's signal that it changed.  The incremental seed
-        state is dropped too: a previous result under different keys is not a
-        valid seed.
+        When the session already holds built artifacts, the new key set is
+        diffed per entity type against the keys the artifacts were built
+        under (a snapshot taken at build time, so in-place ``KeySet.add``
+        mutations are detected too): the compiled snapshot and the cached
+        neighbourhoods / candidate verdicts / dependency rows of unchanged
+        types all survive, and only the changed types' entries are
+        re-derived on the next run (see :meth:`SessionArtifacts.rekeyed`).
+        The incremental seed state is dropped whenever the delta is
+        non-empty: a previous result under different keys is not a valid
+        seed.
         """
         with self._lock:
+            changed: Optional[set] = None
+            if self._artifacts is not None:
+                if self._owns_artifacts:
+                    changed = self._artifacts.rekeyed(keys)
+                else:
+                    # shared cache: detach rather than rekey other tenants
+                    self._artifacts = None
             self._keys = keys
-            self._artifacts = None
-            self._incremental = None
+            if changed is None or changed:
+                self._incremental = None
         return self
 
     def using(
@@ -779,7 +959,9 @@ class MatchSession:
 
         Keys: ``snapshot_build``, ``neighborhood_index_build``,
         ``candidates_build``, ``product_graph_build`` (present once the
-        corresponding artifact has been built), plus the blocking-layer
+        corresponding artifact has been built), ``snapshot_patch`` /
+        ``snapshot_store_patch`` when a mutation delta was applied by
+        patching instead of recompiling, plus the blocking-layer
         phase split ``blocking_index_build`` / ``blocking_index_rebase`` /
         ``blocking_collision`` / ``blocking_pairing_filter`` when blocked
         enumeration ran.  Consumed by the CLI's ``--profile`` report.
@@ -1020,27 +1202,68 @@ class MatchSession:
             )
 
         # old-side staleness must be read off the pre-refresh index; the
-        # refresh reuses the sweep instead of recomputing it
+        # refresh reuses the sweep instead of recomputing it.  The recorded
+        # pairing supports must be read pre-refresh too: the rebase
+        # recomputes supports for delta-affected pairs, but the staleness
+        # test below must judge the *old* chase witness, which lives inside
+        # the *old* support set.
+        blocked = config.blocking != "off"
+        old_supports: Optional[Dict[Pair, Tuple[set, set]]] = None
+        if blocked:
+            old_supports = {}
+            for cached in self._artifacts._candidates.values():
+                if cached.pair_supports:
+                    old_supports.update(cached.pair_supports)
         old_affected = self._artifacts.stale_entities(touched)
         artifacts = self._refresh_artifacts(config, stale_hint=old_affected)
-        # the delta plan is always computed over the quadratic (unblocked)
-        # pair universe: a previously-identified pair can vanish from the
-        # *blocked* candidate list after a mutation (its signatures stopped
-        # colliding), and the affected-set closure must still reach it and
-        # its dependents to drop the stale classes.  The quadratic flavors
-        # are rebased in O(delta) across runs, and the backend below still
-        # runs blocked — a worklist pair outside the blocked set provably
-        # cannot fire, so skipping it equals checking-and-failing it.
-        candidates = artifacts.candidates(filtered=False)
-        dependents = artifacts.dependency_map(filtered=False)
-        plan = plan_delta(
-            candidate_pairs=candidates.pairs,
-            dependents=dependents,
-            touched=touched,
-            touched_entities=touched_entity_nodes(self._graph, touched),
-            old_affected_entities=old_affected,
-            state=state,
-        )
+        if blocked:
+            # plan over the sub-quadratic blocked (pairing-filtered) universe
+            # plus the previous run's identified pairs: a pair outside the
+            # blocked set provably cannot fire, so skipping it equals
+            # checking-and-failing it — but a previously-identified pair that
+            # *vanished* from the universe (signatures stopped colliding, or
+            # its pairing broke) must still drop its class and re-check its
+            # dependents, so those pairs rejoin as force-affected extras with
+            # explicitly probed dependency edges.
+            candidates = artifacts.candidates(filtered=True, blocking=config.blocking)
+            dependents = artifacts.dependency_map(filtered=True, blocking=config.blocking)
+            universe = set(candidates.pairs)
+            extras = sorted(
+                {
+                    pair
+                    for cls in state.eq.nontrivial_classes()
+                    for pair in itertools.combinations(sorted(cls), 2)
+                }
+                - universe
+            )
+            extra_edges = extra_dependency_edges(
+                self._graph, self._keys, candidates, extras
+            )
+            plan = plan_delta(
+                candidate_pairs=candidates.pairs,
+                dependents=dependents,
+                touched=touched,
+                touched_entities=touched_entity_nodes(self._graph, touched),
+                old_affected_entities=old_affected,
+                state=state,
+                old_pair_supports=old_supports,
+                extra_identified=extras,
+                extra_dependents=extra_edges,
+            )
+        else:
+            # classic quadratic planning: every candidate pair of the new
+            # graph is in the universe, so vanished pairs and support-level
+            # refinements never arise
+            candidates = artifacts.candidates(filtered=False)
+            dependents = artifacts.dependency_map(filtered=False)
+            plan = plan_delta(
+                candidate_pairs=candidates.pairs,
+                dependents=dependents,
+                touched=touched,
+                touched_entities=touched_entity_nodes(self._graph, touched),
+                old_affected_entities=old_affected,
+                state=state,
+            )
         artifacts.incremental_runs += 1
         artifacts.pairs_rechecked += plan.pairs_rechecked
         artifacts.pairs_skipped += plan.pairs_skipped
@@ -1185,6 +1408,7 @@ class MatchSession:
         store = as_snapshot_store((config or self._config).snapshot_store)
         if self._artifacts is None:
             self._artifacts = SessionArtifacts(self._graph, self._keys, snapshot_store=store)
+            self._owns_artifacts = True
         else:
             if store is not None:
                 self._artifacts.snapshot_store = store

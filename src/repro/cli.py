@@ -219,6 +219,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "(repeatable); more graphs can be registered over HTTP",
     )
 
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="consume a continuous mutation stream (JSONL) against a graph, "
+        "folding it into incremental re-matches in latency-budgeted batches",
+    )
+    ingest_parser.add_argument("--graph", required=True, help="graph DSL file")
+    ingest_parser.add_argument("--keys", required=True, help="key DSL file")
+    ingest_parser.add_argument(
+        "--ops",
+        required=True,
+        metavar="FILE",
+        help="mutation stream: one JSON op per line ('-' reads stdin, so a "
+        "producer can pipe mutations in continuously)",
+    )
+    ingest_parser.add_argument(
+        "--algorithm", default="EMOptVC", choices=list(ALGORITHMS), help="algorithm to use"
+    )
+    ingest_parser.add_argument(
+        "--blocking",
+        choices=["off", "auto", "force"],
+        default="off",
+        help="signature blocking for the candidate universe (see 'match')",
+    )
+    ingest_parser.add_argument(
+        "--latency-budget",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="flush a batch once its oldest unflushed mutation is this old; "
+        "the published result is never more than one batch stale "
+        "(default: 0.25s)",
+    )
+    ingest_parser.add_argument(
+        "--batch-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also flush whenever N mutations have accumulated",
+    )
+    ingest_parser.add_argument(
+        "--snapshot-store",
+        default=None,
+        metavar="DIR",
+        help="snapshot store directory; each flushed batch patches the "
+        "stored snapshot segment-by-segment instead of rewriting it",
+    )
+    ingest_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the ingest report as JSON instead of the human summary",
+    )
+    ingest_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-batch progress lines",
+    )
+
     snapshot_parser = subparsers.add_parser(
         "snapshot", help="operate on stored GraphSnapshot files"
     )
@@ -321,6 +378,12 @@ def _print_profile(session: MatchSession, result) -> None:
     else:
         provenance = "built in process (no snapshot store)"
     print(f"  {'snapshot source':<24} : {provenance}")
+    if info.snapshot_patches:
+        print(
+            f"  {'snapshot refresh':<24} : {info.snapshot_patches} patch(es), "
+            f"{info.snapshot_builds} rebuild(s) — patched arrays are "
+            f"bit-identical to a recompile"
+        )
     delta = session.last_delta()
     if delta is not None:
         if delta.mode == "full":
@@ -336,7 +399,9 @@ def _print_profile(session: MatchSession, result) -> None:
     for phase in (
         "snapshot_store_load",
         "snapshot_build",
+        "snapshot_patch",
         "snapshot_store_save",
+        "snapshot_store_patch",
         "neighborhood_index_build",
         "blocking_index_build",
         "blocking_index_rebase",
@@ -497,6 +562,74 @@ def _command_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    import contextlib
+    import json as json_module
+
+    from .service.ingest import IngestPipeline, iter_jsonl
+
+    graph = load_graph(args.graph)
+    keys = load_keys(args.keys)
+    session = MatchSession(graph, snapshot_store=args.snapshot_store).with_keys(keys)
+    baseline = session.run(args.algorithm, blocking=args.blocking)
+    if not args.json:
+        print(
+            f"baseline       : {baseline.num_identified} pairs "
+            f"({args.algorithm}, blocking={args.blocking})"
+        )
+
+    def on_batch(result, report):
+        if args.json or args.quiet:
+            return
+        delta = session.last_delta()
+        mode = delta.mode if delta is not None else "full"
+        rechecked = delta.pairs_rechecked if delta is not None else 0
+        print(
+            f"batch {report.batches:>4}   : {result.num_identified} pairs, "
+            f"mode={mode}, rechecked={rechecked}"
+        )
+
+    pipeline = IngestPipeline(
+        session,
+        latency_budget=args.latency_budget,
+        max_batch_ops=args.batch_ops,
+        on_batch=on_batch,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.ops == "-":
+            stream = sys.stdin
+        else:
+            stream = stack.enter_context(open(args.ops, "r", encoding="utf-8"))
+        report = pipeline.run(iter_jsonl(stream))
+
+    if args.json:
+        payload = report.as_dict()
+        result = pipeline.last_result or baseline
+        payload["identified"] = result.num_identified
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    result = pipeline.last_result or baseline
+    print(f"ops applied    : {report.ops_applied}")
+    print(f"batches        : {report.batches} ({report.delta_modes})")
+    print(f"identified     : {result.num_identified} pairs")
+    print(f"throughput     : {report.mutations_per_second:.1f} mutations/s")
+    print(
+        f"staleness      : p50 {report.staleness_p50 * 1000.0:.1f} ms, "
+        f"p95 {report.staleness_p95 * 1000.0:.1f} ms, "
+        f"max {report.staleness_max * 1000.0:.1f} ms"
+    )
+    print(
+        f"time split     : apply {report.apply_seconds:.3f} s, "
+        f"rerun {report.rerun_seconds:.3f} s"
+    )
+    info = session.cache_info()
+    print(
+        f"snapshots      : {info.snapshot_patches} patch(es), "
+        f"{info.snapshot_builds} build(s)"
+    )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from .service import MatchingService, make_http_server
 
@@ -530,7 +663,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"repro serve listening on http://{host}:{port}")
     print(f"  snapshot store : {store}")
     print(f"  admission      : {args.max_inflight} in flight, {args.max_queued} queued")
-    print("  endpoints      : /healthz /algorithms /graphs /match /requests /metrics")
+    print(
+        "  endpoints      : /healthz /algorithms /graphs "
+        "/graphs/<name>/ingest /match /requests /metrics"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -553,6 +689,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "algorithms": _command_algorithms,
         "snapshot": _command_snapshot,
         "serve": _command_serve,
+        "ingest": _command_ingest,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,127 @@
+"""Order-invariant content fingerprinting shared by ``Graph`` and the store.
+
+A graph's fingerprint is the sum, modulo ``2**256``, of one SHA-256 *term*
+per entity and per triple, formatted as 64 hex digits.  Summing (instead of
+hashing a sorted serialization, as earlier versions did) makes the digest
+**incrementally maintainable**: adding an entity or triple adds its term to
+a running accumulator, removing subtracts it, and retyping an entity is one
+subtract + one add — all O(1) per mutation, independent of graph size.
+:class:`~repro.core.graph.Graph` keeps exactly this accumulator up to date
+through every mutation primitive and exposes it as
+:meth:`~repro.core.graph.Graph.content_fingerprint`, so store lookups no
+longer pay an O(|G|) hash per run.
+
+:func:`graph_fingerprint` is the full recompute over any graph-like object
+(a ``Graph`` or a ``GraphSnapshot`` — anything with ``entities()`` and
+``triples()``).  It is the verification baseline the property tests compare
+the incremental accumulator against, and the only path for objects that do
+not maintain one.
+
+The per-term encodings are injective (length-prefixed chunks, canonical
+literal encodings), so distinct graphs sum distinct multisets of terms; the
+256-bit additive combination keeps collisions negligible for content
+addressing (this is the classic AdHash construction — not meant to resist
+adversarially crafted inputs, which content caching does not face).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+from .triples import Literal
+
+#: The accumulator is carried modulo ``2**_FP_BITS``; fingerprints are
+#: ``_FP_BITS / 4`` hex digits (the same width as the SHA-256 hexdigests
+#: earlier store formats used, so file names keep their shape).
+_FP_BITS = 256
+_FP_MOD = 1 << _FP_BITS
+_FP_HEX = _FP_BITS // 4
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    """One length-prefixed hash chunk (no separator ambiguity)."""
+    return tag + len(payload).to_bytes(4, "little") + payload
+
+
+def _fingerprint_value(value: object) -> bytes:
+    """Canonical bytes of a literal value for *fingerprinting*.
+
+    Unlike the storage codec (which may fall back to pickle), this encoding
+    is stable across processes for every commonly-hashable value:
+    containers recurse, and unordered containers (frozensets) sort their
+    element encodings, so hash randomization cannot leak into the
+    fingerprint.  Only truly exotic user types hit the pickle fallback,
+    whose cross-process stability is then up to that type.
+    """
+    kind = type(value)
+    if kind is str:
+        return b"s" + value.encode("utf-8")
+    if kind is bool:
+        return b"b1" if value else b"b0"
+    if kind is int:
+        return b"i" + str(value).encode("ascii")
+    if kind is float:
+        return b"f" + repr(value).encode("ascii")
+    if value is None:
+        return b"n"
+    if kind is bytes:
+        return b"y" + value
+    if kind is tuple:
+        return b"(" + b"".join(_chunk(b"v", _fingerprint_value(item)) for item in value) + b")"
+    if kind is frozenset:
+        parts = sorted(_chunk(b"v", _fingerprint_value(item)) for item in value)
+        return b"{" + b"".join(parts) + b"}"
+    return b"p" + pickle.dumps(value, protocol=4)
+
+
+def entity_term(eid: str, etype: str) -> int:
+    """The additive fingerprint term of one ``(entity id, type)`` record."""
+    digest = hashlib.sha256(
+        _chunk(b"E", eid.encode("utf-8")) + _chunk(b"t", etype.encode("utf-8"))
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def triple_term(subject: str, predicate: str, obj: object) -> int:
+    """The additive fingerprint term of one triple."""
+    if isinstance(obj, Literal):
+        obj_key = b"L" + _fingerprint_value(obj.value)
+    else:
+        obj_key = b"N" + obj.encode("utf-8")
+    key = b"\x00".join((subject.encode("utf-8"), predicate.encode("utf-8"), obj_key))
+    return int.from_bytes(hashlib.sha256(_chunk(b"T", key)).digest(), "little")
+
+
+def format_fingerprint(accumulator: int) -> str:
+    """Format an accumulator value as the canonical hex fingerprint."""
+    return format(accumulator % _FP_MOD, f"0{_FP_HEX}x")
+
+
+def graph_fingerprint(graph) -> str:
+    """A content fingerprint of *graph* (64 hex digits), stable across processes.
+
+    Sums the entity and triple terms of the graph's current content, making
+    the fingerprint invariant under insertion order and identical for a
+    :class:`~repro.core.graph.Graph` and any ``GraphSnapshot`` compiled from
+    it.  This is the key the snapshot-store files are named by, and the
+    recompute baseline for :meth:`Graph.content_fingerprint`.
+    """
+    accumulator = 0
+    for entity in graph.entities():
+        accumulator += entity_term(entity.eid, entity.etype)
+    for triple in graph.triples():
+        accumulator += triple_term(triple.subject, triple.predicate, triple.obj)
+    return format_fingerprint(accumulator)
+
+
+def fingerprint_of(graph) -> str:
+    """The fingerprint of *graph*, via its O(1) accumulator when it has one.
+
+    ``Graph`` maintains the accumulator incrementally; anything else (e.g. a
+    ``GraphSnapshot``) pays the one-pass recompute.
+    """
+    accessor = getattr(graph, "content_fingerprint", None)
+    if accessor is not None:
+        return accessor()
+    return graph_fingerprint(graph)

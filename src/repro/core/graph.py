@@ -15,10 +15,12 @@ values are the same node, as in the paper.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..exceptions import DuplicateEntityError, GraphError, UnknownEntityError
+from .fingerprint import _FP_MOD, entity_term, format_fingerprint, triple_term
 from .triples import Entity, GraphNode, Literal, Triple, is_entity_ref
 
 
@@ -45,16 +47,25 @@ class Graph:
         "_out_by_pred",
         "_in_by_pred",
         "_undirected",
+        "_pred_counts",
         "_version",
-        "_touched_log",
+        "_touched_versions",
+        "_touched_nodes",
         "_log_base_version",
+        "_journal_compactions",
+        "_fp_acc",
     )
 
-    #: Mutation journal window (entries).  The journal is a sliding window:
-    #: when it fills up it is cleared and restarted at the current version,
-    #: so memory stays bounded (~1 MB worst case) and recent deltas remain
-    #: answerable; :meth:`touched_since` answers ``None`` for versions that
-    #: fell out of the window (callers then do a full cache rebuild).
+    #: Mutation journal window (entries).  When the journal fills up it is
+    #: first *compacted* — only the most recent entry per node is kept, which
+    #: preserves every ``touched_since`` answer in the window exactly (the
+    #: nodes touched after version ``v`` are precisely the nodes whose *last*
+    #: touch is after ``v``) — so long-running ingest on a bounded node set
+    #: keeps the full window alive indefinitely.  Only when more *distinct*
+    #: nodes than the limit were touched does the window slide: the log is
+    #: cleared and restarted at the current version, and
+    #: :meth:`touched_since` answers ``None`` for versions that fell out
+    #: (callers then do a full cache rebuild).
     MUTATION_LOG_LIMIT = 100_000
 
     def __init__(self) -> None:
@@ -69,12 +80,22 @@ class Graph:
         self._in_by_pred: Dict[Tuple[GraphNode, str], Set[str]] = defaultdict(set)
         # undirected adjacency (ignoring direction and predicate), for BFS
         self._undirected: Dict[GraphNode, Set[GraphNode]] = defaultdict(set)
+        # predicate -> live triple count, so predicates() and the snapshot
+        # patcher answer the predicate universe without an O(|G|) scan
+        self._pred_counts: Dict[str, int] = {}
         # mutation journal: monotone version + the nodes each mutation touched,
         # so sessions can invalidate exactly the caches a mutation staled;
         # the log holds the entries for versions (_log_base_version, _version]
+        # as two parallel lists (versions strictly increasing, bisectable)
         self._version: int = 0
-        self._touched_log: List[GraphNode] = []
+        self._touched_versions: List[int] = []
+        self._touched_nodes: List[GraphNode] = []
         self._log_base_version: int = 0
+        self._journal_compactions: int = 0
+        # running content-fingerprint accumulator (see core.fingerprint):
+        # every mutation primitive adds/subtracts its term, so
+        # content_fingerprint() is O(1) at any moment
+        self._fp_acc: int = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -94,6 +115,7 @@ class Graph:
         entity = Entity(eid, etype)
         self._entities[eid] = entity
         self._by_type[etype].add(eid)
+        self._fp_acc = (self._fp_acc + entity_term(eid, etype)) % _FP_MOD
         self._record_mutation((eid,))
         return entity
 
@@ -112,22 +134,66 @@ class Graph:
         self._in_by_pred[(triple.obj, triple.predicate)].add(triple.subject)
         self._undirected[triple.subject].add(triple.obj)
         self._undirected[triple.obj].add(triple.subject)
+        self._pred_counts[triple.predicate] = self._pred_counts.get(triple.predicate, 0) + 1
+        self._fp_acc = (
+            self._fp_acc + triple_term(triple.subject, triple.predicate, triple.obj)
+        ) % _FP_MOD
         self._record_mutation((triple.subject, triple.obj))
 
     def _record_mutation(self, nodes: Tuple[GraphNode, ...]) -> None:
-        self._version += len(nodes)
-        log = self._touched_log
-        if len(log) + len(nodes) > self.MUTATION_LOG_LIMIT:
-            # slide the window: older deltas become unanswerable, memory stays bounded
-            log.clear()
+        versions = self._touched_versions
+        touched = self._touched_nodes
+        for node in nodes:
+            self._version += 1
+            versions.append(self._version)
+            touched.append(node)
+        if len(touched) > self.MUTATION_LOG_LIMIT:
+            self._compact_journal()
+
+    def _compact_journal(self) -> None:
+        # Keep only the most recent entry per node: touched_since(v) is
+        # exactly the set of nodes whose *last* touch has version > v, so
+        # dropping superseded entries preserves every answer in the window.
+        # Repeated set_value/add/remove churn on a bounded node set therefore
+        # never slides the window, no matter how long ingest runs.
+        last: Dict[GraphNode, int] = {}
+        for version, node in zip(self._touched_versions, self._touched_nodes):
+            last[node] = version
+        if len(last) > self.MUTATION_LOG_LIMIT:
+            # more distinct nodes than the window holds: slide (old behavior)
+            self._touched_versions = []
+            self._touched_nodes = []
             self._log_base_version = self._version
-        else:
-            log.extend(nodes)
+            return
+        entries = sorted(last.items(), key=lambda item: item[1])
+        self._touched_versions = [version for _, version in entries]
+        self._touched_nodes = [node for node, _ in entries]
+        self._journal_compactions += 1
 
     @property
     def version(self) -> int:
-        """Monotone mutation counter; bumped by every entity/triple addition."""
+        """Monotone mutation counter; bumped by every entity/triple mutation."""
         return self._version
+
+    @property
+    def journal_size(self) -> int:
+        """Number of live journal entries (bounded by ``MUTATION_LOG_LIMIT``)."""
+        return len(self._touched_nodes)
+
+    @property
+    def journal_compactions(self) -> int:
+        """How many times the journal coalesced superseded entries."""
+        return self._journal_compactions
+
+    def content_fingerprint(self) -> str:
+        """The graph's content fingerprint, from the O(1) running accumulator.
+
+        Maintained incrementally through every mutation primitive; equal to
+        :func:`repro.core.fingerprint.graph_fingerprint` (the full recompute)
+        at all times — the property suite proves it across arbitrary
+        mutation sequences.
+        """
+        return format_fingerprint(self._fp_acc)
 
     def touched_since(self, version: int) -> Optional[Set[GraphNode]]:
         """Nodes touched by mutations after *version* of this graph.
@@ -137,7 +203,8 @@ class Graph:
         """
         if version < self._log_base_version:
             return None
-        return set(self._touched_log[version - self._log_base_version :])
+        start = bisect_right(self._touched_versions, version)
+        return set(self._touched_nodes[start:])
 
     def add_edge(self, subject: str, predicate: str, obj: str) -> None:
         """Add an entity-to-entity triple ``(subject, predicate, obj)``."""
@@ -171,6 +238,14 @@ class Graph:
         if not self._still_adjacent(triple.subject, triple.obj):
             self._discard_index(self._undirected, triple.subject, triple.obj)
             self._discard_index(self._undirected, triple.obj, triple.subject)
+        remaining = self._pred_counts.get(triple.predicate, 0) - 1
+        if remaining > 0:
+            self._pred_counts[triple.predicate] = remaining
+        else:
+            self._pred_counts.pop(triple.predicate, None)
+        self._fp_acc = (
+            self._fp_acc - triple_term(triple.subject, triple.predicate, triple.obj)
+        ) % _FP_MOD
         self._record_mutation((triple.subject, triple.obj))
 
     @staticmethod
@@ -227,6 +302,9 @@ class Graph:
         entity = Entity(eid, etype)
         self._entities[eid] = entity
         self._by_type[etype].add(eid)
+        self._fp_acc = (
+            self._fp_acc - entity_term(eid, existing.etype) + entity_term(eid, etype)
+        ) % _FP_MOD
         self._record_mutation((eid,))
         return entity
 
@@ -313,8 +391,12 @@ class Graph:
         return {t for t, members in self._by_type.items() if members}
 
     def predicates(self) -> Set[str]:
-        """Return the set of predicates used by triples of this graph."""
-        return {t.predicate for t in self._triples}
+        """Return the set of predicates used by triples of this graph.
+
+        O(#predicates), off the live-count index — a predicate whose last
+        triple was removed disappears from the answer.
+        """
+        return set(self._pred_counts)
 
     def triples(self) -> Iterator[Triple]:
         """Iterate over all triples."""

@@ -167,14 +167,20 @@ def plan_delta(
     touched_entities: Set[str],
     old_affected_entities: Set[str],
     state: IncrementalState,
+    old_pair_supports: Optional[Mapping[Pair, Tuple[Set[GraphNode], Set[GraphNode]]]] = None,
+    extra_identified: Sequence[Pair] = (),
+    extra_dependents: Optional[Mapping[Pair, Set[Pair]]] = None,
 ) -> DeltaPlan:
     """Compute the seed/worklist split for a journal delta.
 
     Parameters
     ----------
     candidate_pairs:
-        The unfiltered candidate set of the *new* graph, in the deterministic
-        order the backends iterate it.
+        The candidate set of the *new* graph, in the deterministic order the
+        backends iterate it.  Classically this is the unfiltered (quadratic)
+        set; a blocked session plans over the pairing-filtered blocked set
+        instead — sound because a pair outside it provably cannot fire, so
+        skipping it equals checking-and-failing it.
     dependents:
         The dependency map over *candidate_pairs* (prerequisite → dependents),
         built on the new graph with full (unreduced) neighbourhoods.
@@ -188,18 +194,52 @@ def plan_delta(
         *new* neighbourhood gained a touched node.
     state:
         The previous run's :class:`IncrementalState`.
+    old_pair_supports:
+        The pairing-support nodes recorded at ``state.version`` (per pair, a
+        ``(side1, side2)`` node-set tuple).  When given, a *previously
+        identified* pair with an untouched support set is **not** marked
+        stale even when its wider d-neighbourhood was touched: its old chase
+        witness lives inside the pairing support (Prop. 9 — any
+        identification witness is contained in the maximal pairing), so an
+        untouched support means the witness survived verbatim, and a
+        prerequisite that stopped holding reaches the pair through the
+        dependency closure instead.  Unidentified pairs always get the full
+        d-neighbourhood test — a fresh witness can appear anywhere in the
+        ball.
+    extra_identified:
+        Previously identified pairs that are *absent* from the new candidate
+        universe (their signatures stopped colliding, their pairing broke, or
+        an entity was retyped away).  They can no longer fire, so they never
+        enter the worklist — but they are force-marked affected so their
+        classes drop and the closure re-checks their dependents.
+    extra_dependents:
+        Dependency edges (prerequisite → dependents) for *extra_identified*
+        pairs, which the *dependents* map (keyed on the new universe) cannot
+        contain.
     """
     affected: Set[Pair] = set()
+    supports = old_pair_supports or {}
+    use_supports = old_pair_supports is not None
+    eq = state.eq
     for pair in candidate_pairs:
         e1, e2 = pair
-        if (
-            pair not in state.candidates
-            or e1 in touched
-            or e2 in touched
-            or e1 in old_affected_entities
-            or e2 in old_affected_entities
-        ):
+        if pair not in state.candidates or e1 in touched or e2 in touched:
             affected.add(pair)
+            continue
+        if use_supports and eq.identified(e1, e2):
+            support = supports.get(pair)
+            if support is not None:
+                if touched & support[0] or touched & support[1]:
+                    affected.add(pair)
+                continue
+        if e1 in old_affected_entities or e2 in old_affected_entities:
+            affected.add(pair)
+    affected.update(extra_identified)
+    if extra_dependents:
+        merged: Dict[Pair, Set[Pair]] = dict(dependents)
+        for prerequisite, dependent_set in extra_dependents.items():
+            merged[prerequisite] = merged.get(prerequisite, set()) | dependent_set
+        dependents = merged
     affected = DependencyWorklist(dependents).close(affected)
 
     # every entity the delta implicates: members of affected pairs plus every
@@ -228,6 +268,48 @@ def plan_delta(
         dropped_classes=dropped_classes,
         candidate_count=len(candidate_pairs),
     )
+
+
+def extra_dependency_edges(
+    graph,
+    keys: KeySet,
+    candidates: CandidateSet,
+    extra_pairs: Sequence[Pair],
+) -> Dict[Pair, Set[Pair]]:
+    """Dependency edges from *extra_pairs* into the candidate universe.
+
+    *extra_pairs* are previously identified pairs that fell out of the new
+    candidate universe, so the session's cached dependency map has no row for
+    them; this probes every candidate whose keys recurse into an extra pair's
+    type and returns the prerequisite → dependents edges the delta closure
+    needs.  Cost is proportional to the candidates of the implicated types
+    (zero when *extra_pairs* is empty), never to the full universe.
+    """
+    edges: Dict[Pair, Set[Pair]] = {}
+    # extras with a removed or retyped entity need no probing: that entity
+    # was journal-touched, and it is a witness node of every dependent (a
+    # prerequisite's entities are matched by the dependent's key pattern),
+    # so the support-level staleness test already marks those dependents
+    probeable = [
+        pair
+        for pair in extra_pairs
+        if graph.has_entity(pair[0]) and graph.has_entity(pair[1])
+        and graph.entity_type(pair[0]) == graph.entity_type(pair[1])
+    ]
+    if not probeable:
+        return edges
+    depends_on_types = depends_on_types_by_target(keys)
+    extras_by_type = candidate_pairs_by_type(graph, probeable)
+    extra_types = set(extras_by_type)
+    for dependent in candidates.pairs:
+        wanted = depends_on_types.get(graph.entity_type(dependent[0]), set())
+        if not wanted & extra_types:
+            continue
+        for prerequisite in pair_prerequisites(
+            dependent, wanted & extra_types, extras_by_type, candidates.neighborhoods
+        ):
+            edges.setdefault(prerequisite, set()).add(dependent)
+    return edges
 
 
 # --------------------------------------------------------------------------- #

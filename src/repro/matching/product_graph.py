@@ -100,6 +100,7 @@ class ProductGraph:
         candidates: CandidateSet,
         affected_entities: Set[str],
         dependents: Optional[Dict[Pair, Set[Pair]]] = None,
+        keys=None,
     ) -> "ProductGraph":
         """This product graph rebuilt over *graph* after a journal delta.
 
@@ -109,11 +110,13 @@ class ProductGraph:
         sound because a pairing relation only reads the pair's two
         d-neighbourhoods.  The ``dep`` edges are recomputed from the new
         candidates.  The result is bit-identical to ``ProductGraph(graph,
-        keys, candidates)``.
+        keys, candidates)``.  Pass *keys* when the key set changed since the
+        old build (a session ``rekeyed`` delta): affected pairs then
+        recompute their relations under the new keys.
         """
         twin = object.__new__(ProductGraph)
         twin._graph = graph
-        twin._keys = self._keys
+        twin._keys = self._keys if keys is None else keys
         twin._candidates = candidates
         twin._nodes = set()
         twin._candidate_nodes = list(candidates.pairs)

@@ -18,6 +18,10 @@ than graphs.  It turns the session API into a long-lived service:
   graphs, submit match requests against any registered backend, poll or
   stream per-request progress events, fetch results, and scrape service
   metrics from ``/metrics``;
+* :mod:`~repro.service.ingest` — the streaming ingest pipeline: continuous
+  JSONL mutation streams folded into latency-budgeted incremental re-matches
+  (shared by ``repro ingest`` and ``POST /graphs/<name>/ingest``), with
+  mutations/sec and staleness-percentile reporting;
 * :mod:`~repro.service.wire` — the wire schemas: every request is parsed
   into a validated :class:`~repro.api.MatchConfig` and every response
   carries request-level provenance (request id, queue wait, phase timings,
@@ -29,6 +33,7 @@ shared-store multiplexing contract.
 
 from __future__ import annotations
 
+from .ingest import IngestError, IngestPipeline, IngestReport, ingest_stream
 from .queue import AdmissionController, MatchRequest
 from .registry import GraphRegistry, RegisteredGraph
 from .server import MatchingService, make_http_server, serve
@@ -37,10 +42,14 @@ from .wire import algorithm_catalog
 __all__ = [
     "AdmissionController",
     "GraphRegistry",
+    "IngestError",
+    "IngestPipeline",
+    "IngestReport",
     "MatchRequest",
     "MatchingService",
     "RegisteredGraph",
     "algorithm_catalog",
+    "ingest_stream",
     "make_http_server",
     "serve",
 ]

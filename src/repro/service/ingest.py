@@ -1,0 +1,277 @@
+"""Streaming ingest: continuous mutation streams batched into delta reruns.
+
+The O(delta) machinery (patched snapshots, incremental fingerprints,
+segment-level store patching, the support-level delta planner) makes a
+single ``rerun()`` cheap — this module turns that into a *pipeline*: a
+continuous stream of journalled mutations (JSONL records from a file, a
+socket, or the service endpoint) is applied to the live graph and folded
+into incremental re-matches in **latency-budgeted batches**.  The pipeline
+applies mutations as fast as they arrive and triggers ``session.rerun()``
+whenever the oldest unflushed mutation has been waiting longer than the
+budget (or a batch-size cap is hit), so the published result is never more
+than one batch stale: every mutation is covered by the next flush, and the
+flush starts at most ``latency_budget`` seconds after the mutation landed.
+
+The wire format is one JSON object per line::
+
+    {"op": "add_entity",    "id": "e9", "type": "person"}
+    {"op": "retype_entity", "id": "e9", "type": "company"}
+    {"op": "add_edge",      "subject": "e1", "predicate": "knows", "object": "e2"}
+    {"op": "remove_edge",   "subject": "e1", "predicate": "knows", "object": "e2"}
+    {"op": "add_value",     "subject": "e1", "predicate": "name", "value": "ada"}
+    {"op": "set_value",     "subject": "e1", "predicate": "name", "value": "Ada"}
+    {"op": "remove_value",  "subject": "e1", "predicate": "name", "value": "Ada"}
+
+Shared by ``repro ingest`` (file / stdin streams) and the service's
+``POST /graphs/<name>/ingest`` endpoint; both report the same
+:class:`IngestReport` (mutations/sec, staleness percentiles, delta
+provenance aggregates).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, TextIO
+
+from ..exceptions import ReproError
+
+
+class IngestError(ReproError):
+    """A malformed mutation record or an inapplicable mutation."""
+
+
+#: the mutation operations the wire format accepts, with required fields
+OP_FIELDS: Dict[str, tuple] = {
+    "add_entity": ("id", "type"),
+    "retype_entity": ("id", "type"),
+    "add_edge": ("subject", "predicate", "object"),
+    "remove_edge": ("subject", "predicate", "object"),
+    "add_value": ("subject", "predicate", "value"),
+    "set_value": ("subject", "predicate", "value"),
+    "remove_value": ("subject", "predicate", "value"),
+}
+
+
+def apply_mutation(graph, op: Mapping) -> str:
+    """Apply one wire-format mutation record to *graph*; returns the op name.
+
+    Raises :class:`IngestError` for unknown operations, missing fields, or
+    mutations the graph rejects (e.g. an edge to an unknown entity) — the
+    graph's own validation errors pass through wrapped, so a stream with one
+    bad record fails loudly instead of silently skewing results.
+    """
+    kind = op.get("op")
+    if kind not in OP_FIELDS:
+        known = ", ".join(sorted(OP_FIELDS))
+        raise IngestError(f"unknown ingest op {kind!r} (known: {known})")
+    missing = [name for name in OP_FIELDS[kind] if name not in op]
+    if missing:
+        raise IngestError(f"ingest op {kind!r} is missing field(s): {missing}")
+    try:
+        if kind == "add_entity":
+            graph.add_entity(op["id"], op["type"])
+        elif kind == "retype_entity":
+            graph.retype_entity(op["id"], op["type"])
+        elif kind == "add_edge":
+            graph.add_edge(op["subject"], op["predicate"], op["object"])
+        elif kind == "remove_edge":
+            graph.remove_edge(op["subject"], op["predicate"], op["object"])
+        elif kind == "add_value":
+            graph.add_value(op["subject"], op["predicate"], op["value"])
+        elif kind == "set_value":
+            graph.set_value(op["subject"], op["predicate"], op["value"])
+        else:  # remove_value
+            graph.remove_value(op["subject"], op["predicate"], op["value"])
+    except IngestError:
+        raise
+    except (ReproError, KeyError, ValueError, TypeError) as error:
+        raise IngestError(f"ingest op {op!r} failed: {error}") from error
+    return kind
+
+
+def iter_jsonl(stream: Iterable[str]) -> Iterator[Mapping]:
+    """Parse a JSONL mutation stream lazily (blank lines and ``#`` skipped)."""
+    for number, line in enumerate(stream, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError as error:
+            raise IngestError(f"line {number}: unparseable JSON: {error}") from error
+        if not isinstance(record, dict):
+            raise IngestError(f"line {number}: expected a JSON object")
+        yield record
+
+
+@dataclass
+class IngestReport:
+    """What one ingest run did, and how fast."""
+
+    #: mutations applied to the graph
+    ops_applied: int = 0
+    #: per-op count, e.g. ``{"add_edge": 12, "set_value": 3}``
+    ops_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: latency-budget flushes (each one ``session.rerun()``)
+    batches: int = 0
+    #: flushes whose delta mode was "incremental" / "reused" / "full"
+    delta_modes: Dict[str, int] = field(default_factory=dict)
+    #: cumulative candidate pairs re-chased across all flushes
+    pairs_rechecked: int = 0
+    #: wall-clock seconds of the whole run / applying mutations / re-matching
+    elapsed_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rerun_seconds: float = 0.0
+    #: per-mutation staleness: seconds from a mutation landing in the graph
+    #: to the first published result covering it (p50/p95/max over all ops)
+    staleness_p50: float = 0.0
+    staleness_p95: float = 0.0
+    staleness_max: float = 0.0
+
+    @property
+    def mutations_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.ops_applied / self.elapsed_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ops_applied": self.ops_applied,
+            "ops_by_kind": dict(sorted(self.ops_by_kind.items())),
+            "batches": self.batches,
+            "delta_modes": dict(sorted(self.delta_modes.items())),
+            "pairs_rechecked": self.pairs_rechecked,
+            "elapsed_seconds": self.elapsed_seconds,
+            "apply_seconds": self.apply_seconds,
+            "rerun_seconds": self.rerun_seconds,
+            "mutations_per_second": self.mutations_per_second,
+            "staleness_p50": self.staleness_p50,
+            "staleness_p95": self.staleness_p95,
+            "staleness_max": self.staleness_max,
+        }
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+class IngestPipeline:
+    """Fold a mutation stream into latency-budgeted incremental reruns.
+
+    The pipeline owns no thread: :meth:`run` drives the stream iterator
+    inline (a generator reading a file, stdin, or a queue), applying each
+    mutation immediately and flushing — one ``session.rerun()`` — when the
+    oldest unflushed mutation is older than *latency_budget* seconds, when
+    *max_batch_ops* mutations have accumulated, or when the stream ends.
+    ``session.rerun()`` is bit-identical to a full re-match by the
+    incremental-equivalence invariant, so consumers of
+    ``pipeline.last_result`` always observe an exact result that is at most
+    one batch stale.
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        latency_budget: float = 0.25,
+        max_batch_ops: Optional[int] = None,
+        on_batch: Optional[Callable[[object, IngestReport], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if latency_budget < 0:
+            raise IngestError("latency_budget must be >= 0 seconds")
+        if max_batch_ops is not None and max_batch_ops < 1:
+            raise IngestError("max_batch_ops must be >= 1")
+        self.session = session
+        self.latency_budget = latency_budget
+        self.max_batch_ops = max_batch_ops
+        self.on_batch = on_batch
+        self._clock = clock
+        #: the newest published (exact) result; at most one batch stale
+        self.last_result = None
+
+    def run(self, ops: Iterable[Mapping]) -> IngestReport:
+        """Consume *ops* to exhaustion; returns the run's :class:`IngestReport`.
+
+        On return every mutation of the stream is reflected in
+        :attr:`last_result` (the final partial batch is always flushed).
+        """
+        report = IngestReport()
+        graph = self.session.graph
+        clock = self._clock
+        staleness: List[float] = []
+        pending_applied_at: List[float] = []
+        batch_started: Optional[float] = None
+        started = clock()
+
+        def flush() -> None:
+            nonlocal batch_started
+            if not pending_applied_at:
+                return
+            rerun_started = clock()
+            result = self.session.rerun()
+            finished = clock()
+            self.last_result = result
+            report.batches += 1
+            report.rerun_seconds += finished - rerun_started
+            staleness.extend(finished - applied for applied in pending_applied_at)
+            pending_applied_at.clear()
+            batch_started = None
+            delta = self.session.last_delta()
+            if delta is not None:
+                report.delta_modes[delta.mode] = (
+                    report.delta_modes.get(delta.mode, 0) + 1
+                )
+                report.pairs_rechecked += delta.pairs_rechecked
+            if self.on_batch is not None:
+                self.on_batch(result, report)
+
+        for op in ops:
+            apply_started = clock()
+            kind = apply_mutation(graph, op)
+            now = clock()
+            report.apply_seconds += now - apply_started
+            report.ops_applied += 1
+            report.ops_by_kind[kind] = report.ops_by_kind.get(kind, 0) + 1
+            pending_applied_at.append(now)
+            if batch_started is None:
+                batch_started = now
+            if (
+                now - batch_started >= self.latency_budget
+                or (
+                    self.max_batch_ops is not None
+                    and len(pending_applied_at) >= self.max_batch_ops
+                )
+            ):
+                flush()
+        flush()
+
+        report.elapsed_seconds = clock() - started
+        staleness.sort()
+        report.staleness_p50 = _percentile(staleness, 0.50)
+        report.staleness_p95 = _percentile(staleness, 0.95)
+        report.staleness_max = staleness[-1] if staleness else 0.0
+        return report
+
+
+def ingest_stream(
+    session,
+    stream: TextIO,
+    *,
+    latency_budget: float = 0.25,
+    max_batch_ops: Optional[int] = None,
+    on_batch: Optional[Callable[[object, IngestReport], None]] = None,
+) -> IngestReport:
+    """Run an :class:`IngestPipeline` over a JSONL text *stream*."""
+    pipeline = IngestPipeline(
+        session,
+        latency_budget=latency_budget,
+        max_batch_ops=max_batch_ops,
+        on_batch=on_batch,
+    )
+    return pipeline.run(iter_jsonl(stream))

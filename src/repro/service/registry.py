@@ -54,12 +54,65 @@ class RegisteredGraph:
         #: completed match runs against this name (service bookkeeping)
         self.runs = 0
         self._lock = threading.Lock()
+        #: ingest state: one persistent incremental session per graph (its
+        #: seeded previous result is what makes each batch O(delta)), plus a
+        #: lock serializing mutation windows — concurrent ingests of one
+        #: name interleave whole batches, never individual mutations
+        self._ingest_lock = threading.Lock()
+        self._ingest_session: Optional[MatchSession] = None
+        self._ingest_config: Optional[MatchConfig] = None
+        self.ingested_ops = 0
+        self.ingest_batches = 0
 
     def new_session(self, config: Optional[MatchConfig] = None) -> MatchSession:
         """A throwaway per-request session sharing this graph's artifacts."""
         return MatchSession(
             self.graph, self.keys, config, artifacts=self.artifacts
         )
+
+    def ingest(
+        self,
+        ops,
+        *,
+        config: Optional[MatchConfig] = None,
+        latency_budget: float = 0.25,
+        max_batch_ops: Optional[int] = None,
+    ):
+        """Apply a mutation window to the live graph and re-match in batches.
+
+        Returns ``(report, result)`` — the window's
+        :class:`~repro.service.ingest.IngestReport` and the final (exact)
+        ``EMResult`` covering every applied mutation.  The persistent ingest
+        session survives across windows, so successive calls keep seeding
+        from the previous fixpoint; a config change swaps the session (the
+        first flush then falls back to a full run, after which increments
+        resume).
+        """
+        from .ingest import IngestPipeline  # lazy: avoid import cycle
+
+        config = config or MatchConfig()
+        with self._ingest_lock:
+            session = self._ingest_session
+            if session is None or self._ingest_config != config:
+                session = MatchSession(
+                    self.graph, self.keys, config, artifacts=self.artifacts
+                )
+                self._ingest_session = session
+                self._ingest_config = config
+            pipeline = IngestPipeline(
+                session,
+                latency_budget=latency_budget,
+                max_batch_ops=max_batch_ops,
+            )
+            report = pipeline.run(iter(ops))
+            result = pipeline.last_result
+            if result is None:
+                # an empty window still answers with an exact result
+                result = session.rerun()
+            with self._lock:
+                self.ingested_ops += report.ops_applied
+                self.ingest_batches += report.batches
+            return report, result
 
     def count_run(self) -> None:
         with self._lock:
@@ -80,8 +133,11 @@ class RegisteredGraph:
             "triples": self.graph.num_triples,
             "keys": self.keys.cardinality,
             "runs": self.runs,
+            "ingested_ops": self.ingested_ops,
+            "ingest_batches": self.ingest_batches,
             "cache": {
                 "snapshot_builds": info.snapshot_builds,
+                "snapshot_patches": info.snapshot_patches,
                 "neighborhood_index_builds": info.neighborhood_index_builds,
                 "candidate_builds": info.candidate_builds,
                 "product_graph_builds": info.product_graph_builds,

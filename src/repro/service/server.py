@@ -13,6 +13,8 @@ Endpoints::
     GET    /graphs                       registered graphs
     POST   /graphs                       register a named graph
     DELETE /graphs/<name>                unregister
+    POST   /graphs/<name>/ingest         apply a mutation window, re-match in
+                                         latency-budgeted incremental batches
     POST   /match                        submit a run (202, or wait=true)
     GET    /requests/<id>                poll one request's status
     GET    /requests/<id>/result         fetch the EMResult (409 until done)
@@ -54,6 +56,7 @@ from ..exceptions import (
     WireError,
 )
 from ..storage.store import SnapshotStore
+from .ingest import IngestError
 from .queue import AdmissionController, MatchRequest
 from .registry import GraphRegistry, RegisteredGraph
 from . import wire
@@ -374,6 +377,34 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                     self._send(409, {"error": str(error)})
                     return True
                 self._send(201, {"registered": entry.describe()})
+                return True
+            if len(parts) == 3 and parts[0] == "graphs" and parts[2] == "ingest":
+                entry = service.registry.get(parts[1])
+                payload = self._read_json()
+                ops, config, latency_budget, max_batch_ops = (
+                    wire.parse_ingest_request(payload)
+                )
+                # runs on this HTTP thread: mutation windows of one graph
+                # are serialized by the entry's ingest lock, and the
+                # response must carry the window's own exact result
+                try:
+                    report, result = entry.ingest(
+                        ops,
+                        config=config,
+                        latency_budget=latency_budget,
+                        max_batch_ops=max_batch_ops,
+                    )
+                except IngestError as error:
+                    self._send(400, {"error": str(error)})
+                    return True
+                self._send(
+                    200,
+                    {
+                        "graph": entry.name,
+                        "report": report.as_dict(),
+                        "result": result.to_dict(),
+                    },
+                )
                 return True
             if parts == ["match"]:
                 payload = self._read_json()

@@ -173,6 +173,49 @@ def parse_match_request(
     return graph_name, config, wait, timeout
 
 
+_INGEST_FIELDS = frozenset(
+    ("ops", "algorithm", "processors", "options", "blocking",
+     "latency_budget", "max_batch_ops")
+)
+
+
+def parse_ingest_request(
+    payload: Mapping[str, object],
+) -> Tuple[List[Mapping[str, object]], MatchConfig, float, Optional[int]]:
+    """Parse an ingest body (``POST /graphs/<name>/ingest``).
+
+    Returns ``(ops, config, latency_budget, max_batch_ops)``.  ``ops`` is a
+    JSON array of mutation records (the same vocabulary as the JSONL wire
+    format of ``repro ingest``); the batch the endpoint receives is one
+    window of a continuous stream, so the pipeline's latency budget applies
+    *within* the window and the response reports the same staleness
+    percentiles as the CLI.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireError(f"request body must be a JSON object, got {payload!r}")
+    _reject_unknown(payload, _INGEST_FIELDS)
+    ops = payload.get("ops")
+    if not isinstance(ops, list) or not all(isinstance(op, Mapping) for op in ops):
+        raise WireError("'ops' must be a JSON array of mutation objects")
+    latency_budget = _optional(payload, "latency_budget", float, 0.25)
+    if latency_budget is None or latency_budget < 0:
+        raise WireError(f"latency_budget must be >= 0 seconds, got {latency_budget!r}")
+    max_batch_ops = _optional(payload, "max_batch_ops", int, None)
+    if max_batch_ops is not None and max_batch_ops < 1:
+        raise WireError(f"max_batch_ops must be >= 1, got {max_batch_ops!r}")
+    config_fields = {
+        field: payload[field]
+        for field in ("algorithm", "processors", "options", "blocking")
+        if field in payload and payload[field] is not None
+    }
+    try:
+        config = MatchConfig.from_dict(config_fields)
+        config.resolve()
+    except ReproError as error:
+        raise WireError(str(error)) from error
+    return list(ops), config, float(latency_budget), max_batch_ops
+
+
 # --------------------------------------------------------------------------- #
 # response payloads
 # --------------------------------------------------------------------------- #

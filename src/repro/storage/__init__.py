@@ -23,6 +23,7 @@ from .store import (
     SNAPSHOT_SUFFIX,
     SnapshotStore,
     as_snapshot_store,
+    fingerprint_of,
     graph_fingerprint,
     read_snapshot,
     snapshot_info,
@@ -37,6 +38,7 @@ __all__ = [
     "SnapshotNeighborhoodIndex",
     "SnapshotStore",
     "as_snapshot_store",
+    "fingerprint_of",
     "graph_fingerprint",
     "read_snapshot",
     "snapshot_info",

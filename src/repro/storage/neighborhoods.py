@@ -94,6 +94,22 @@ class SnapshotNeighborhoodIndex(NeighborhoodIndex):
             del twin._encoded[entity]
         return twin
 
+    def rekeyed(
+        self, keys: KeySet, evict: Iterable[str] = ()
+    ) -> "SnapshotNeighborhoodIndex":
+        """This index under a new key set, dropping the *evict* entries.
+
+        A key-set delta changes per-type radii only for the types whose keys
+        changed; passing those types' entities as *evict* keeps every other
+        cached neighbourhood (its type's radius — and the graph — are
+        untouched, so the cached node set is still exact).
+        """
+        twin = self.clone()
+        twin._radius = radius_per_type(keys)
+        for entity in evict:
+            twin.evict(entity)
+        return twin
+
     # ------------------------------------------------------------------ #
     # accounting (include still-encoded entries)
     # ------------------------------------------------------------------ #

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right
+from heapq import merge as _heap_merge
 from operator import itemgetter as _itemgetter
 from typing import (
     Dict,
@@ -53,9 +54,137 @@ from ..exceptions import UnknownEntityError
 #: Array typecode for node/predicate ids and CSR offsets.
 _ID = "q"
 
+# Optional vectorization: the patch path translates whole id columns through
+# a remap table and splices offset spans; numpy turns those per-element
+# Python loops into C-level gathers.  Everything falls back to the stdlib
+# when numpy is absent — the outputs are bit-identical either way.
+try:  # pragma: no cover - exercised wherever numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _np_ids(buf) -> "object":
+    """A zero-copy int64 view of an id column (array or store memoryview)."""
+    return _np.frombuffer(buf, dtype=_np.int64)
+
 #: The empty candidate set returned for unknown (node, predicate) lookups.
 _EMPTY_IDS: FrozenSet[int] = frozenset()
 _EMPTY_NODES: FrozenSet[GraphNode] = frozenset()
+
+
+def _copy_ids(dst: array, src, lo: int, hi: int, remap) -> None:
+    """Append ``src[lo:hi]`` to *dst*, translating ids through *remap*.
+
+    With ``remap=None`` (identity) the copy is a C-level splice — array
+    slices for in-memory snapshots, a buffer copy for mmap-backed ones.
+    """
+    if lo == hi:
+        return
+    if remap is None:
+        if isinstance(src, array):
+            dst.extend(src[lo:hi])
+        else:  # memoryview over a store mapping
+            dst.frombytes(src[lo:hi].tobytes())
+    elif _np is not None and isinstance(remap, _np.ndarray):
+        dst.frombytes(remap[_np_ids(src)[lo:hi]].tobytes())
+    else:
+        dst.extend([remap[x] for x in src[lo:hi]])
+
+
+def _fill_offsets(
+    offsets: array, old_offsets, span_start: int, span_end: int,
+    old_start: int, old_end: int, base: int,
+) -> None:
+    """Fill ``offsets[span_start+1 : span_end+1]`` from a copied old span.
+
+    Spans cover *consecutive* old rows (``old_start`` .. ``old_end - 1``) by
+    construction, so the new offsets are the old ones shifted by *base*.
+    """
+    if _np is not None and span_end - span_start > 8:
+        shifted = _np_ids(old_offsets)[old_start + 1 : old_end + 1] + base
+        offsets[span_start + 1 : span_end + 1] = array(_ID, shifted.tobytes())
+        return
+    for index in range(span_start, span_end):
+        offsets[index + 1] = base + old_offsets[old_start + 1 + index - span_start]
+
+
+def _splice_csr2(
+    old_offsets, old_a, old_b, touched_rows, old_for_new, a_remap, b_remap, num_rows
+) -> Tuple[array, array, array]:
+    """Rebuild a two-column CSR by splicing old spans with recomputed rows.
+
+    *touched_rows* maps new row ids to recomputed ``(a, b)`` pair lists;
+    every other row is copied from its old row (``old_for_new`` gives the
+    old id per new id, ``None`` meaning identity), batching maximal spans of
+    consecutive old rows into single copies.
+    """
+    offsets = array(_ID, bytes(8 * (num_rows + 1)))
+    new_a = array(_ID)
+    new_b = array(_ID)
+    total = 0
+    row = 0
+    while row < num_rows:
+        pairs = touched_rows.get(row)
+        if pairs is not None:
+            for a, b in pairs:
+                new_a.append(a)
+                new_b.append(b)
+            total += len(pairs)
+            offsets[row + 1] = total
+            row += 1
+            continue
+        span_start = row
+        old_start = row if old_for_new is None else old_for_new[row]
+        old_end = old_start + 1
+        row += 1
+        while row < num_rows and row not in touched_rows:
+            old_id = row if old_for_new is None else old_for_new[row]
+            if old_id != old_end:
+                break
+            old_end += 1
+            row += 1
+        lo, hi = old_offsets[old_start], old_offsets[old_end]
+        _copy_ids(new_a, old_a, lo, hi, a_remap)
+        _copy_ids(new_b, old_b, lo, hi, b_remap)
+        base = total - lo
+        _fill_offsets(offsets, old_offsets, span_start, row, old_start, old_end, base)
+        total = base + hi
+    return offsets, new_a, new_b
+
+
+def _splice_csr1(
+    old_offsets, old_targets, touched_rows, old_for_new, remap, num_rows
+) -> Tuple[array, array]:
+    """Single-column variant of :func:`_splice_csr2` (undirected adjacency)."""
+    offsets = array(_ID, bytes(8 * (num_rows + 1)))
+    targets = array(_ID)
+    total = 0
+    row = 0
+    while row < num_rows:
+        members = touched_rows.get(row)
+        if members is not None:
+            targets.extend(members)
+            total += len(members)
+            offsets[row + 1] = total
+            row += 1
+            continue
+        span_start = row
+        old_start = row if old_for_new is None else old_for_new[row]
+        old_end = old_start + 1
+        row += 1
+        while row < num_rows and row not in touched_rows:
+            old_id = row if old_for_new is None else old_for_new[row]
+            if old_id != old_end:
+                break
+            old_end += 1
+            row += 1
+        lo, hi = old_offsets[old_start], old_offsets[old_end]
+        _copy_ids(targets, old_targets, lo, hi, remap)
+        base = total - lo
+        _fill_offsets(offsets, old_offsets, span_start, row, old_start, old_end, base)
+        total = base + hi
+    return offsets, targets
 
 
 def _csr(per_row: Sequence[Sequence[Tuple[int, int]]]) -> Tuple[array, array, array]:
@@ -83,6 +212,10 @@ class GraphSnapshot:
     """
 
     __slots__ = (
+        # --- patch provenance (never pickled): table segments proven
+        # byte-identical to the patch base, so the store's segment-level
+        # patch writer skips re-serializing them ------------------------- #
+        "_unchanged_tables",
         # --- pickled core: interning tables + CSR arrays ---------------- #
         "version",
         "_node_of",        # id -> node object (entities first, then literals)
@@ -205,7 +338,415 @@ class GraphSnapshot:
         snap._reset_lazy()
         return snap
 
+    # ------------------------------------------------------------------ #
+    # delta patching
+    # ------------------------------------------------------------------ #
+
+    def patched(self, graph: Graph, touched: Iterable[GraphNode]) -> "GraphSnapshot":
+        """Compile *graph* by splicing this snapshot with a mutation delta.
+
+        *touched* is the journal window (:meth:`Graph.touched_since`) between
+        this snapshot's version and the live graph — a superset of every node
+        whose interning or adjacency rows may have changed.  The result is
+        **bit-identical** to ``GraphSnapshot.build(graph)``: the same
+        canonical interning order (entities by ``(type, id)``, literals by
+        repr) and the same array contents, which is what lets the store
+        patch files segment-by-segment and keeps every downstream consumer
+        (blocking vindex scans, compiled VF2 type ranges, placement keys)
+        oblivious to how the snapshot was produced.
+
+        Cost is O(|touched rows| + |V|) with small, mostly C-level constants
+        (array splices, one remap pass) instead of ``build()``'s
+        per-triple Python object work: new terms are interned into the old
+        order by merge, surviving ids get a monotone old→new remap, and only
+        the rows of touched nodes are recomputed from the live graph.
+        """
+        if self._vindex_offsets is None:  # pre-vindex pickle: nothing to splice
+            return GraphSnapshot.build(graph)
+
+        id_of = self._id_of
+        node_of = self._node_of
+        etype_of = self._etype_of
+        num_entities = self._num_entities
+        num_nodes = len(node_of)
+
+        touched_set = set(touched)
+        # A retype moves an interned id to another type bucket — the only
+        # non-monotone id move a delta can cause.  Rows referencing the moved
+        # id would re-sort around it, so its neighbours join the recompute
+        # set (any *removed* neighbour edge already touched both endpoints).
+        retype_neighbors: Set[GraphNode] = set()
+        for node in touched_set:
+            if is_entity_ref(node):
+                old = id_of.get(node)
+                if (
+                    old is not None
+                    and graph.has_entity(node)
+                    and graph.entity_type(node) != etype_of[old]
+                ):
+                    retype_neighbors |= graph.neighbors(node)
+        touched_set |= retype_neighbors
+
+        touched_entities: List[str] = []
+        touched_literals: List[Literal] = []
+        for node in touched_set:
+            if is_entity_ref(node):
+                touched_entities.append(node)
+            else:
+                touched_literals.append(node)
+
+        # -- classify the delta: dead old ids, new interned terms -------- #
+        dead: Set[int] = set()
+        ent_inserts: List[Tuple[str, str]] = []  # (etype, eid)
+        lit_inserts: List[Literal] = []
+        recompute_entities: List[str] = []
+        recompute_literals: List[Literal] = []
+        for eid in touched_entities:
+            old = id_of.get(eid)
+            if graph.has_entity(eid):
+                recompute_entities.append(eid)
+                etype = graph.entity_type(eid)
+                if old is None:
+                    ent_inserts.append((etype, eid))
+                elif etype_of[old] != etype:  # retype: move to the new bucket
+                    dead.add(old)
+                    ent_inserts.append((etype, eid))
+            elif old is not None:
+                dead.add(old)
+        for literal in touched_literals:
+            old = id_of.get(literal)
+            if graph.in_triples(literal):
+                recompute_literals.append(literal)
+                if old is None:
+                    lit_inserts.append(literal)
+            elif old is not None:
+                dead.add(old)
+
+        snap = object.__new__(GraphSnapshot)
+        snap.version = graph.version
+
+        ents_unchanged = not ent_inserts and not any(
+            old < num_entities for old in dead
+        )
+        lits_unchanged = not lit_inserts and not any(
+            old >= num_entities for old in dead
+        )
+        identity = ents_unchanged and lits_unchanged
+        if identity:
+            # no interning change: reuse every table object outright
+            snap._node_of = node_of
+            snap._id_of = id_of
+            snap._num_entities = num_entities
+            snap._etype_of = etype_of
+            snap._type_ranges = self._type_ranges
+            remap: Optional[List[int]] = None
+            old_for_new: Optional[List[int]] = None
+            new_num_nodes = num_nodes
+        else:
+            if ents_unchanged:
+                # the steady-state ingest shape — only the literal block
+                # changed: the entity prefix is copied wholesale and the old
+                # tables (types, buckets) are reused object-for-object
+                remap = list(range(num_entities)) + [-1] * (num_nodes - num_entities)
+                old_for_new = list(range(num_entities))
+                new_nodes = list(node_of[:num_entities])
+                new_etypes: Optional[List[str]] = None
+            else:
+                remap = [-1] * num_nodes
+                old_for_new = []
+                new_nodes = []
+                new_etypes = []
+                # entity inserts: position in the OLD entity order (insert
+                # before that old id), bisecting the sorted (type, id) buckets
+                type_starts = sorted(
+                    (etype, span[0]) for etype, span in self._type_ranges.items()
+                )
+                positioned: List[Tuple[int, str, str]] = []
+                for etype, eid in ent_inserts:
+                    span = self._type_ranges.get(etype)
+                    if span is not None:
+                        pos = bisect_left(node_of, eid, span[0], span[1])
+                    else:
+                        at = bisect_left(type_starts, (etype, -1))
+                        pos = type_starts[at][1] if at < len(type_starts) else num_entities
+                    positioned.append((pos, etype, eid))
+                positioned.sort()
+                emit = 0
+                for pos, etype, eid in positioned:
+                    for oid in range(emit, pos):
+                        if oid not in dead:
+                            remap[oid] = len(new_nodes)
+                            old_for_new.append(oid)
+                            new_nodes.append(node_of[oid])
+                            new_etypes.append(etype_of[oid])
+                    emit = pos
+                    old_for_new.append(-1)
+                    new_nodes.append(eid)
+                    new_etypes.append(etype)
+                for oid in range(emit, num_entities):
+                    if oid not in dead:
+                        remap[oid] = len(new_nodes)
+                        old_for_new.append(oid)
+                        new_nodes.append(node_of[oid])
+                        new_etypes.append(etype_of[oid])
+            new_num_entities = len(new_nodes)
+
+            # literal inserts: bisect the old repr order with lazy reprs
+            def _lit_pos(key: str) -> int:
+                lo, hi = num_entities, num_nodes
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if repr(node_of[mid]) < key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                return lo
+
+            lit_positioned = sorted(
+                (_lit_pos(repr(literal)), repr(literal), literal)
+                for literal in lit_inserts
+            )
+            #: first new id whose interning differs from the old literal
+            #: block (feeds the incremental _id_of rebuild below)
+            changed_from: Optional[int] = None
+            emit = num_entities
+            for pos, _key, literal in lit_positioned:
+                if dead:
+                    for oid in range(emit, pos):
+                        if oid in dead:
+                            if changed_from is None:
+                                changed_from = len(new_nodes)
+                        else:
+                            remap[oid] = len(new_nodes)
+                            old_for_new.append(oid)
+                            new_nodes.append(node_of[oid])
+                else:
+                    shift = len(new_nodes) - emit
+                    remap[emit:pos] = range(emit + shift, pos + shift)
+                    old_for_new.extend(range(emit, pos))
+                    new_nodes.extend(node_of[emit:pos])
+                emit = pos
+                if changed_from is None:
+                    changed_from = len(new_nodes)
+                old_for_new.append(-1)
+                new_nodes.append(literal)
+            if dead:
+                for oid in range(emit, num_nodes):
+                    if oid in dead:
+                        if changed_from is None:
+                            changed_from = len(new_nodes)
+                    else:
+                        remap[oid] = len(new_nodes)
+                        old_for_new.append(oid)
+                        new_nodes.append(node_of[oid])
+            else:
+                shift = len(new_nodes) - emit
+                remap[emit:num_nodes] = range(emit + shift, num_nodes + shift)
+                old_for_new.extend(range(emit, num_nodes))
+                new_nodes.extend(node_of[emit:num_nodes])
+
+            snap._node_of = tuple(new_nodes)
+            snap._num_entities = new_num_entities
+            if new_etypes is None:
+                # entity interning untouched: the old id map survives from
+                # the front; only the shifted literal tail is rewritten
+                id_map = dict(id_of)
+                for old in dead:
+                    id_map.pop(node_of[old], None)
+                if changed_from is not None:
+                    for index in range(changed_from, len(new_nodes)):
+                        id_map[new_nodes[index]] = index
+                snap._id_of = id_map
+                snap._etype_of = etype_of
+                snap._type_ranges = self._type_ranges
+            else:
+                snap._id_of = {node: index for index, node in enumerate(new_nodes)}
+                snap._etype_of = tuple(new_etypes)
+                type_ranges: Dict[str, Tuple[int, int]] = {}
+                start = 0
+                for index, etype in enumerate(new_etypes):
+                    if index == 0 or etype != new_etypes[index - 1]:
+                        start = index
+                    type_ranges[etype] = (start, index + 1)
+                snap._type_ranges = type_ranges
+            new_num_nodes = len(new_nodes)
+
+        # -- predicates --------------------------------------------------- #
+        new_preds = sorted(graph.predicates())
+        preds_unchanged = list(self._pred_of) == new_preds
+        if preds_unchanged:
+            snap._pred_of = self._pred_of
+            snap._pred_ids = self._pred_ids
+            pred_remap: Optional[List[int]] = None
+        else:
+            snap._pred_of = tuple(new_preds)
+            snap._pred_ids = {pred: index for index, pred in enumerate(new_preds)}
+            pred_remap = [snap._pred_ids.get(pred, -1) for pred in self._pred_of]
+        new_pred_ids = snap._pred_ids
+        new_id_of = snap._id_of
+
+        # -- recomputed rows for every touched, surviving node ------------ #
+        fwd_rows: Dict[int, List[Tuple[int, int]]] = {}
+        bwd_rows: Dict[int, List[Tuple[int, int]]] = {}
+        und_rows: Dict[int, List[int]] = {}
+        drop_subjects: Set[int] = set(dead)
+        new_postings: List[Tuple[int, int, int]] = []
+        for eid in recompute_entities:
+            nid = new_id_of[eid]
+            out_row: List[Tuple[int, int]] = []
+            for triple in graph.out_triples(eid):
+                oid = new_id_of[triple.obj]
+                pid = new_pred_ids[triple.predicate]
+                out_row.append((pid, oid))
+                if oid >= snap._num_entities:
+                    new_postings.append((pid, oid, nid))
+            out_row.sort()
+            fwd_rows[nid] = out_row
+            bwd_rows[nid] = sorted(
+                (new_pred_ids[t.predicate], new_id_of[t.subject])
+                for t in graph.in_triples(eid)
+            )
+            und_rows[nid] = sorted(new_id_of[n] for n in graph.neighbors(eid))
+            old = id_of.get(eid)
+            if old is not None:
+                drop_subjects.add(old)
+        for literal in recompute_literals:
+            nid = new_id_of[literal]
+            fwd_rows[nid] = []
+            bwd_rows[nid] = sorted(
+                (new_pred_ids[t.predicate], new_id_of[t.subject])
+                for t in graph.in_triples(literal)
+            )
+            und_rows[nid] = sorted(new_id_of[n] for n in graph.neighbors(literal))
+
+        # id translation through the remap tables is the hot loop of a patch;
+        # with numpy the splices gather whole columns at C speed instead
+        splice_remap = remap
+        splice_pred_remap = pred_remap
+        if _np is not None:
+            if remap is not None:
+                splice_remap = _np.asarray(remap, dtype=_np.int64)
+            if pred_remap is not None:
+                splice_pred_remap = _np.asarray(pred_remap, dtype=_np.int64)
+
+        snap._fwd_offsets, snap._fwd_preds, snap._fwd_objs = _splice_csr2(
+            self._fwd_offsets, self._fwd_preds, self._fwd_objs,
+            fwd_rows, old_for_new, splice_pred_remap, splice_remap, new_num_nodes,
+        )
+        snap._bwd_offsets, snap._bwd_preds, snap._bwd_subjs = _splice_csr2(
+            self._bwd_offsets, self._bwd_preds, self._bwd_subjs,
+            bwd_rows, old_for_new, splice_pred_remap, splice_remap, new_num_nodes,
+        )
+        snap._und_offsets, snap._und_targets = _splice_csr1(
+            self._und_offsets, self._und_targets,
+            und_rows, old_for_new, splice_remap, new_num_nodes,
+        )
+
+        # -- value index: filter touched subjects out, merge new postings - #
+        new_postings.sort()
+        vindex_offsets = array(_ID, bytes(8 * (len(new_preds) + 1)))
+        vindex_literals = array(_ID)
+        vindex_subjects = array(_ID)
+        old_voffsets = self._vindex_offsets
+        old_vlits = self._vindex_literals
+        old_vsubjs = self._vindex_subjects
+        old_run_of: Dict[int, int] = {}
+        for old_pid in range(len(self._pred_of)):
+            pid = old_pid if pred_remap is None else pred_remap[old_pid]
+            if pid >= 0:
+                old_run_of[pid] = old_pid
+        cursor = 0
+        total = 0
+        num_new = len(new_postings)
+        vec_lits = vec_subjs = vec_remap = vec_drop = None
+        if _np is not None:
+            vec_lits = _np_ids(old_vlits)
+            vec_subjs = _np_ids(old_vsubjs)
+            if remap is not None:
+                vec_remap = (
+                    splice_remap
+                    if isinstance(splice_remap, _np.ndarray)
+                    else _np.asarray(remap, dtype=_np.int64)
+                )
+            if drop_subjects:
+                vec_drop = _np.fromiter(
+                    drop_subjects, dtype=_np.int64, count=len(drop_subjects)
+                )
+        for pid in range(len(new_preds)):
+            fresh: List[Tuple[int, int]] = []
+            while cursor < num_new and new_postings[cursor][0] == pid:
+                fresh.append(new_postings[cursor][1:])
+                cursor += 1
+            run: List[Tuple[int, int]] = []
+            old_pid = old_run_of.get(pid)
+            if old_pid is not None:
+                lo, hi = old_voffsets[old_pid], old_voffsets[old_pid + 1]
+                if vec_lits is not None:
+                    # vectorized run: filter dropped subjects and translate
+                    # ids with C-level gathers; untouched runs splice straight
+                    # into the output columns without a Python-level pass
+                    lits = vec_lits[lo:hi]
+                    subjs = vec_subjs[lo:hi]
+                    if vec_drop is not None and len(subjs):
+                        keep = _np.isin(subjs, vec_drop, invert=True)
+                        if not keep.all():
+                            lits = lits[keep]
+                            subjs = subjs[keep]
+                    if vec_remap is not None and len(lits):
+                        lits = vec_remap[lits]
+                        subjs = vec_remap[subjs]
+                    if not fresh:
+                        vindex_literals.frombytes(
+                            _np.ascontiguousarray(lits).tobytes()
+                        )
+                        vindex_subjects.frombytes(
+                            _np.ascontiguousarray(subjs).tobytes()
+                        )
+                        total += len(lits)
+                        vindex_offsets[pid + 1] = total
+                        continue
+                    run = list(zip(lits.tolist(), subjs.tolist()))
+                elif remap is None:
+                    for index in range(lo, hi):
+                        sid = old_vsubjs[index]
+                        if sid not in drop_subjects:
+                            run.append((old_vlits[index], sid))
+                else:
+                    for index in range(lo, hi):
+                        sid = old_vsubjs[index]
+                        if sid not in drop_subjects:
+                            run.append((remap[old_vlits[index]], remap[sid]))
+            if fresh:
+                run = list(_heap_merge(run, fresh))
+            for lit_id, sid in run:
+                vindex_literals.append(lit_id)
+                vindex_subjects.append(sid)
+            total += len(run)
+            vindex_offsets[pid + 1] = total
+        snap._vindex_offsets = vindex_offsets
+        snap._vindex_literals = vindex_literals
+        snap._vindex_subjects = vindex_subjects
+
+        snap._num_triples = graph.num_triples
+        if len(snap._fwd_objs) != snap._num_triples:
+            raise RuntimeError(
+                f"snapshot patch drifted: {len(snap._fwd_objs)} forward columns "
+                f"for {snap._num_triples} triples (delta window inconsistent)"
+            )
+        snap._reset_lazy()
+        snap._unchanged_tables = frozenset(
+            (("entity_offsets", "entity_blob") if ents_unchanged else ())
+            + (
+                ("literal_tags", "literal_offsets", "literal_blob")
+                if lits_unchanged
+                else ()
+            )
+            + (("pred_offsets", "pred_blob") if preds_unchanged else ())
+        )
+        return snap
+
     def _reset_lazy(self) -> None:
+        self._unchanged_tables = frozenset()
         self._store_path = None
         self._store_fingerprint = None
         self._obj_map = None

@@ -39,7 +39,6 @@ subclass so opportunistic callers can fall back to a clean rebuild.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import mmap
 import os
@@ -154,72 +153,15 @@ def _decode_literal(tag: int, payload: bytes) -> Literal:
     raise StoreFormatError(f"unknown literal tag {tag!r} in snapshot file")
 
 
-def _chunk(tag: bytes, payload: bytes) -> bytes:
-    """One length-prefixed hash chunk (no separator ambiguity)."""
-    return tag + len(payload).to_bytes(4, "little") + payload
-
-
-def _fingerprint_value(value: object) -> bytes:
-    """Canonical bytes of a literal value for *fingerprinting*.
-
-    Unlike :func:`_encode_literal` (the storage codec, which may fall back
-    to pickle), this encoding is stable across processes for every
-    commonly-hashable value: containers recurse, and unordered containers
-    (frozensets) sort their element encodings, so hash randomization cannot
-    leak into the fingerprint.  Only truly exotic user types hit the pickle
-    fallback, whose cross-process stability is then up to that type.
-    """
-    kind = type(value)
-    if kind is str:
-        return b"s" + value.encode("utf-8")
-    if kind is bool:
-        return b"b1" if value else b"b0"
-    if kind is int:
-        return b"i" + str(value).encode("ascii")
-    if kind is float:
-        return b"f" + repr(value).encode("ascii")
-    if value is None:
-        return b"n"
-    if kind is bytes:
-        return b"y" + value
-    if kind is tuple:
-        return b"(" + b"".join(_chunk(b"v", _fingerprint_value(item)) for item in value) + b")"
-    if kind is frozenset:
-        parts = sorted(_chunk(b"v", _fingerprint_value(item)) for item in value)
-        return b"{" + b"".join(parts) + b"}"
-    return b"p" + pickle.dumps(value, protocol=4)
-
-
-def graph_fingerprint(graph) -> str:
-    """A content fingerprint of *graph* (hex SHA-256), stable across processes.
-
-    Hashes the sorted ``(entity id, type)`` pairs and the sorted canonical
-    triple encodings (length-prefixed, so no separator ambiguity), making
-    the fingerprint invariant under insertion order and identical for a
-    :class:`~repro.core.graph.Graph` and any :class:`GraphSnapshot` compiled
-    from it.  This is the key the :class:`SnapshotStore` files are named by.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(
-        b"".join(
-            _chunk(b"E", eid.encode("utf-8")) + _chunk(b"t", etype.encode("utf-8"))
-            for eid, etype in sorted((e.eid, e.etype) for e in graph.entities())
-        )
-    )
-    fingerprint_value = _fingerprint_value
-    triple_keys: List[bytes] = []
-    append = triple_keys.append
-    for subject, predicate, obj in graph.triples():
-        if isinstance(obj, Literal):
-            obj_key = b"L" + fingerprint_value(obj.value)
-        else:
-            obj_key = b"N" + obj.encode("utf-8")
-        append(
-            b"\x00".join((subject.encode("utf-8"), predicate.encode("utf-8"), obj_key))
-        )
-    triple_keys.sort()
-    hasher.update(b"".join(_chunk(b"T", key) for key in triple_keys))
-    return hasher.hexdigest()
+# The fingerprint implementation lives in core.fingerprint (Graph maintains
+# the accumulator incrementally); these re-exports keep the store module the
+# public home of the fingerprint API.
+from ..core.fingerprint import (  # noqa: E402  (re-export)
+    _chunk,
+    _fingerprint_value,
+    fingerprint_of,
+    graph_fingerprint,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -255,32 +197,44 @@ def _literal_table(literals: Sequence[Literal]) -> Tuple[bytes, bytes, bytes]:
     return bytes(tags), offsets.tobytes(), b"".join(parts)
 
 
-def _snapshot_segments(snapshot: GraphSnapshot) -> Dict[str, bytes]:
-    """The raw segment payloads of *snapshot*, in no particular order."""
+#: Array segment name -> snapshot attribute.
+_ARRAY_ATTRS = (
+    "_fwd_offsets", "_fwd_preds", "_fwd_objs",
+    "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
+    "_und_offsets", "_und_targets",
+    "_vindex_offsets", "_vindex_literals", "_vindex_subjects",
+)
+
+
+def _snapshot_segments(
+    snapshot: GraphSnapshot, *, skip: Iterable[str] = ()
+) -> Dict[str, bytes]:
+    """The raw segment payloads of *snapshot*, in no particular order.
+
+    Names in *skip* are omitted (the segment-patch writer fills those from
+    the base file instead of re-serializing them).
+    """
+    skipped = set(skip)
     segments: Dict[str, bytes] = {}
-    for name, attr in zip(
-        _ARRAY_SEGMENTS,
-        (
-            "_fwd_offsets", "_fwd_preds", "_fwd_objs",
-            "_bwd_offsets", "_bwd_preds", "_bwd_subjs",
-            "_und_offsets", "_und_targets",
-            "_vindex_offsets", "_vindex_literals", "_vindex_subjects",
-        ),
-    ):
-        # bytes() handles both array('q') values and mmap-backed memoryviews
-        segments[name] = bytes(getattr(snapshot, attr))
+    for name, attr in zip(_ARRAY_SEGMENTS, _ARRAY_ATTRS):
+        if name not in skipped:
+            # bytes() handles both array('q') values and mmap-backed memoryviews
+            segments[name] = bytes(getattr(snapshot, attr))
     node_of = snapshot._node_of
     num_entities = snapshot._num_entities
-    entity_offsets, entity_blob = _string_table(node_of[:num_entities])
-    segments["entity_offsets"] = entity_offsets
-    segments["entity_blob"] = entity_blob
-    pred_offsets, pred_blob = _string_table(snapshot._pred_of)
-    segments["pred_offsets"] = pred_offsets
-    segments["pred_blob"] = pred_blob
-    tags, literal_offsets, literal_blob = _literal_table(node_of[num_entities:])
-    segments["literal_tags"] = tags
-    segments["literal_offsets"] = literal_offsets
-    segments["literal_blob"] = literal_blob
+    if not skipped >= {"entity_offsets", "entity_blob"}:
+        entity_offsets, entity_blob = _string_table(node_of[:num_entities])
+        segments["entity_offsets"] = entity_offsets
+        segments["entity_blob"] = entity_blob
+    if not skipped >= {"pred_offsets", "pred_blob"}:
+        pred_offsets, pred_blob = _string_table(snapshot._pred_of)
+        segments["pred_offsets"] = pred_offsets
+        segments["pred_blob"] = pred_blob
+    if not skipped >= {"literal_tags", "literal_offsets", "literal_blob"}:
+        tags, literal_offsets, literal_blob = _literal_table(node_of[num_entities:])
+        segments["literal_tags"] = tags
+        segments["literal_offsets"] = literal_offsets
+        segments["literal_blob"] = literal_blob
     return segments
 
 
@@ -290,6 +244,7 @@ def write_snapshot(
     *,
     fingerprint: str,
     graph_version: Optional[int] = None,
+    segments: Optional[Dict[str, bytes]] = None,
 ) -> Path:
     """Serialize *snapshot* to *path* in the versioned binary format.
 
@@ -297,9 +252,12 @@ def write_snapshot(
     (:func:`graph_fingerprint`); *graph_version* defaults to the version the
     snapshot was compiled from.  The write is atomic (temp file + rename)
     and deterministic: the same snapshot always produces identical bytes.
+    *segments* optionally supplies pre-serialized payloads (the
+    segment-patch path passes a mix of fresh and base-file bytes).
     """
     target = Path(path)
-    segments = _snapshot_segments(snapshot)
+    if segments is None:
+        segments = _snapshot_segments(snapshot)
 
     table: Dict[str, Tuple[int, int]] = {}
     checksum = 0
@@ -358,6 +316,64 @@ def write_snapshot(
             pass
         raise
     return target
+
+
+def patch_snapshot(
+    snapshot: GraphSnapshot,
+    path: Union[str, os.PathLike],
+    *,
+    base_path: Union[str, os.PathLike],
+    fingerprint: str,
+    graph_version: Optional[int] = None,
+) -> Tuple[Path, Dict[str, int]]:
+    """Write *snapshot* to *path*, reusing unchanged segments of *base_path*.
+
+    The base file's segment table is diffed against the new snapshot:
+    table segments the snapshot proved unchanged while patching (its
+    patch provenance, see :meth:`GraphSnapshot.patched`) are copied from
+    the base file without re-serialization — skipping the O(|V|) string
+    and literal table rebuilds — and array segments that compare
+    byte-equal to the base count as reused in the returned stats.  The
+    output file is **byte-identical** to a full :func:`write_snapshot` of
+    the same snapshot; only the work to produce it is delta-proportional.
+    The write is atomic (temp file + rename), exactly like a full write.
+
+    Returns ``(path, stats)`` with ``segments_reused`` /
+    ``segments_rewritten`` counts.
+    """
+    source = Path(base_path)
+    info = snapshot_info(source)
+    with open(source, "rb") as handle:
+        base_raw = handle.read()
+    data_start = info["data_start"]
+    _check_segments(info, data_start, len(base_raw), source)
+    base_table = info["segments"]
+
+    unchanged = getattr(snapshot, "_unchanged_tables", frozenset())
+    reusable = {name for name in unchanged if name in base_table}
+    fresh = _snapshot_segments(snapshot, skip=reusable)
+    stats = {"segments_reused": 0, "segments_rewritten": 0}
+    segments: Dict[str, bytes] = {}
+    for name in _ALL_SEGMENTS:
+        offset, length = base_table[name]
+        base_payload = base_raw[data_start + offset : data_start + offset + length]
+        if name in reusable:
+            segments[name] = base_payload
+            stats["segments_reused"] += 1
+        else:
+            segments[name] = fresh[name]
+            if fresh[name] == base_payload:
+                stats["segments_reused"] += 1
+            else:
+                stats["segments_rewritten"] += 1
+    target = write_snapshot(
+        snapshot,
+        path,
+        fingerprint=fingerprint,
+        graph_version=graph_version,
+        segments=segments,
+    )
+    return target, stats
 
 
 # --------------------------------------------------------------------------- #
@@ -624,6 +640,9 @@ class SnapshotStore:
         self.misses = 0
         self.saves = 0
         self.builds = 0
+        self.patches = 0
+        self.patched_segments_reused = 0
+        self.patched_segments_rewritten = 0
         # per-fingerprint build coordination: concurrent sessions sharing one
         # store handle serialize the miss path per graph, so N tenants racing
         # on a cold graph pay for exactly one physical build + write
@@ -649,6 +668,9 @@ class SnapshotStore:
             "misses": self.misses,
             "saves": self.saves,
             "builds": self.builds,
+            "patches": self.patches,
+            "patched_segments_reused": self.patched_segments_reused,
+            "patched_segments_rewritten": self.patched_segments_rewritten,
         }
 
     def _build_lock(self, fingerprint: str) -> threading.Lock:
@@ -686,7 +708,7 @@ class SnapshotStore:
             timed = lambda _phase, thunk: thunk()  # noqa: E731
         if fingerprint is None:
             fingerprint = timed(
-                "snapshot_store_load", lambda: graph_fingerprint(graph)
+                "snapshot_store_load", lambda: fingerprint_of(graph)
             )
         with self._build_lock(fingerprint):
             try:
@@ -729,11 +751,73 @@ class SnapshotStore:
         content, so the two keys are identical by construction.
         """
         if fingerprint is None:
-            fingerprint = graph_fingerprint(snapshot if graph is None else graph)
+            fingerprint = fingerprint_of(snapshot if graph is None else graph)
         self._root.mkdir(parents=True, exist_ok=True)
         path = write_snapshot(snapshot, self.path_for(fingerprint), fingerprint=fingerprint)
         snapshot._mark_stored(str(path), fingerprint)
         self.saves += 1
+        return path
+
+    def patch(
+        self,
+        snapshot: GraphSnapshot,
+        *,
+        base: Union[GraphSnapshot, str, None],
+        fingerprint: Optional[str] = None,
+        prune_base: bool = False,
+    ) -> Path:
+        """Save *snapshot* by patching the store file it was derived from.
+
+        *base* is the snapshot this one was patched from (ideally
+        store-backed, so its file is known) or a bare fingerprint.  Only
+        the segments whose bytes changed are re-serialized; the rest are
+        carried over from the base file, and the result — byte-identical
+        to a full save — lands under the new fingerprint via atomic
+        rename.  Falls back to a plain :meth:`save` when the base file is
+        missing or unreadable, so callers never have to special-case cold
+        stores.  With ``prune_base=True`` the base file is unlinked after
+        a successful patch (streaming ingest would otherwise leave one
+        file per batch behind; concurrent readers that already mmap'd the
+        base keep a live mapping through the open inode).
+        """
+        if fingerprint is None:
+            fingerprint = fingerprint_of(snapshot)
+        if isinstance(base, GraphSnapshot):
+            base_fingerprint = base.store_fingerprint
+            if base.store_path is not None:
+                base_path: Optional[Path] = Path(base.store_path)
+            elif base_fingerprint is not None:
+                base_path = self.path_for(base_fingerprint)
+            else:
+                base_path = None
+        else:
+            base_fingerprint = base
+            base_path = self.path_for(base) if base else None
+        if fingerprint == base_fingerprint and base_path is not None:
+            # the delta cancelled out: the base file already is this content
+            snapshot._mark_stored(str(base_path), fingerprint)
+            return base_path
+        if base_path is None or not base_path.is_file():
+            return self.save(snapshot, fingerprint=fingerprint)
+        self._root.mkdir(parents=True, exist_ok=True)
+        try:
+            path, stats = patch_snapshot(
+                snapshot,
+                self.path_for(fingerprint),
+                base_path=base_path,
+                fingerprint=fingerprint,
+            )
+        except (StoreError, OSError):
+            return self.save(snapshot, fingerprint=fingerprint)
+        snapshot._mark_stored(str(path), fingerprint)
+        self.patches += 1
+        self.patched_segments_reused += stats["segments_reused"]
+        self.patched_segments_rewritten += stats["segments_rewritten"]
+        if prune_base and base_path != path:
+            try:
+                base_path.unlink()
+            except OSError:
+                pass
         return path
 
     def load(
@@ -753,21 +837,22 @@ class SnapshotStore:
         classifies its own outcomes).
         """
         if fingerprint is None:
-            fingerprint = graph_fingerprint(graph)
-        # Graph.version is content-deterministic (no removal API, duplicate
-        # adds don't bump it), so a fingerprint match implies a version match
-        # for any graph this package can build — the version check guards
-        # against foreign or hand-edited files, never against honest restarts.
+            fingerprint = fingerprint_of(graph)
+        # The fingerprint fully determines the compiled arrays, but not
+        # Graph.version: a mutate-then-undo sequence returns to the same
+        # content at a higher version.  Accept any file with the right
+        # fingerprint and rebase its version onto the live graph's, so
+        # journal-delta consumers see a current snapshot.
         try:
             snapshot = read_snapshot(
                 self.path_for(fingerprint),
                 expect_fingerprint=fingerprint,
-                expect_graph_version=graph.version,
             )
         except StoreError:
             if count:
                 self.misses += 1
             raise
+        snapshot.version = graph.version
         if count:
             self.hits += 1
         return snapshot

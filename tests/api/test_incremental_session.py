@@ -76,12 +76,25 @@ class TestFallbacks:
         session.rerun()
         assert session.last_delta().mode == "full"
 
-    def test_with_keys_drops_the_seed_state(self):
+    def test_with_keys_keeps_the_seed_when_keys_are_equal(self):
+        # re-passing an equal key set is a no-op delta: the seed state (and
+        # every cached artifact) survives, so the rerun reuses the result
         graph = album_graph()
         session = primed_session(graph)
         session.with_keys(parse_keys(ALBUM_KEYS))
         session.rerun()
+        assert session.last_delta().mode == "reused"
+        assert session.cache_info().key_rebases == 0
+
+    def test_with_keys_drops_the_seed_state_on_a_real_delta(self):
+        graph = album_graph()
+        session = primed_session(graph)
+        changed = ALBUM_KEYS.replace("release_year]-> year*", "name_of]-> name*")
+        session.with_keys(parse_keys(changed))
+        result = session.rerun()
         assert session.last_delta().mode == "full"
+        assert result.pairs() == chase(graph, parse_keys(changed)).pairs()
+        assert session.cache_info().key_rebases == 1
 
 
 class TestJournalEdgeCases:

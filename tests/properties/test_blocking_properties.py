@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro import ALGORITHMS, MatchSession
@@ -131,6 +131,11 @@ def test_force_equals_auto_whenever_force_is_accepted(seed):
     rounds=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=2),
 )
 @settings(max_examples=8, deadline=None)
+# regression: a new entity's pair must enter the blocked universe even when
+# its partner's signature went stale without a cached neighbourhood (the
+# blocking-index rebase now sweeps the touched radius ball, not just the
+# cached-entry stale set)
+@example(seed=5452, rounds=[1, 2])
 def test_blocked_incremental_equals_full_under_random_mutations(backend, seed, rounds):
     dataset = fuzz_dataset(seed)
     graph, keys = dataset.graph, dataset.keys

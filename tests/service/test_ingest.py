@@ -1,0 +1,359 @@
+"""Tests of the streaming ingest pipeline (module, CLI and HTTP endpoint).
+
+The acceptance contract of ``repro ingest``: a continuous JSONL mutation
+stream is folded into latency-budgeted incremental re-matches whose final
+result is **bit-identical** to a from-scratch batch run on the fully
+mutated graph, the report's staleness percentiles cover every mutation
+(results are never more than one batch stale), and malformed records fail
+loudly instead of skewing results.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+
+import pytest
+
+from repro.api.session import MatchSession
+from repro.core.chase import chase
+from repro.datasets.music import music_dataset
+from repro.datasets.synthetic import synthetic_dataset
+from repro.service.ingest import (
+    IngestError,
+    IngestPipeline,
+    apply_mutation,
+    ingest_stream,
+    iter_jsonl,
+)
+
+
+def small_dataset(seed=3):
+    return synthetic_dataset(
+        num_keys=4, chain_length=2, radius=2, entities_per_type=4, seed=seed
+    )
+
+
+def mutation_ops(graph, count=6):
+    """A deterministic little op stream exercising several op kinds."""
+    entities = sorted(graph.entity_ids())[:count]
+    ops = [
+        {"op": "add_value", "subject": e, "predicate": "ingest_probe", "value": f"v{i}"}
+        for i, e in enumerate(entities)
+    ]
+    ops.append({"op": "add_entity", "id": "ing_new", "type": graph.entity_type(entities[0])})
+    ops.append({"op": "add_edge", "subject": entities[0], "predicate": "ing_lnk", "object": "ing_new"})
+    if len(entities) >= 3:
+        ops.append({"op": "set_value", "subject": entities[1], "predicate": "ingest_probe", "value": "V1"})
+        ops.append({"op": "remove_value", "subject": entities[2], "predicate": "ingest_probe", "value": "v2"})
+    return ops
+
+
+class TestApplyMutation:
+    def test_dispatches_every_op_kind(self):
+        dataset = small_dataset()
+        graph = dataset.graph
+        entity = sorted(graph.entity_ids())[0]
+        etype = graph.entity_type(entity)
+        apply_mutation(graph, {"op": "add_entity", "id": "m1", "type": etype})
+        apply_mutation(graph, {"op": "add_edge", "subject": entity, "predicate": "p", "object": "m1"})
+        apply_mutation(graph, {"op": "add_value", "subject": "m1", "predicate": "v", "value": "a"})
+        apply_mutation(graph, {"op": "set_value", "subject": "m1", "predicate": "v", "value": "b"})
+        assert {literal.value for literal in graph.objects("m1", "v")} == {"b"}
+        apply_mutation(graph, {"op": "remove_value", "subject": "m1", "predicate": "v", "value": "b"})
+        assert not graph.objects("m1", "v")
+        apply_mutation(graph, {"op": "remove_edge", "subject": entity, "predicate": "p", "object": "m1"})
+        apply_mutation(graph, {"op": "retype_entity", "id": "m1", "type": "ingest_other"})
+        assert graph.entity_type("m1") == "ingest_other"
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(IngestError, match="unknown ingest op"):
+            apply_mutation(small_dataset().graph, {"op": "explode"})
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(IngestError, match="missing field"):
+            apply_mutation(small_dataset().graph, {"op": "add_edge", "subject": "x"})
+
+    def test_graph_rejections_are_wrapped(self):
+        # an edge between unknown entities is an IngestError, so the service
+        # maps it to a client error (400), never a 500
+        with pytest.raises(IngestError, match="failed"):
+            apply_mutation(
+                small_dataset().graph,
+                {"op": "add_edge", "subject": "nope", "predicate": "p", "object": "nope2"},
+            )
+
+
+class TestIterJsonl:
+    def test_skips_blanks_and_comments(self):
+        stream = io.StringIO('\n# header\n{"op": "x"}\n\n{"op": "y"}\n')
+        assert list(iter_jsonl(stream)) == [{"op": "x"}, {"op": "y"}]
+
+    def test_bad_json_reports_line_number(self):
+        with pytest.raises(IngestError, match="line 2"):
+            list(iter_jsonl(io.StringIO('{"op": "x"}\nnot json\n')))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(IngestError, match="JSON object"):
+            list(iter_jsonl(io.StringIO("[1, 2]\n")))
+
+
+class TestIngestPipeline:
+    def test_streamed_result_identical_to_batch_full_run(self):
+        """The tentpole identity: streamed ≡ from-scratch on the final graph."""
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("EMOptVC")
+        pipeline = IngestPipeline(session, latency_budget=60.0, max_batch_ops=3)
+        report = pipeline.run(iter(mutation_ops(dataset.graph)))
+        assert report.ops_applied == 10
+        assert report.batches == 4  # ceil(10 / 3): the tail flush is partial
+        full = chase(dataset.graph, dataset.keys)
+        assert sorted(pipeline.last_result.pairs()) == sorted(full.pairs())
+
+    def test_batches_run_incrementally_with_snapshot_patches(self):
+        dataset = small_dataset(seed=5)
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("EMOptVC")
+        pipeline = IngestPipeline(session, latency_budget=60.0, max_batch_ops=2)
+        report = pipeline.run(iter(mutation_ops(dataset.graph, count=4)))
+        assert report.delta_modes.get("incremental", 0) >= 1
+        assert "full" not in report.delta_modes
+        info = session.cache_info()
+        assert info.snapshot_patches == report.batches
+        assert info.snapshot_builds == 1  # only the pre-stream baseline
+
+    def test_zero_budget_flushes_every_op(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        ops = mutation_ops(dataset.graph, count=3)
+        report = IngestPipeline(session, latency_budget=0.0).run(iter(ops))
+        assert report.batches == report.ops_applied == len(ops)
+
+    def test_staleness_covers_every_mutation(self):
+        """p95/max staleness ≤ elapsed: each op waits at most one batch."""
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        report = IngestPipeline(
+            session, latency_budget=60.0, max_batch_ops=4
+        ).run(iter(mutation_ops(dataset.graph)))
+        assert 0.0 < report.staleness_p50 <= report.staleness_p95
+        assert report.staleness_p95 <= report.staleness_max <= report.elapsed_seconds
+        assert report.mutations_per_second > 0
+
+    def test_empty_stream_is_a_no_op(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        report = IngestPipeline(session).run(iter(()))
+        assert report.ops_applied == report.batches == 0
+        assert pytest.approx(0.0) == report.staleness_max
+
+    def test_on_batch_callback_sees_each_flush(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        seen = []
+        pipeline = IngestPipeline(
+            session,
+            latency_budget=60.0,
+            max_batch_ops=2,
+            on_batch=lambda result, report: seen.append(report.batches),
+        )
+        report = pipeline.run(iter(mutation_ops(dataset.graph, count=4)))
+        assert seen == list(range(1, report.batches + 1))
+
+    def test_bad_parameters_rejected(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        with pytest.raises(IngestError):
+            IngestPipeline(session, latency_budget=-1.0)
+        with pytest.raises(IngestError):
+            IngestPipeline(session, max_batch_ops=0)
+
+    def test_ingest_stream_parses_jsonl(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        ops = mutation_ops(dataset.graph, count=2)
+        text = "\n".join(json.dumps(op) for op in ops) + "\n# done\n"
+        report = ingest_stream(
+            session, io.StringIO(text), latency_budget=60.0, max_batch_ops=10
+        )
+        assert report.ops_applied == len(ops)
+        assert report.batches == 1
+        assert sorted(report.ops_by_kind) == sorted(
+            {op["op"] for op in ops}
+        )
+
+    def test_report_as_dict_round_trips_through_json(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        report = IngestPipeline(session, latency_budget=60.0, max_batch_ops=5).run(
+            iter(mutation_ops(dataset.graph, count=3))
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["ops_applied"] == report.ops_applied
+        assert payload["mutations_per_second"] == pytest.approx(
+            report.mutations_per_second
+        )
+
+
+class TestIngestCLI:
+    @pytest.fixture
+    def music_files(self, tmp_path):
+        from repro.core.parser import save_graph, save_keys
+
+        graph, keys = music_dataset()
+        graph_path = tmp_path / "music.graph"
+        keys_path = tmp_path / "music.keys"
+        save_graph(graph, graph_path)
+        save_keys(keys, keys_path)
+        return graph, str(graph_path), str(keys_path)
+
+    def test_ingest_command_reports_throughput_and_staleness(
+        self, music_files, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        graph, graph_path, keys_path = music_files
+        ops_path = tmp_path / "ops.jsonl"
+        entity = sorted(graph.entity_ids())[0]
+        ops_path.write_text(
+            "\n".join(
+                json.dumps(
+                    {"op": "add_value", "subject": entity, "predicate": "cli_probe", "value": f"v{i}"}
+                )
+                for i in range(4)
+            )
+        )
+        exit_code = main(
+            ["ingest", "--graph", graph_path, "--keys", keys_path,
+             "--ops", str(ops_path), "--batch-ops", "2",
+             "--latency-budget", "60", "--snapshot-store", str(tmp_path / "snaps")]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ops applied    : 4" in output
+        assert "batches        : 2" in output
+        assert "mutations/s" in output
+        assert "staleness" in output
+        assert "patch(es)" in output
+
+    def test_ingest_json_report(self, music_files, tmp_path, capsys):
+        from repro.cli import main
+
+        graph, graph_path, keys_path = music_files
+        ops_path = tmp_path / "ops.jsonl"
+        entity = sorted(graph.entity_ids())[0]
+        ops_path.write_text(
+            json.dumps({"op": "add_value", "subject": entity, "predicate": "p", "value": "x"})
+        )
+        exit_code = main(
+            ["ingest", "--graph", graph_path, "--keys", keys_path,
+             "--ops", str(ops_path), "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ops_applied"] == 1
+        assert payload["batches"] == 1
+        assert "identified" in payload
+
+    def test_ingest_bad_stream_is_a_clean_error(self, music_files, tmp_path, capsys):
+        from repro.cli import main
+
+        _, graph_path, keys_path = music_files
+        ops_path = tmp_path / "ops.jsonl"
+        ops_path.write_text('{"op": "explode"}')
+        exit_code = main(
+            ["ingest", "--graph", graph_path, "--keys", keys_path, "--ops", str(ops_path)]
+        )
+        assert exit_code == 2
+        assert "unknown ingest op" in capsys.readouterr().err
+
+
+class TestIngestEndpoint:
+    @pytest.fixture
+    def live(self):
+        import threading
+
+        from repro.service import MatchingService, make_http_server
+        from test_server import ServiceClient
+
+        service = MatchingService(max_inflight=2, max_queued=8)
+        server = make_http_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(*server.server_address)
+        yield service, client
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    @staticmethod
+    def pairs_of(result_payload):
+        return sorted(
+            pair
+            for cls in result_payload["classes"]
+            for pair in itertools.combinations(sorted(cls), 2)
+        )
+
+    def test_ingest_window_returns_exact_result(self, live):
+        service, client = live
+        dataset = small_dataset()
+        service.register_graph("g", dataset.graph, dataset.keys)
+        ops = mutation_ops(dataset.graph, count=4)
+        status, payload, _ = client.post(
+            "/graphs/g/ingest",
+            {"ops": ops, "max_batch_ops": 3, "latency_budget": 60.0},
+        )
+        assert status == 200, payload
+        assert payload["report"]["ops_applied"] == len(ops)
+        full = chase(dataset.graph, dataset.keys)
+        assert self.pairs_of(payload["result"]) == sorted(full.pairs())
+
+    def test_second_window_stays_incremental(self, live):
+        """The persistent per-graph ingest session seeds across windows."""
+        service, client = live
+        dataset = small_dataset(seed=9)
+        service.register_graph("g", dataset.graph, dataset.keys)
+        entity = sorted(dataset.graph.entity_ids())[0]
+        op = {"op": "add_value", "subject": entity, "predicate": "w", "value": "1"}
+        client.post("/graphs/g/ingest", {"ops": [op]})
+        status, payload, _ = client.post(
+            "/graphs/g/ingest",
+            {"ops": [dict(op, value="2")]},
+        )
+        assert status == 200
+        assert payload["report"]["delta_modes"] == {"incremental": 1}
+        status, graphs, _ = client.get("/graphs")
+        entry = graphs["graphs"][0]
+        assert entry["ingested_ops"] == 2
+        assert entry["ingest_batches"] == 2
+        assert entry["cache"]["snapshot_patches"] >= 1
+
+    def test_bad_ops_and_unknown_graph_map_to_client_errors(self, live):
+        service, client = live
+        dataset = small_dataset()
+        service.register_graph("g", dataset.graph, dataset.keys)
+        status, payload, _ = client.post("/graphs/g/ingest", {"ops": [{"op": "explode"}]})
+        assert status == 400 and "unknown ingest op" in payload["error"]
+        status, payload, _ = client.post("/graphs/nope/ingest", {"ops": []})
+        assert status == 404
+        status, payload, _ = client.post("/graphs/g/ingest", {"ops": "not a list"})
+        assert status == 400
+        status, payload, _ = client.post("/graphs/g/ingest", {"ops": [], "wat": 1})
+        assert status == 400
+
+    def test_empty_window_answers_with_an_exact_result(self, live):
+        service, client = live
+        dataset = small_dataset()
+        service.register_graph("g", dataset.graph, dataset.keys)
+        status, payload, _ = client.post("/graphs/g/ingest", {"ops": []})
+        assert status == 200
+        assert payload["report"]["ops_applied"] == 0
+        full = chase(dataset.graph, dataset.keys)
+        assert self.pairs_of(payload["result"]) == sorted(full.pairs())

@@ -122,7 +122,11 @@ class TestSessionFallback:
         assert len(store) == 2
         assert store.contains(graph_fingerprint(graph))
         info = session.cache_info()
-        assert info.store_misses == 2  # both content versions were cold once
+        # the first version was cold (a store miss); the second landed on
+        # disk through the snapshot-patch write-through, never via a miss
+        assert info.store_misses == 1
+        assert info.snapshot_patches == 1
+        assert store.metrics()["patches"] == 1
 
     def test_unwritable_store_never_fails_a_run(self, dataset, tmp_path):
         blocker = tmp_path / "not-a-dir"
