@@ -20,6 +20,18 @@ Two measurements, two fatal identity gates:
   graph).  Mutations/sec and the p50/p95/max batch staleness are recorded as
   the headline metrics in ``BENCH_ingest.json``.
 
+A third measurement covers the durability path added with the write-ahead
+op journal:
+
+* **Crash recovery** — the same ingest stream journalled through a
+  :class:`~repro.service.wal.WriteAheadLog` under each fsync policy
+  (``off`` / ``batch`` / ``always``) to price the durability overhead,
+  then a simulated crash (journalled-but-unflushed tail, no clean close)
+  replayed onto a fresh base graph to measure replay throughput.
+  **Fatal gate:** the recovered result must be bit-identical to a batch
+  run over the journalled ops and the fingerprint accumulator must match
+  a full recompute.
+
 Run with:  python benchmarks/bench_ingest.py --out BENCH_ingest.json
 """
 
@@ -234,6 +246,107 @@ def bench_ingest(scale: float, ops_count: int, latency_budget: float) -> Dict:
     }
 
 
+def bench_recovery(
+    scale: float, ops_count: int, latency_budget: float, wal_root: Path
+) -> Dict:
+    """WAL durability pricing and crash-replay throughput + identity gate."""
+    from repro.core.fingerprint import fingerprint_of
+    from repro.service.wal import WriteAheadLog, replay
+
+    policies: Dict[str, Dict] = {}
+    for policy in ("off", "batch", "always"):
+        dataset = bench_dataset(scale)
+        graph, keys = dataset.graph, dataset.keys
+        session = MatchSession(graph).with_keys(keys).using("EMOptVC", blocking="auto")
+        session.run()
+        wal = WriteAheadLog(
+            wal_root / f"fsync_{policy}",
+            fsync=policy,
+            base_fingerprint=fingerprint_of(graph),
+        )
+        ops = ingest_ops(graph, ops_count)
+        started = time.perf_counter()
+        report = IngestPipeline(
+            session, latency_budget=latency_budget, wal=wal
+        ).run(ops)
+        elapsed = time.perf_counter() - started
+        metrics = wal.metrics()
+        wal.close()
+        policies[policy] = {
+            "wall_seconds": round(elapsed, 5),
+            "mutations_per_second": (
+                round(report.ops_applied / elapsed, 1) if elapsed > 0 else 0.0
+            ),
+            "batches": report.batches,
+            "fsync_calls": metrics["fsync_calls"],
+            "bytes_written": metrics["bytes_written"],
+        }
+    overhead = (
+        policies["always"]["wall_seconds"] / policies["off"]["wall_seconds"]
+        if policies["off"]["wall_seconds"] > 0
+        else 0.0
+    )
+
+    # --- the crash: journalled run, tail applied but never flushed --------- #
+    dataset = bench_dataset(scale)
+    graph, keys = dataset.graph, dataset.keys
+    session = MatchSession(graph).with_keys(keys).using("EMOptVC", blocking="auto")
+    session.run()
+    crash_root = wal_root / "crash"
+    wal = WriteAheadLog(
+        crash_root, fsync="batch", base_fingerprint=fingerprint_of(graph)
+    )
+    ops = ingest_ops(graph, ops_count)
+    tail = max(1, ops_count // 10)
+    IngestPipeline(session, latency_budget=latency_budget, wal=wal).run(
+        ops[: len(ops) - tail]
+    )
+    for op in ops[len(ops) - tail:]:
+        wal.append(op)
+        apply_mutation(graph, op)
+    # no close(): the process "died" here, the journal keeps the torn window
+
+    recovered = bench_dataset(scale)
+    session2 = (
+        MatchSession(recovered.graph)
+        .with_keys(recovered.keys)
+        .using("EMOptVC", blocking="auto")
+    )
+    session2.run()
+    wal2 = WriteAheadLog(crash_root, fsync="batch")
+    journalled = wal2.state().ops
+    started = time.perf_counter()
+    replay_report = replay(wal2, session2)
+    replay_elapsed = time.perf_counter() - started
+    result = session2.rerun()
+    wal2.close()
+
+    twin = bench_dataset(scale).graph
+    for op in journalled:
+        apply_mutation(twin, op)
+    identical = (
+        result.eq.pairs() == chase(twin, recovered.keys).pairs()
+        and fingerprint_of(session2.graph) == graph_fingerprint(twin)
+    )
+    return {
+        "fsync_policies": policies,
+        "fsync_always_overhead_x": round(overhead, 2),
+        "crash": {
+            "journalled_ops": len(journalled),
+            "pending_at_crash": replay_report.pending_replayed,
+            "ops_replayed": replay_report.ops_replayed,
+            "checkpoints_verified": replay_report.checkpoints_verified,
+            "replay_wall_seconds": round(replay_elapsed, 5),
+            "replay_ops_per_second": (
+                round(replay_report.ops_replayed / replay_elapsed, 1)
+                if replay_elapsed > 0
+                else 0.0
+            ),
+            "replay_identical": identical,
+        },
+    }
+
+
 def run_benchmark(
     scales: List[float], deltas: int, ops_count: int, latency_budget: float
 ) -> Dict:
@@ -243,6 +356,7 @@ def run_benchmark(
         "python": platform.python_version(),
         "scales": {},
         "ingest": {},
+        "recovery": {},
         "ok": True,
     }
     with tempfile.TemporaryDirectory(prefix="bench_ingest_") as tmp:
@@ -250,13 +364,21 @@ def run_benchmark(
             stats = bench_refresh(scale, deltas, Path(tmp))
             report["scales"][str(scale)] = stats
             report["ok"] = report["ok"] and stats["bit_identical"]
-    largest = str(max(scales))
-    report["largest_scale"] = largest
-    report["refresh_speedup_at_largest"] = report["scales"][largest]["refresh_speedup"]
+        largest = str(max(scales))
+        report["largest_scale"] = largest
+        report["refresh_speedup_at_largest"] = report["scales"][largest][
+            "refresh_speedup"
+        ]
 
-    ingest = bench_ingest(max(scales), ops_count, latency_budget)
-    report["ingest"] = ingest
-    report["ok"] = report["ok"] and ingest["streamed_equals_batch"]
+        ingest = bench_ingest(max(scales), ops_count, latency_budget)
+        report["ingest"] = ingest
+        report["ok"] = report["ok"] and ingest["streamed_equals_batch"]
+
+        recovery = bench_recovery(
+            max(scales), ops_count, latency_budget, Path(tmp) / "wal"
+        )
+        report["recovery"] = recovery
+        report["ok"] = report["ok"] and recovery["crash"]["replay_identical"]
     return report
 
 
@@ -286,7 +408,8 @@ def main(argv=None) -> int:
 
     if not report["ok"]:
         print(
-            "FAIL: identity gate violated (patched != rebuilt, or streamed != batch)",
+            "FAIL: identity gate violated (patched != rebuilt, streamed != "
+            "batch, or WAL replay != uninterrupted run)",
             file=sys.stderr,
         )
         return 1

@@ -218,6 +218,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pre-register a named graph from DSL files at startup "
         "(repeatable); more graphs can be registered over HTTP",
     )
+    serve_parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead journal root: every graph's ingest ops are "
+        "journalled before they apply, and a restart replays any window "
+        "a crash left un-flushed (fingerprint-verified)",
+    )
+    serve_parser.add_argument(
+        "--fsync",
+        choices=["always", "batch", "off"],
+        default="batch",
+        help="WAL durability: fsync every op / every flushed batch / never "
+        "(default: batch)",
+    )
+    serve_parser.add_argument(
+        "--max-pending-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the per-graph un-flushed ingest window; windows that "
+        "would exceed it get HTTP 429 with a measured Retry-After",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM/Ctrl-C: how long to wait "
+        "for queued requests before stopping (default: 30s per worker)",
+    )
+    serve_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the final /metrics scrape as JSON after shutdown "
+        "(admission, ingest staleness, WAL and drain counters)",
+    )
 
     ingest_parser = subparsers.add_parser(
         "ingest",
@@ -264,6 +301,37 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="snapshot store directory; each flushed batch patches the "
         "stored snapshot segment-by-segment instead of rewriting it",
+    )
+    ingest_parser.add_argument(
+        "--max-pending-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the un-flushed pending window: flush early instead of "
+        "letting apply-then-flush debt grow without limit",
+    )
+    ingest_parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead journal directory for this stream: ops are "
+        "journalled before they apply and each flush is checkpointed "
+        "with the post-flush graph fingerprint",
+    )
+    ingest_parser.add_argument(
+        "--fsync",
+        choices=["always", "batch", "off"],
+        default="batch",
+        help="WAL durability: fsync every op / every flushed batch / never "
+        "(default: batch)",
+    )
+    ingest_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover a journal left by a crashed run: replay its "
+        "un-checkpointed ops through the pipeline (fingerprint-verified) "
+        "before consuming the stream; without this flag a non-empty "
+        "journal is an error",
     )
     ingest_parser.add_argument(
         "--json",
@@ -571,6 +639,32 @@ def _command_ingest(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     keys = load_keys(args.keys)
     session = MatchSession(graph, snapshot_store=args.snapshot_store).with_keys(keys)
+
+    wal = None
+    recovery = None
+    if args.wal is not None:
+        from .core.fingerprint import fingerprint_of
+        from .service.wal import WriteAheadLog, replay
+
+        wal = WriteAheadLog(
+            args.wal, fsync=args.fsync, base_fingerprint=fingerprint_of(graph)
+        )
+        if wal.has_records():
+            if not args.resume:
+                raise ReproError(
+                    f"WAL at {args.wal} holds records from a previous run; "
+                    f"pass --resume to replay them (or point --wal at a "
+                    f"fresh directory)"
+                )
+            recovery = replay(wal, session)
+            if not args.json and not args.quiet:
+                print(
+                    f"recovered      : {recovery.ops_replayed} op(s) replayed "
+                    f"in {recovery.batches} batch(es), "
+                    f"{recovery.checkpoints_verified} checkpoint(s) verified, "
+                    f"{recovery.pending_replayed} pending op(s) salvaged"
+                )
+
     baseline = session.run(args.algorithm, blocking=args.blocking)
     if not args.json:
         print(
@@ -593,19 +687,29 @@ def _command_ingest(args: argparse.Namespace) -> int:
         session,
         latency_budget=args.latency_budget,
         max_batch_ops=args.batch_ops,
+        max_pending_ops=args.max_pending_ops,
+        wal=wal,
         on_batch=on_batch,
     )
-    with contextlib.ExitStack() as stack:
-        if args.ops == "-":
-            stream = sys.stdin
-        else:
-            stream = stack.enter_context(open(args.ops, "r", encoding="utf-8"))
-        report = pipeline.run(iter_jsonl(stream))
+    try:
+        with contextlib.ExitStack() as stack:
+            if args.ops == "-":
+                stream = sys.stdin
+            else:
+                stream = stack.enter_context(open(args.ops, "r", encoding="utf-8"))
+            report = pipeline.run(iter_jsonl(stream))
+    finally:
+        if wal is not None:
+            wal.close()
 
     if args.json:
         payload = report.as_dict()
         result = pipeline.last_result or baseline
         payload["identified"] = result.num_identified
+        if recovery is not None:
+            payload["recovery"] = recovery.as_dict()
+        if wal is not None:
+            payload["wal"] = wal.metrics()
         print(json_module.dumps(payload, indent=2, sort_keys=True))
         return 0
     result = pipeline.last_result or baseline
@@ -627,17 +731,31 @@ def _command_ingest(args: argparse.Namespace) -> int:
         f"snapshots      : {info.snapshot_patches} patch(es), "
         f"{info.snapshot_builds} build(s)"
     )
+    if wal is not None:
+        metrics = wal.metrics()
+        print(
+            f"wal            : {metrics['appends']} append(s), "
+            f"{metrics['checkpoints']} checkpoint(s), "
+            f"{metrics['bytes_written']} bytes, fsync={metrics['fsync_policy']}"
+        )
     return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    import json as json_module
+
     from .service import MatchingService, make_http_server
+    from .service.server import install_drain_handlers
 
     service = MatchingService(
         store=args.snapshot_store,
         max_inflight=args.max_inflight,
         max_queued=args.max_queued,
         default_timeout=args.timeout,
+        wal_root=args.wal,
+        wal_fsync=args.fsync,
+        max_pending_ops=args.max_pending_ops,
+        drain_timeout=args.drain_timeout,
     )
     for item in args.graphs:
         name, separator, files = item.partition("=")
@@ -657,11 +775,21 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"registered {name!r}: {entry.graph.num_entities} entities, "
             f"{entry.keys.cardinality} keys"
         )
+        if entry.last_recovery is not None:
+            print(
+                f"  recovered from WAL: "
+                f"{entry.last_recovery['ops_replayed']} op(s) replayed, "
+                f"{entry.last_recovery['checkpoints_verified']} "
+                f"checkpoint(s) verified"
+            )
     server = make_http_server(service, args.host, args.port)
+    install_drain_handlers(service, server, args.drain_timeout)
     host, port = server.server_address[:2]
     store = args.snapshot_store or "(in-memory only)"
+    wal = args.wal or "(not journalled)"
     print(f"repro serve listening on http://{host}:{port}")
     print(f"  snapshot store : {store}")
+    print(f"  write-ahead log: {wal} (fsync={args.fsync})")
     print(f"  admission      : {args.max_inflight} in flight, {args.max_queued} queued")
     print(
         "  endpoints      : /healthz /algorithms /graphs "
@@ -673,7 +801,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.server_close()
+        service.drain(args.drain_timeout)
+        final = service.metrics()
         service.close()
+    if args.profile:
+        print(json_module.dumps(final, indent=2, sort_keys=True))
     return 0
 
 

@@ -138,4 +138,30 @@ class UnknownRequestError(ServiceError):
 
 class AdmissionError(ServiceError):
     """The service refused a request because the admission queue is full.
-    Maps to HTTP 429 — the client should back off and retry."""
+    Maps to HTTP 429 — the client should back off and retry.
+
+    ``retry_after`` (seconds, optional) is the server's estimate of when
+    capacity frees up, derived from measured queue depth × mean batch/run
+    time; the HTTP layer forwards it as the ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining (graceful shutdown): queued work still
+    finishes but new submissions are refused.  Maps to HTTP 503 with a
+    ``Retry-After`` estimating when (a restarted instance of) the service
+    can take the request."""
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WalError(ServiceError):
+    """Errors raised by the write-ahead op journal (``repro.service.wal``):
+    an unreadable or corrupt segment, or a journal whose recorded
+    fingerprints do not describe the graph being recovered."""

@@ -21,7 +21,13 @@ than graphs.  It turns the session API into a long-lived service:
 * :mod:`~repro.service.ingest` — the streaming ingest pipeline: continuous
   JSONL mutation streams folded into latency-budgeted incremental re-matches
   (shared by ``repro ingest`` and ``POST /graphs/<name>/ingest``), with
-  mutations/sec and staleness-percentile reporting;
+  mutations/sec and staleness-percentile reporting, a deadline-flush
+  watchdog, and a bounded pending window for backpressure;
+* :mod:`~repro.service.wal` — the per-graph write-ahead op journal:
+  append-before-apply durability with per-flush fingerprint checkpoints,
+  tunable fsync policy, and crash recovery that replays the un-covered
+  suffix through the normal pipeline (bit-identical by the incremental
+  equivalence invariant);
 * :mod:`~repro.service.wire` — the wire schemas: every request is parsed
   into a validated :class:`~repro.api.MatchConfig` and every response
   carries request-level provenance (request id, queue wait, phase timings,
@@ -33,23 +39,34 @@ shared-store multiplexing contract.
 
 from __future__ import annotations
 
-from .ingest import IngestError, IngestPipeline, IngestReport, ingest_stream
+from .ingest import (
+    IngestError,
+    IngestFlushError,
+    IngestPipeline,
+    IngestReport,
+    ingest_stream,
+)
 from .queue import AdmissionController, MatchRequest
 from .registry import GraphRegistry, RegisteredGraph
 from .server import MatchingService, make_http_server, serve
+from .wal import ReplayReport, WriteAheadLog, replay
 from .wire import algorithm_catalog
 
 __all__ = [
     "AdmissionController",
     "GraphRegistry",
     "IngestError",
+    "IngestFlushError",
     "IngestPipeline",
     "IngestReport",
     "MatchRequest",
     "MatchingService",
     "RegisteredGraph",
+    "ReplayReport",
+    "WriteAheadLog",
     "algorithm_catalog",
     "ingest_stream",
     "make_http_server",
+    "replay",
     "serve",
 ]

@@ -21,6 +21,7 @@ bound the *queue wait*: a request dequeued after its deadline is marked
 from __future__ import annotations
 
 import itertools
+import math
 import queue
 import threading
 import time
@@ -190,6 +191,9 @@ class AdmissionController:
         self.inflight = 0
         self.max_queue_depth_seen = 0
         self.total_queue_wait = 0.0
+        # measured service time, feeding Retry-After derivation
+        self.total_run_seconds = 0.0
+        self.runs_measured = 0
 
     _SHUTDOWN = object()
 
@@ -267,6 +271,7 @@ class AdmissionController:
             self.inflight += 1
             if request.queue_wait is not None:
                 self.total_queue_wait += request.queue_wait
+        run_started = time.monotonic()
         try:
             work(request)
         except Exception as exc:
@@ -284,6 +289,8 @@ class AdmissionController:
         finally:
             with self._lock:
                 self.inflight -= 1
+                self.total_run_seconds += time.monotonic() - run_started
+                self.runs_measured += 1
 
     # -- lifecycle / observability ------------------------------------------ #
 
@@ -292,10 +299,42 @@ class AdmissionController:
         """Requests currently waiting for a worker (approximate)."""
         return self._queue.qsize()
 
+    def mean_run_seconds(self) -> float:
+        """Mean measured per-request service time (0.0 before any run)."""
+        with self._lock:
+            if not self.runs_measured:
+                return 0.0
+            return self.total_run_seconds / self.runs_measured
+
+    def retry_after_seconds(self) -> int:
+        """A ``Retry-After`` estimate from measured queue state.
+
+        The backlog ahead of a rejected request is ``queue_depth +
+        inflight`` runs; the pool clears ``max_inflight`` of them per mean
+        run time, so the wait until capacity frees up is roughly
+        ``backlog × mean_run / max_inflight``.  Clamped to [1, 600] and
+        rounded up to whole seconds (the header's unit); before any run
+        has been measured the floor of 1 second applies.
+        """
+        with self._lock:
+            backlog = self._queue.qsize() + self.inflight
+            mean_run = (
+                self.total_run_seconds / self.runs_measured
+                if self.runs_measured
+                else 0.0
+            )
+        estimate = backlog * mean_run / self.max_inflight
+        return max(1, min(600, math.ceil(estimate)))
+
     def metrics(self) -> Dict[str, object]:
         with self._lock:
             mean_wait = (
                 self.total_queue_wait / self.accepted if self.accepted else 0.0
+            )
+            mean_run = (
+                self.total_run_seconds / self.runs_measured
+                if self.runs_measured
+                else 0.0
             )
             return {
                 "max_inflight": self.max_inflight,
@@ -310,17 +349,43 @@ class AdmissionController:
                 "timed_out": self.timed_out,
                 "max_queue_depth_seen": self.max_queue_depth_seen,
                 "mean_queue_wait_seconds": mean_wait,
+                "mean_run_seconds": mean_run,
             }
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) drain the worker pool."""
+    def shutdown(
+        self, wait: bool = True, deadline: Optional[float] = None
+    ) -> bool:
+        """Stop accepting work and (optionally) drain the worker pool.
+
+        Workers finish every request already queued before they see the
+        shutdown sentinel (FIFO), so a waited shutdown *is* a drain of
+        admitted work.  *deadline* bounds the total time spent joining
+        workers (seconds; ``None``: 30s per worker as before).  Returns
+        ``True`` when every worker exited within the budget.
+        """
         with self._lock:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
             workers = list(self._workers)
-        for _ in workers:
-            self._queue.put(self._SHUTDOWN)
-        if wait:
+        if not already:
+            for _ in workers:
+                self._queue.put(self._SHUTDOWN)
+        if not wait:
+            return False
+        drained = True
+        if deadline is None:
             for worker in workers:
                 worker.join(timeout=30.0)
+                drained = drained and not worker.is_alive()
+        else:
+            expires = time.monotonic() + max(0.0, deadline)
+            for worker in workers:
+                remaining = expires - time.monotonic()
+                worker.join(timeout=max(0.0, remaining))
+                drained = drained and not worker.is_alive()
+        return drained
+
+    def drain(self, deadline: Optional[float] = None) -> bool:
+        """Refuse new work, finish everything queued; ``True`` when fully
+        drained within *deadline* seconds (``None``: the default budget)."""
+        return self.shutdown(wait=True, deadline=deadline)

@@ -18,8 +18,11 @@ against that name runs through a fresh, throwaway
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from collections import deque
+from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import os
@@ -28,8 +31,11 @@ from ..api.config import MatchConfig
 from ..api.session import MatchSession, SessionArtifacts
 from ..core.graph import Graph
 from ..core.key import KeySet
-from ..exceptions import ServiceError, UnknownGraphError
+from ..exceptions import AdmissionError, ServiceError, UnknownGraphError
 from ..storage.store import SnapshotStore, as_snapshot_store
+
+#: staleness samples kept per graph for the /metrics percentiles
+STALENESS_WINDOW = 2048
 
 
 class RegisteredGraph:
@@ -63,12 +69,53 @@ class RegisteredGraph:
         self._ingest_config: Optional[MatchConfig] = None
         self.ingested_ops = 0
         self.ingest_batches = 0
+        #: durability + flow control (attached by the registry)
+        self.wal = None
+        self.max_pending_ops: Optional[int] = None
+        self.last_recovery: Optional[Dict[str, object]] = None
+        #: backpressure accounting: ops applied but not covered by a flush
+        #: (failed flush) + ops admitted into in-flight windows
+        self._pending_ops = 0
+        self._inflight_ops = 0
+        #: measured ingest cost, feeding Retry-After derivation
+        self._ingest_seconds = 0.0
+        #: recent per-mutation staleness samples (seconds), for /metrics
+        self._staleness = deque(maxlen=STALENESS_WINDOW)
 
     def new_session(self, config: Optional[MatchConfig] = None) -> MatchSession:
         """A throwaway per-request session sharing this graph's artifacts."""
         return MatchSession(
             self.graph, self.keys, config, artifacts=self.artifacts
         )
+
+    def _ingest_session_for(self, config: MatchConfig) -> MatchSession:
+        """The persistent ingest session (caller holds ``_ingest_lock``)."""
+        session = self._ingest_session
+        if session is None or self._ingest_config != config:
+            session = MatchSession(
+                self.graph, self.keys, config, artifacts=self.artifacts
+            )
+            self._ingest_session = session
+            self._ingest_config = config
+        return session
+
+    def ingest_retry_after(self, backlog: Optional[int] = None) -> int:
+        """A ``Retry-After`` estimate for an over-limit ingest window:
+        the measured mean seconds per ingested op × the backlog still to
+        clear, clamped to [1, 600] whole seconds."""
+        with self._lock:
+            return self._retry_after_locked(backlog)
+
+    def _retry_after_locked(self, backlog: Optional[int] = None) -> int:
+        """:meth:`ingest_retry_after` body; caller holds ``self._lock``."""
+        if backlog is None:
+            backlog = self._pending_ops + self._inflight_ops
+        mean_per_op = (
+            self._ingest_seconds / self.ingested_ops
+            if self.ingested_ops
+            else 0.0
+        )
+        return max(1, min(600, math.ceil(backlog * mean_per_op)))
 
     def ingest(
         self,
@@ -77,6 +124,7 @@ class RegisteredGraph:
         config: Optional[MatchConfig] = None,
         latency_budget: float = 0.25,
         max_batch_ops: Optional[int] = None,
+        max_pending_ops: Optional[int] = None,
     ):
         """Apply a mutation window to the live graph and re-match in batches.
 
@@ -87,32 +135,100 @@ class RegisteredGraph:
         from the previous fixpoint; a config change swaps the session (the
         first flush then falls back to a full run, after which increments
         resume).
+
+        Flow control: with a pending-window bound (per-request
+        *max_pending_ops* or the registry-wide default), a window that
+        would push the uncovered backlog — ops applied but never flushed
+        (a failed flush), plus ops admitted into windows still in flight —
+        past the bound is refused up front with
+        :class:`~repro.exceptions.AdmissionError` carrying a measured
+        ``retry_after``.  With a WAL attached, every op is journalled
+        before it touches the graph and each flush checkpoints the journal.
         """
-        from .ingest import IngestPipeline  # lazy: avoid import cycle
+        from .ingest import IngestFlushError, IngestPipeline  # lazy: avoid cycle
 
         config = config or MatchConfig()
-        with self._ingest_lock:
-            session = self._ingest_session
-            if session is None or self._ingest_config != config:
-                session = MatchSession(
-                    self.graph, self.keys, config, artifacts=self.artifacts
+        ops = list(ops)
+        limit = (
+            max_pending_ops if max_pending_ops is not None else self.max_pending_ops
+        )
+        with self._lock:
+            backlog = self._pending_ops + self._inflight_ops
+            if limit is not None and backlog > 0 and backlog + len(ops) > limit:
+                raise AdmissionError(
+                    f"ingest window refused for graph {self.name!r}: "
+                    f"{backlog} op(s) already pending against a bound of "
+                    f"{limit}; retry later",
+                    retry_after=float(self._retry_after_locked(backlog)),
                 )
-                self._ingest_session = session
-                self._ingest_config = config
-            pipeline = IngestPipeline(
-                session,
-                latency_budget=latency_budget,
-                max_batch_ops=max_batch_ops,
-            )
-            report = pipeline.run(iter(ops))
-            result = pipeline.last_result
-            if result is None:
-                # an empty window still answers with an exact result
-                result = session.rerun()
+            self._inflight_ops += len(ops)
+        window_started = time.monotonic()
+        try:
+            with self._ingest_lock:
+                session = self._ingest_session_for(config)
+                pipeline = IngestPipeline(
+                    session,
+                    latency_budget=latency_budget,
+                    max_batch_ops=max_batch_ops,
+                    max_pending_ops=limit,
+                    wal=self.wal,
+                )
+                try:
+                    report = pipeline.run(iter(ops))
+                except IngestFlushError as error:
+                    # ops are on the graph but no published result covers
+                    # them; the WAL window stays un-checkpointed, and the
+                    # uncovered ops count as backlog until the next
+                    # successful flush (which covers the whole graph state)
+                    with self._lock:
+                        self._pending_ops = error.report.ops_unflushed
+                        self.ingested_ops += error.report.ops_applied
+                        self.ingest_batches += error.report.batches
+                        self._ingest_seconds += time.monotonic() - window_started
+                    raise
+                result = pipeline.last_result
+                if result is None:
+                    # an empty window still answers with an exact result
+                    result = session.rerun()
+                with self._lock:
+                    self._pending_ops = 0
+                    self.ingested_ops += report.ops_applied
+                    self.ingest_batches += report.batches
+                    self._ingest_seconds += time.monotonic() - window_started
+                    self._staleness.extend(pipeline.staleness_samples)
+                return report, result
+        finally:
             with self._lock:
-                self.ingested_ops += report.ops_applied
+                self._inflight_ops -= len(ops)
+
+    def recover(self, config: Optional[MatchConfig] = None) -> Dict[str, object]:
+        """Replay this graph's WAL through the persistent ingest session.
+
+        Called by the registry right after registration when the attached
+        journal holds records; the replayed session stays as the persistent
+        ingest session, so subsequent windows keep seeding incrementally
+        from the recovered fixpoint.  Raises
+        :class:`~repro.exceptions.WalError` when the journal does not
+        describe this graph — recovery never silently drops ops.
+        """
+        from .wal import replay  # lazy: avoid import cycle
+
+        if self.wal is None:
+            raise ServiceError(f"graph {self.name!r} has no WAL attached")
+        with self._ingest_lock:
+            session = self._ingest_session_for(config or MatchConfig())
+            report = replay(self.wal, session)
+            with self._lock:
+                self.ingested_ops += report.ops_replayed
                 self.ingest_batches += report.batches
-            return report, result
+            self.last_recovery = report.as_dict()
+            return self.last_recovery
+
+    def close_ingest(self) -> None:
+        """Flush nothing, close the WAL (drain path: windows already done)."""
+        with self._ingest_lock:
+            if self.wal is not None:
+                self.wal.close()
 
     def count_run(self) -> None:
         with self._lock:
@@ -121,6 +237,26 @@ class RegisteredGraph:
     def warm(self) -> None:
         """Pre-build (or store-load) the snapshot + neighbourhood index."""
         self.artifacts.neighborhood_index()
+
+    def ingest_status(self) -> Dict[str, object]:
+        """Ingest observability: staleness percentiles over the recent
+        sample window, backpressure state, WAL counters, last recovery."""
+        from .ingest import _percentile  # lazy: avoid import cycle
+
+        with self._lock:
+            samples = sorted(self._staleness)
+            status: Dict[str, object] = {
+                "pending_ops": self._pending_ops,
+                "inflight_ops": self._inflight_ops,
+                "max_pending_ops": self.max_pending_ops,
+                "staleness_samples": len(samples),
+                "staleness_p50": _percentile(samples, 0.50),
+                "staleness_p95": _percentile(samples, 0.95),
+                "staleness_max": samples[-1] if samples else 0.0,
+            }
+        status["wal"] = None if self.wal is None else self.wal.metrics()
+        status["last_recovery"] = self.last_recovery
+        return status
 
     def describe(self) -> Dict[str, object]:
         """The ``GET /graphs`` wire entry for this registration."""
@@ -135,6 +271,7 @@ class RegisteredGraph:
             "runs": self.runs,
             "ingested_ops": self.ingested_ops,
             "ingest_batches": self.ingest_batches,
+            "ingest": self.ingest_status(),
             "cache": {
                 "snapshot_builds": info.snapshot_builds,
                 "snapshot_patches": info.snapshot_patches,
@@ -163,10 +300,22 @@ class GraphRegistry:
     def __init__(
         self,
         store: Union[None, str, "os.PathLike", SnapshotStore] = None,
+        *,
+        wal_root: Union[None, str, "os.PathLike"] = None,
+        wal_fsync: str = "batch",
+        wal_retain: str = "all",
+        max_pending_ops: Optional[int] = None,
     ) -> None:
         #: the single snapshot store every registered graph multiplexes
         #: (``None``: in-memory artifacts only — still shared per graph)
         self.store = as_snapshot_store(store)
+        #: directory holding one write-ahead journal per graph name
+        #: (``None``: ingest is not journalled — pre-WAL behaviour)
+        self.wal_root = None if wal_root is None else Path(wal_root)
+        self.wal_fsync = wal_fsync
+        self.wal_retain = wal_retain
+        #: registry-wide default ingest pending-window bound
+        self.max_pending_ops = max_pending_ops
         self._graphs: Dict[str, RegisteredGraph] = {}
         self._lock = threading.Lock()
 
@@ -186,6 +335,14 @@ class GraphRegistry:
         name — tenants must not silently swap each other's graphs.
         ``warm=True`` builds (or store-loads) the snapshot and neighbourhood
         index before returning, so the first request pays no build latency.
+
+        With a ``wal_root`` configured, registration attaches the graph's
+        write-ahead journal (``<wal_root>/<name>/``); if the journal holds
+        records from a previous process, the un-covered suffix is replayed
+        through the normal ingest pipeline *before* the entry is published,
+        verifying every recorded fingerprint — a journal that does not
+        describe *graph* fails registration loudly instead of serving a
+        graph that silently lost its last ingest window.
         """
         if not name or "/" in name:
             raise ServiceError(
@@ -194,13 +351,32 @@ class GraphRegistry:
         entry = RegisteredGraph(
             name, graph, keys, store=self.store, source=source
         )
+        entry.max_pending_ops = self.max_pending_ops
+        if self.wal_root is not None:
+            from ..core.fingerprint import fingerprint_of
+            from .wal import WriteAheadLog  # lazy: avoid import cycle
+
+            entry.wal = WriteAheadLog(
+                self.wal_root / name,
+                fsync=self.wal_fsync,
+                retain=self.wal_retain,
+                base_fingerprint=fingerprint_of(graph),
+            )
+            if entry.wal.has_records():
+                entry.recover()
         with self._lock:
             if not replace and name in self._graphs:
+                entry.close_ingest()
                 raise ServiceError(
                     f"graph {name!r} is already registered "
                     f"(pass replace=true to swap it)"
                 )
+            previous = self._graphs.get(name)
             self._graphs[name] = entry
+        if previous is not None and previous.wal is not None:
+            # the replaced entry shares the same journal directory; release
+            # its handle so the new entry owns the tail exclusively
+            previous.close_ingest()
         if warm:
             entry.warm()
         return entry
@@ -215,8 +391,15 @@ class GraphRegistry:
 
     def unregister(self, name: str) -> None:
         with self._lock:
-            if self._graphs.pop(name, None) is None:
-                raise UnknownGraphError(f"unknown graph {name!r}")
+            entry = self._graphs.pop(name, None)
+        if entry is None:
+            raise UnknownGraphError(f"unknown graph {name!r}")
+        entry.close_ingest()
+
+    def close(self) -> None:
+        """Close every registered graph's journal (drain / shutdown path)."""
+        for entry in self.entries():
+            entry.close_ingest()
 
     def names(self) -> List[str]:
         with self._lock:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import collections
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -51,12 +52,13 @@ from ..exceptions import (
     AdmissionError,
     ReproError,
     ServiceError,
+    ServiceUnavailableError,
     UnknownGraphError,
     UnknownRequestError,
     WireError,
 )
 from ..storage.store import SnapshotStore
-from .ingest import IngestError
+from .ingest import IngestError, IngestFlushError
 from .queue import AdmissionController, MatchRequest
 from .registry import GraphRegistry, RegisteredGraph
 from . import wire
@@ -73,8 +75,17 @@ class MatchingService:
         max_queued: int = 16,
         default_timeout: Optional[float] = None,
         max_requests: int = 1024,
+        wal_root: Union[None, str, "os.PathLike"] = None,
+        wal_fsync: str = "batch",
+        max_pending_ops: Optional[int] = None,
+        drain_timeout: Optional[float] = None,
     ) -> None:
-        self.registry = GraphRegistry(store=store)
+        self.registry = GraphRegistry(
+            store=store,
+            wal_root=wal_root,
+            wal_fsync=wal_fsync,
+            max_pending_ops=max_pending_ops,
+        )
         self.controller = AdmissionController(
             max_inflight=max_inflight, max_queued=max_queued
         )
@@ -82,12 +93,21 @@ class MatchingService:
         self.default_timeout = default_timeout
         #: how many finished requests the table remembers (oldest evicted)
         self.max_requests = max_requests
+        #: seconds :meth:`drain` waits for queued work (``None``: 30s/worker)
+        self.drain_timeout = drain_timeout
         self.started_at = time.time()
         self._requests: "collections.OrderedDict[str, MatchRequest]" = (
             collections.OrderedDict()
         )
         self._requests_lock = threading.Lock()
         self._closed = False
+        # lifecycle: "serving" → "draining" → "drained" (close() from
+        # "serving" goes straight to "closed")
+        self._state = "serving"
+        self._state_lock = threading.Lock()
+        self.drain_started_at: Optional[float] = None
+        self.drain_finished_at: Optional[float] = None
+        self._drained_clean: Optional[bool] = None
 
     # -- graphs ------------------------------------------------------------- #
 
@@ -117,8 +137,7 @@ class MatchingService:
         """Admit one match request; raises
         :class:`~repro.exceptions.AdmissionError` when the queue is full and
         :class:`~repro.exceptions.UnknownGraphError` for unknown names."""
-        if self._closed:
-            raise ServiceError("service is shut down")
+        self._check_admitting()
         entry = self.registry.get(graph_name)
         config = config or MatchConfig()
         request = MatchRequest(
@@ -132,6 +151,44 @@ class MatchingService:
             self._execute(entry, config, req)
 
         return self.controller.submit(request, work)
+
+    def _check_admitting(self) -> None:
+        """Refuse new work while shut down or draining."""
+        if self._closed:
+            raise ServiceError("service is shut down")
+        state = self._state
+        if state != "serving":
+            raise ServiceUnavailableError(
+                f"service is {state}: queued work is finishing but new "
+                f"requests are refused",
+                retry_after=float(self.controller.retry_after_seconds()),
+            )
+
+    def ingest(
+        self,
+        graph_name: str,
+        ops,
+        *,
+        config: Optional[MatchConfig] = None,
+        latency_budget: float = 0.25,
+        max_batch_ops: Optional[int] = None,
+        max_pending_ops: Optional[int] = None,
+    ):
+        """Apply a mutation window against a registered graph.
+
+        The service-level entry point the HTTP ingest endpoint uses: it
+        enforces the lifecycle state (503 while draining) before delegating
+        to :meth:`RegisteredGraph.ingest`, whose pending-window bound and
+        WAL contract apply."""
+        self._check_admitting()
+        entry = self.registry.get(graph_name)
+        return entry.ingest(
+            ops,
+            config=config,
+            latency_budget=latency_budget,
+            max_batch_ops=max_batch_ops,
+            max_pending_ops=max_pending_ops,
+        )
 
     def _execute(
         self,
@@ -220,8 +277,16 @@ class MatchingService:
         by_status: Dict[str, int] = {}
         for request in self.requests():
             by_status[request.status] = by_status.get(request.status, 0) + 1
+        with self._state_lock:
+            lifecycle = {
+                "state": self._state,
+                "drain_started_at": self.drain_started_at,
+                "drain_finished_at": self.drain_finished_at,
+                "drained_clean": self._drained_clean,
+            }
         return {
             "uptime_seconds": time.time() - self.started_at,
+            "state": lifecycle,
             "admission": self.controller.metrics(),
             "registry": self.registry.metrics(),
             "requests": {
@@ -230,9 +295,55 @@ class MatchingService:
             },
         }
 
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """Graceful shutdown: refuse new work, finish everything admitted.
+
+        Flips the service to ``draining`` (submissions and ingest windows
+        get 503 + a measured ``Retry-After``), waits for the admission
+        queue to empty and every worker to finish, lets in-flight ingest
+        windows complete (closing a graph's journal takes its ingest lock),
+        then closes every WAL and marks the service ``drained``.  Returns a
+        summary dict; idempotent — a second call reports the first drain.
+        """
+        with self._state_lock:
+            if self._state in ("draining", "drained"):
+                return {
+                    "state": self._state,
+                    "drained_clean": self._drained_clean,
+                    "elapsed_seconds": (
+                        (self.drain_finished_at or time.time())
+                        - (self.drain_started_at or time.time())
+                    ),
+                }
+            self._state = "draining"
+            self.drain_started_at = time.time()
+        budget = self.drain_timeout if timeout is None else timeout
+        drained = self.controller.drain(budget)
+        # in-flight ingest windows run on HTTP threads, not the worker
+        # pool: close_ingest() serializes on each graph's ingest lock, so
+        # this both waits out live windows and closes their journals
+        self.registry.close()
+        with self._state_lock:
+            self._state = "drained"
+            self._drained_clean = drained
+            self.drain_finished_at = time.time()
+            return {
+                "state": self._state,
+                "drained_clean": drained,
+                "elapsed_seconds": self.drain_finished_at - self.drain_started_at,
+            }
+
     def close(self) -> None:
         self._closed = True
+        with self._state_lock:
+            if self._state == "serving":
+                self._state = "closed"
         self.controller.shutdown(wait=True)
+        self.registry.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -257,7 +368,30 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------- #
 
+    def _discard_body(self) -> None:
+        """Consume any unread request body before responding.
+
+        HTTP/1.1 keep-alive reuses the connection for the next request: an
+        early response (404 graph lookup, 429, 400) that leaves the body in
+        ``rfile`` makes the next request line parse body bytes.  Bodies over
+        the accepted cap are not slurped — the connection is closed instead.
+        """
+        remaining = self._body_remaining
+        self._body_remaining = 0
+        if remaining <= 0:
+            return
+        if remaining > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
+
     def _send(self, code: int, payload: Dict[str, object], **headers: str) -> None:
+        self._discard_body()
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -274,6 +408,7 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         if length > MAX_BODY_BYTES:
             raise WireError(f"request body too large ({length} bytes)")
         raw = self.rfile.read(length)
+        self._body_remaining = 0
         try:
             payload = json.loads(raw)
         except ValueError as error:
@@ -282,17 +417,38 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
             raise WireError("request body must be a JSON object")
         return payload
 
+    def _retry_after(self, error) -> str:
+        """The ``Retry-After`` header value for a refusal: the exception's
+        own measured estimate when it carries one, else the admission
+        controller's queue-state derivation."""
+        seconds = getattr(error, "retry_after", None)
+        if seconds is None:
+            seconds = self.service.controller.retry_after_seconds()
+        return str(max(1, math.ceil(seconds)))
+
     def _route(self, method: str) -> None:
         path, _, query = self.path.partition("?")
         parts = [part for part in path.split("/") if part]
+        try:
+            self._body_remaining = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._body_remaining = 0
         try:
             handled = self._dispatch(method, parts, query)
         except WireError as error:
             self._send(400, {"error": str(error)})
         except (UnknownGraphError, UnknownRequestError) as error:
             self._send(404, {"error": str(error)})
+        except ServiceUnavailableError as error:
+            self._send(503, {"error": str(error)}, Retry_After=self._retry_after(error))
         except AdmissionError as error:
-            self._send(429, {"error": str(error)}, Retry_After="1")
+            self._send(429, {"error": str(error)}, Retry_After=self._retry_after(error))
+        except IngestFlushError as error:
+            report = error.report.as_dict() if error.report is not None else None
+            self._send(
+                500,
+                {"error": str(error), "report": report, "recoverable": True},
+            )
         except ReproError as error:
             self._send(500, {"error": str(error)})
         else:
@@ -305,7 +461,11 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
             if parts == ["healthz"]:
                 self._send(
                     200,
-                    {"ok": True, "uptime_seconds": time.time() - service.started_at},
+                    {
+                        "ok": True,
+                        "state": service.state,
+                        "uptime_seconds": time.time() - service.started_at,
+                    },
                 )
                 return True
             if parts == ["algorithms"]:
@@ -379,28 +539,34 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                 self._send(201, {"registered": entry.describe()})
                 return True
             if len(parts) == 3 and parts[0] == "graphs" and parts[2] == "ingest":
-                entry = service.registry.get(parts[1])
+                # body first: resolving the graph before reading would leave
+                # the body in rfile on a 404, corrupting the next request on
+                # this keep-alive connection
                 payload = self._read_json()
-                ops, config, latency_budget, max_batch_ops = (
+                ops, config, latency_budget, max_batch_ops, max_pending_ops = (
                     wire.parse_ingest_request(payload)
                 )
                 # runs on this HTTP thread: mutation windows of one graph
                 # are serialized by the entry's ingest lock, and the
                 # response must carry the window's own exact result
                 try:
-                    report, result = entry.ingest(
+                    report, result = service.ingest(
+                        parts[1],
                         ops,
                         config=config,
                         latency_budget=latency_budget,
                         max_batch_ops=max_batch_ops,
+                        max_pending_ops=max_pending_ops,
                     )
+                except IngestFlushError:
+                    raise  # _route maps it to a 500 with the partial report
                 except IngestError as error:
                     self._send(400, {"error": str(error)})
                     return True
                 self._send(
                     200,
                     {
-                        "graph": entry.name,
+                        "graph": parts[1],
                         "report": report.as_dict(),
                         "result": result.to_dict(),
                     },
@@ -478,17 +644,72 @@ def make_http_server(
     return server
 
 
+def _drain_and_stop(
+    service: MatchingService,
+    server: ThreadingHTTPServer,
+    timeout: Optional[float],
+) -> None:
+    try:
+        service.drain(timeout)
+    finally:
+        server.shutdown()
+
+
+def install_drain_handlers(
+    service: MatchingService,
+    server: ThreadingHTTPServer,
+    timeout: Optional[float] = None,
+) -> bool:
+    """SIGTERM → graceful drain, then stop the accept loop.
+
+    Only installable from the main thread (the signal module's rule); the
+    handler must not call ``server.shutdown()`` synchronously — that
+    deadlocks against the ``serve_forever`` loop running in the very thread
+    the signal interrupted — so it hands the drain to a helper thread and
+    returns immediately, letting ``serve_forever`` keep answering (503)
+    until the drain finishes.
+    """
+    import signal
+
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def handle(signum, frame):  # pragma: no cover - exercised via subprocess
+        thread = threading.Thread(
+            target=_drain_and_stop,
+            args=(service, server, timeout),
+            name="repro-serve-drain",
+            daemon=True,
+        )
+        thread.start()
+
+    signal.signal(signal.SIGTERM, handle)
+    return True
+
+
 def serve(
     service: MatchingService,
     host: str = "127.0.0.1",
     port: int = 8765,
-) -> None:
-    """Serve *service* forever (the ``repro serve`` entry point)."""
+    *,
+    drain_timeout: Optional[float] = None,
+) -> Dict[str, object]:
+    """Serve *service* until SIGTERM / Ctrl-C (the ``repro serve`` entry).
+
+    Both stop paths drain gracefully: in-flight and queued requests finish,
+    new ones get 503 + a measured ``Retry-After``, ingest journals are
+    checkpointed and closed.  Returns the final metrics scrape (printed by
+    ``repro serve --profile``).
+    """
     server = make_http_server(service, host, port)
+    install_drain_handlers(service, server, drain_timeout)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
-        pass
+        service.drain(drain_timeout)
     finally:
         server.server_close()
+        service.drain(drain_timeout)
+        final = service.metrics()
         service.close()
+    return final

@@ -175,21 +175,23 @@ def parse_match_request(
 
 _INGEST_FIELDS = frozenset(
     ("ops", "algorithm", "processors", "options", "blocking",
-     "latency_budget", "max_batch_ops")
+     "latency_budget", "max_batch_ops", "max_pending_ops")
 )
 
 
 def parse_ingest_request(
     payload: Mapping[str, object],
-) -> Tuple[List[Mapping[str, object]], MatchConfig, float, Optional[int]]:
+) -> Tuple[List[Mapping[str, object]], MatchConfig, float, Optional[int], Optional[int]]:
     """Parse an ingest body (``POST /graphs/<name>/ingest``).
 
-    Returns ``(ops, config, latency_budget, max_batch_ops)``.  ``ops`` is a
-    JSON array of mutation records (the same vocabulary as the JSONL wire
-    format of ``repro ingest``); the batch the endpoint receives is one
-    window of a continuous stream, so the pipeline's latency budget applies
-    *within* the window and the response reports the same staleness
-    percentiles as the CLI.
+    Returns ``(ops, config, latency_budget, max_batch_ops,
+    max_pending_ops)``.  ``ops`` is a JSON array of mutation records (the
+    same vocabulary as the JSONL wire format of ``repro ingest``); the
+    batch the endpoint receives is one window of a continuous stream, so
+    the pipeline's latency budget applies *within* the window and the
+    response reports the same staleness percentiles as the CLI.
+    ``max_pending_ops`` bounds the un-flushed pending window — a window
+    that would push the graph's backlog past it is refused with a 429.
     """
     if not isinstance(payload, Mapping):
         raise WireError(f"request body must be a JSON object, got {payload!r}")
@@ -203,6 +205,9 @@ def parse_ingest_request(
     max_batch_ops = _optional(payload, "max_batch_ops", int, None)
     if max_batch_ops is not None and max_batch_ops < 1:
         raise WireError(f"max_batch_ops must be >= 1, got {max_batch_ops!r}")
+    max_pending_ops = _optional(payload, "max_pending_ops", int, None)
+    if max_pending_ops is not None and max_pending_ops < 1:
+        raise WireError(f"max_pending_ops must be >= 1, got {max_pending_ops!r}")
     config_fields = {
         field: payload[field]
         for field in ("algorithm", "processors", "options", "blocking")
@@ -213,7 +218,7 @@ def parse_ingest_request(
         config.resolve()
     except ReproError as error:
         raise WireError(str(error)) from error
-    return list(ops), config, float(latency_budget), max_batch_ops
+    return list(ops), config, float(latency_budget), max_batch_ops, max_pending_ops
 
 
 # --------------------------------------------------------------------------- #

@@ -1113,6 +1113,23 @@ class GraphSnapshot:
             for index in range(offsets[sid], offsets[sid + 1]):
                 yield Triple(subject, pred_of[preds[index]], node_of[objs[index]])
 
+    def to_graph(self) -> "Graph":
+        """Reconstruct a mutable :class:`~repro.core.graph.Graph`.
+
+        Content-faithful by construction (same entities, same triples), so
+        ``fingerprint_of(snapshot.to_graph()) == snapshot`` fingerprint —
+        the property WAL recovery relies on when the journal's base state
+        lives in a snapshot store rather than in memory.
+        """
+        from ..core.graph import Graph  # lazy: storage must not import core eagerly
+
+        graph = Graph()
+        for entity in self.entities():
+            graph.add_entity(entity.eid, entity.etype)
+        for triple in self.triples():
+            graph.add_triple(triple)
+        return graph
+
     # -- decoded adjacency maps (built once per process) ----------------- #
 
     def _ensure_read_maps(self) -> None:

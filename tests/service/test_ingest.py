@@ -22,6 +22,7 @@ from repro.datasets.music import music_dataset
 from repro.datasets.synthetic import synthetic_dataset
 from repro.service.ingest import (
     IngestError,
+    IngestFlushError,
     IngestPipeline,
     apply_mutation,
     ingest_stream,
@@ -200,6 +201,166 @@ class TestIngestPipeline:
         assert payload["mutations_per_second"] == pytest.approx(
             report.mutations_per_second
         )
+
+
+class TestDeadlineFlush:
+    def test_stalled_stream_flushes_on_deadline(self):
+        """The documented promise: a flush starts at most latency_budget
+        seconds after a mutation lands — even when the *next* op never
+        arrives (follow mode on a quiet journal)."""
+        import threading
+
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        entity = sorted(dataset.graph.entity_ids())[0]
+        flushed = threading.Event()
+        pipeline = IngestPipeline(
+            session,
+            latency_budget=0.05,
+            on_batch=lambda result, report: flushed.set(),
+        )
+
+        def stalled_stream():
+            yield {"op": "add_value", "subject": entity, "predicate": "stall", "value": "v"}
+            # the stream now stalls; only the watchdog can flush the op
+            assert flushed.wait(10.0), "deadline flush never fired on a stalled stream"
+
+        report = pipeline.run(stalled_stream())
+        assert flushed.is_set()
+        assert report.ops_applied == 1 and report.batches >= 1
+
+    def test_watchdog_flush_error_reaches_the_caller(self):
+        """A flush failing on the watchdog thread must surface as an
+        IngestFlushError from run(), never die silently in the thread."""
+        import threading
+
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        entity = sorted(dataset.graph.entity_ids())[0]
+
+        original_rerun = session.rerun
+        failed = threading.Event()
+
+        def broken_rerun(**options):
+            failed.set()
+            raise RuntimeError("induced watchdog flush failure")
+
+        session.rerun = broken_rerun
+        try:
+            pipeline = IngestPipeline(session, latency_budget=0.05)
+
+            def stalled_stream():
+                yield {"op": "add_value", "subject": entity, "predicate": "wd", "value": "v"}
+                assert failed.wait(10.0)
+                yield {"op": "add_value", "subject": entity, "predicate": "wd", "value": "w"}
+
+            with pytest.raises(IngestFlushError):
+                pipeline.run(stalled_stream())
+        finally:
+            session.rerun = original_rerun
+
+
+class TestBackpressureWindow:
+    def test_max_pending_ops_bounds_the_window(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        ops = mutation_ops(dataset.graph, count=6)  # 10 ops
+        report = IngestPipeline(
+            session, latency_budget=60.0, max_pending_ops=2
+        ).run(iter(ops))
+        assert report.ops_applied == 10
+        assert report.batches == 5  # the window never exceeds 2 pending ops
+
+    def test_bad_max_pending_ops_rejected(self):
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        with pytest.raises(IngestError):
+            IngestPipeline(session, max_pending_ops=0)
+
+
+class TestFailedFlush:
+    def test_failed_flush_surfaces_partial_report_and_keeps_wal_open(
+        self, tmp_path
+    ):
+        """ISSUE satellite: rerun() raising inside flush() must not lose
+        the window — the partial report counts the uncovered ops and the
+        WAL window stays un-checkpointed so replay/retry can cover it."""
+        from repro.service.wal import WriteAheadLog
+
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        entity = sorted(dataset.graph.entity_ids())[0]
+        wal = WriteAheadLog(tmp_path / "wal", fsync="off")
+        ops = [
+            {"op": "add_value", "subject": entity, "predicate": "ff", "value": f"v{i}"}
+            for i in range(3)
+        ]
+
+        original_rerun = session.rerun
+
+        def broken_rerun(**options):
+            raise RuntimeError("induced flush failure")
+
+        session.rerun = broken_rerun
+        try:
+            pipeline = IngestPipeline(
+                session, latency_budget=60.0, wal=wal, deadline_flush=False
+            )
+            with pytest.raises(IngestFlushError) as excinfo:
+                pipeline.run(iter(ops))
+        finally:
+            session.rerun = original_rerun
+
+        error = excinfo.value
+        assert error.report.ops_applied == 3
+        assert error.report.ops_unflushed == 3
+        assert error.report.batches == 0
+        # the ops ARE on the live graph (that is the inconsistency being
+        # reported) and ARE journalled, but no checkpoint covers them
+        assert wal.pending_count == 3
+        assert wal.checkpoints_written == 0
+        assert len(wal.state().pending_ops) == 3
+
+        # a retry flush through a healthy session covers the window and
+        # checkpoints the journal
+        retry = IngestPipeline(
+            session, latency_budget=60.0, wal=wal, deadline_flush=False
+        )
+        report = retry.run(iter(()))  # empty stream: nothing new to apply
+        assert report.ops_applied == 0
+        # the uncovered ops still need a flush: push one no-op-sized window
+        report = retry.run(
+            iter([{"op": "add_value", "subject": entity, "predicate": "ff", "value": "v3"}])
+        )
+        assert report.batches == 1
+        assert wal.pending_count == 0
+        full = chase(dataset.graph, dataset.keys)
+        assert sorted(retry.last_result.pairs()) == sorted(full.pairs())
+        wal.close()
+
+    def test_rejected_op_is_disowned_in_the_wal(self, tmp_path):
+        """An op the graph refuses must not replay: append-before-apply
+        pairs with a failure marker."""
+        from repro.service.wal import WriteAheadLog
+
+        dataset = small_dataset()
+        session = MatchSession(dataset.graph).with_keys(dataset.keys)
+        session.run("chase")
+        wal = WriteAheadLog(tmp_path / "wal", fsync="off")
+        pipeline = IngestPipeline(
+            session, latency_budget=60.0, wal=wal, deadline_flush=False
+        )
+        bad = {"op": "add_edge", "subject": "nope", "predicate": "p", "object": "nope2"}
+        with pytest.raises(IngestError):
+            pipeline.run(iter([bad]))
+        assert wal.appends == 1
+        assert wal.pending_count == 0
+        assert wal.state().ops == []  # the failure marker disowned it
+        wal.close()
 
 
 class TestIngestCLI:

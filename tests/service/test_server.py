@@ -269,7 +269,9 @@ class TestAdmissionOverHttp:
             status, rejected, headers = client.post("/match", body)
             assert status == 429
             assert "queue full" in rejected["error"]
-            assert headers.get("Retry-After") == "1"
+            # derived from measured queue depth × mean run time (whole
+            # seconds, floor 1) — not the old hardcoded "1"
+            assert int(headers.get("Retry-After")) >= 1
             release.set()
             for data in (first, second):
                 deadline = time.time() + 30.0
@@ -323,6 +325,202 @@ class TestAdmissionOverHttp:
             server.shutdown()
             server.server_close()
             service.close()
+
+
+class TestKeepAlive:
+    """HTTP/1.1 keep-alive: early error responses must drain the request
+    body, or the next request on the persistent connection parses body
+    bytes as a request line."""
+
+    def _roundtrip(self, connection, method, path, body=None):
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        data = json.loads(response.read().decode("utf-8"))
+        return response.status, data
+
+    def test_connection_survives_error_responses_with_bodies(self, live):
+        service, client = live
+        register_music(client)
+        ops_body = {
+            "ops": [
+                {"op": "add_value", "subject": "x", "predicate": "p", "value": f"v{i}"}
+                for i in range(50)
+            ]
+        }
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=30.0)
+        try:
+            # 404 with an unread body: the ingest route 404s on the graph
+            # name while the body is still in rfile
+            status, data = self._roundtrip(
+                connection, "POST", "/graphs/nope/ingest", ops_body
+            )
+            assert status == 404, data
+            # the next request on the SAME connection must parse cleanly
+            status, data = self._roundtrip(connection, "GET", "/healthz")
+            assert status == 200 and data["ok"] is True
+            # 400 with an unread remainder (unknown field short-circuits)
+            status, data = self._roundtrip(
+                connection, "POST", "/match", {"graph": "music", "wat": "x" * 4096}
+            )
+            assert status == 400
+            status, data = self._roundtrip(connection, "GET", "/healthz")
+            assert status == 200
+            # and a real request still works afterwards
+            status, data = self._roundtrip(
+                connection,
+                "POST",
+                "/match",
+                {"graph": "music", "algorithm": "chase", "wait": True},
+            )
+            assert status == 200 and data["status"] == "done"
+        finally:
+            connection.close()
+
+
+class TestDrain:
+    def test_drain_finishes_queued_work_and_refuses_new(self, music):
+        """Graceful drain: zero queued requests dropped, new submissions
+        503 with a derived Retry-After, state lands on 'drained'."""
+        service = MatchingService(max_inflight=1, max_queued=4)
+        graph, keys, _expected = music
+        service.register_graph("music", graph, keys)
+        release = threading.Event()
+        original = MatchingService._execute
+
+        def slow_execute(self, entry, config, request):
+            assert release.wait(timeout=30.0)
+            return original(self, entry, config, request)
+
+        MatchingService._execute = slow_execute
+        server, client = start_server(service)
+        try:
+            body = {"graph": "music", "algorithm": "chase"}
+            submitted = []
+            status, first, _ = client.post("/match", body)
+            assert status == 202
+            submitted.append(first["id"])
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                _, data, _ = client.get(f"/requests/{first['id']}")
+                if data["status"] == "running":
+                    break
+                time.sleep(0.01)
+            for _ in range(2):
+                status, data, _ = client.post("/match", body)
+                assert status == 202
+                submitted.append(data["id"])
+
+            drainer = threading.Thread(target=service.drain, daemon=True)
+            drainer.start()
+            deadline = time.time() + 10.0
+            while service.state != "draining" and time.time() < deadline:
+                time.sleep(0.01)
+            assert service.state == "draining"
+
+            # new work is refused while queued work keeps going
+            status, refused, headers = client.post("/match", body)
+            assert status == 503, refused
+            assert "draining" in refused["error"]
+            assert int(headers.get("Retry-After")) >= 1
+            status, refused, headers = client.post(
+                "/graphs/music/ingest", {"ops": []}
+            )
+            assert status == 503
+            assert int(headers.get("Retry-After")) >= 1
+
+            release.set()
+            drainer.join(timeout=30.0)
+            assert not drainer.is_alive()
+
+            # zero dropped: every admitted request finished
+            for request_id in submitted:
+                status, polled, _ = client.get(f"/requests/{request_id}")
+                assert status == 200
+                assert polled["status"] == "done", polled
+            status, metrics, _ = client.get("/metrics")
+            assert metrics["state"]["state"] == "drained"
+            assert metrics["state"]["drained_clean"] is True
+            assert metrics["admission"]["completed"] == len(submitted)
+        finally:
+            MatchingService._execute = original
+            release.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_drain_is_idempotent_and_close_still_works(self, music):
+        service = MatchingService(max_inflight=1, max_queued=2)
+        graph, keys, _expected = music
+        service.register_graph("music", graph, keys)
+        summary = service.drain()
+        assert summary["state"] == "drained" and summary["drained_clean"] is True
+        again = service.drain()
+        assert again["state"] == "drained"
+        with pytest.raises(Exception):
+            service.submit("music")
+        service.close()
+
+
+class TestIngestBackpressureOverHttp:
+    def test_failed_flush_then_429_then_recovery(self, live):
+        """A failed flush 500s with the partial report, leaves the backlog
+        counted, and the next over-limit window is refused with 429 + a
+        measured Retry-After; a healthy flush clears the backlog."""
+        service, client = live
+        from repro.datasets.synthetic import synthetic_dataset
+
+        dataset = synthetic_dataset(
+            num_keys=4, chain_length=2, radius=2, entities_per_type=4, seed=3
+        )
+        service.register_graph("g", dataset.graph, dataset.keys)
+        entity = sorted(dataset.graph.entity_ids())[0]
+
+        def window(n, tag):
+            return [
+                {"op": "add_value", "subject": entity, "predicate": "bp", "value": f"{tag}{i}"}
+                for i in range(n)
+            ]
+
+        status, payload, _ = client.post(
+            "/graphs/g/ingest", {"ops": window(2, "a")}
+        )
+        assert status == 200, payload
+
+        entry = service.registry.get("g")
+        session = entry._ingest_session
+        original_rerun = session.rerun
+
+        def broken_rerun(**options):
+            raise RuntimeError("induced flush failure")
+
+        session.rerun = broken_rerun
+        try:
+            status, payload, _ = client.post(
+                "/graphs/g/ingest", {"ops": window(2, "b")}
+            )
+            assert status == 500
+            assert payload["recoverable"] is True
+            assert payload["report"]["ops_unflushed"] == 2
+        finally:
+            session.rerun = original_rerun
+
+        # the uncovered backlog (2 ops) + this window (3) exceeds the bound
+        status, payload, headers = client.post(
+            "/graphs/g/ingest", {"ops": window(3, "c"), "max_pending_ops": 4}
+        )
+        assert status == 429, payload
+        assert int(headers.get("Retry-After")) >= 1
+
+        # a healthy window flushes: rerun covers the whole graph state, so
+        # the previously uncovered ops are covered too and the backlog clears
+        status, payload, _ = client.post(
+            "/graphs/g/ingest", {"ops": window(1, "d"), "max_pending_ops": 4}
+        )
+        assert status == 200, payload
+        assert payload["report"]["ops_unflushed"] == 0
+        assert service.registry.get("g").ingest_status()["pending_ops"] == 0
 
 
 class TestErrorMapping:
